@@ -1,0 +1,44 @@
+//! Benchmarks of the co-occurrence machinery: plain COR, the T-lagged
+//! scan used for link discovery, and link precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spes_core::correlation::{best_lagged_cor, cor, link_precision};
+use spes_trace::SparseSeries;
+
+fn series_every(period: u32, end: u32) -> SparseSeries {
+    SparseSeries::from_pairs((0..end).step_by(period as usize).map(|s| (s, 1)).collect())
+}
+
+fn correlation_benches(c: &mut Criterion) {
+    let horizon = 12 * 1440;
+    let sparse_target = series_every(97, horizon); // ~178 events
+    let busy_candidate = series_every(3, horizon); // ~5760 events
+    let sparse_candidate = series_every(101, horizon);
+
+    let mut group = c.benchmark_group("cor");
+    group.bench_function(BenchmarkId::from_parameter("sparse-vs-sparse"), |b| {
+        b.iter(|| cor(&sparse_target, &sparse_candidate, 0, horizon));
+    });
+    group.bench_function(BenchmarkId::from_parameter("sparse-vs-busy"), |b| {
+        b.iter(|| cor(&sparse_target, &busy_candidate, 0, horizon));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("best_lagged_cor_T10");
+    group.bench_function(BenchmarkId::from_parameter("sparse-vs-sparse"), |b| {
+        b.iter(|| best_lagged_cor(&sparse_target, &sparse_candidate, 10, 0, horizon));
+    });
+    group.bench_function(BenchmarkId::from_parameter("sparse-vs-busy"), |b| {
+        b.iter(|| best_lagged_cor(&sparse_target, &busy_candidate, 10, 0, horizon));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("link_precision");
+    group.bench_function(BenchmarkId::from_parameter("sparse-vs-busy"), |b| {
+        b.iter(|| link_precision(&sparse_target, &busy_candidate, 4, 0, horizon));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, correlation_benches);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! RQ2 benchmark: per-minute scheduling overhead of every policy.
+//!
+//! Each benchmark measures one policy replaying one simulated day of the
+//! same pre-built workload (the paper's overhead table reports seconds of
+//! decision time per simulated minute; divide the measured time by 1440).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spes_baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
+use spes_core::{SpesConfig, SpesPolicy};
+use spes_sim::{simulate, SimConfig};
+use spes_trace::{synth, SynthConfig, SLOTS_PER_DAY};
+
+fn provision_benches(c: &mut Criterion) {
+    let data = synth::generate(&SynthConfig {
+        n_functions: 1_000,
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+    let day = SimConfig::new(train_end, train_end + SLOTS_PER_DAY);
+
+    let mut group = c.benchmark_group("provision_one_day_1k_functions");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("spes"), |b| {
+        b.iter_batched(
+            || SpesPolicy::fit(trace, 0, train_end, SpesConfig::default()),
+            |mut policy| simulate(trace, &mut policy, day),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("fixed-keep-alive"), |b| {
+        b.iter_batched(
+            || FixedKeepAlive::paper_default(trace.n_functions()),
+            |mut policy| simulate(trace, &mut policy, day),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("hybrid-function"), |b| {
+        b.iter_batched(
+            || HybridHistogram::fit(trace, 0, train_end, Granularity::Function),
+            |mut policy| simulate(trace, &mut policy, day),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("hybrid-application"), |b| {
+        b.iter_batched(
+            || HybridHistogram::fit(trace, 0, train_end, Granularity::Application),
+            |mut policy| simulate(trace, &mut policy, day),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("defuse"), |b| {
+        b.iter_batched(
+            || Defuse::paper_default(trace, 0, train_end),
+            |mut policy| simulate(trace, &mut policy, day),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::from_parameter("faascache"), |b| {
+        b.iter_batched(
+            || FaasCache::new(trace.n_functions()),
+            |mut policy| simulate(trace, &mut policy, day.with_capacity(200)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, provision_benches);
+criterion_main!(benches);

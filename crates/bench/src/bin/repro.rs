@@ -1,0 +1,388 @@
+//! Regenerates every table and figure of the SPES paper's evaluation.
+//!
+//! ```text
+//! repro [--fig <id>] [--functions N] [--seed S] [--out DIR] [--trace FILE]
+//!
+//!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
+//!                12 | 13 | 14 | 15 | overhead | all   (default: all)
+//!   --functions  population size of the synthetic trace (default 2000)
+//!   --seed       workload seed (default 0xC0FFEE)
+//!   --out        directory for JSON outputs (default: results)
+//!   --trace      load a real trace (long-form CSV) instead of synthesising
+//! ```
+//!
+//! Each figure prints a text table and writes `<out>/figN.json`.
+
+use spes_bench::figures_main::{self, Fig8};
+use spes_bench::figures_sweep::{self, AblationRow, SweepPoint};
+use spes_bench::figures_trace;
+use spes_bench::scenario::{run_comparison, ComparisonRun, Experiment};
+use spes_core::SpesConfig;
+use spes_sim::text_table;
+use spes_trace::{SynthConfig, SynthTrace};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+struct Args {
+    fig: String,
+    functions: usize,
+    seed: u64,
+    out: PathBuf,
+    trace: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fig: "all".to_owned(),
+        functions: 2000,
+        seed: 0xC0FFEE,
+        out: PathBuf::from("results"),
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--fig" => args.fig = value("--fig"),
+            "--functions" => {
+                args.functions = value("--functions").parse().expect("invalid --functions")
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("invalid --seed"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
+            "--help" | "-h" => {
+                println!("see the module docs of repro.rs / README for usage");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn save_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    let path = out_dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path).expect("create results file");
+    let body = serde_json::to_string_pretty(value).expect("serialise result");
+    file.write_all(body.as_bytes()).expect("write results file");
+    println!("  -> {}", path.display());
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+fn main() {
+    let args = parse_args();
+    let wants = |id: &str| args.fig == "all" || args.fig == id;
+
+    println!(
+        "SPES reproduction harness: {} functions, seed {:#x}",
+        args.functions, args.seed
+    );
+
+    let data: SynthTrace = if let Some(path) = &args.trace {
+        let file = std::fs::File::open(path).expect("open trace file");
+        let trace = spes_trace::io::read_csv(std::io::BufReader::new(file), None)
+            .expect("parse trace CSV");
+        println!(
+            "loaded real trace: {} functions, {} slots",
+            trace.n_functions(),
+            trace.n_slots
+        );
+        // Real traces carry no ground-truth specs; build placeholders.
+        let specs = trace
+            .metas
+            .iter()
+            .map(|m| spes_trace::FunctionSpec {
+                meta: *m,
+                segments: vec![spes_trace::synth::Segment {
+                    start: 0,
+                    end: trace.n_slots,
+                    archetype: spes_trace::Archetype::Silent,
+                }],
+                unseen: false,
+            })
+            .collect();
+        SynthTrace { trace, specs }
+    } else {
+        Experiment {
+            synth: SynthConfig {
+                n_functions: args.functions,
+                seed: args.seed,
+                ..SynthConfig::default()
+            },
+            spes: SpesConfig::default(),
+        }
+        .generate()
+    };
+    let spes_cfg = SpesConfig::default();
+
+    // ---- trace-characterisation figures ----
+    if wants("3") {
+        let fig = figures_trace::fig3(&data);
+        println!("\n== Fig. 3: invocation-count distribution (heavy tail) ==");
+        let rows: Vec<Vec<String>> = fig
+            .buckets
+            .iter()
+            .map(|(b, c)| vec![b.clone(), c.to_string()])
+            .collect();
+        println!("{}", text_table(&["invocations", "functions"], &rows));
+        println!("silent functions: {}", fig.silent);
+        save_json(&args.out, "fig3", &fig);
+    }
+
+    if wants("4") {
+        let rows = figures_trace::fig4(&data, 3);
+        println!("\n== Fig. 4: concept-shift examples (daily invocation counts) ==");
+        for row in &rows {
+            println!(
+                "function {} shifts {} -> {} at slot {}: daily = {:?}",
+                row.function, row.before, row.after, row.shift_at, row.daily
+            );
+        }
+        save_json(&args.out, "fig4", &rows);
+    }
+
+    if wants("5") {
+        let fig = figures_trace::fig5(&data);
+        println!("\n== Fig. 5: trigger-type proportions ==");
+        let rows: Vec<Vec<String>> = fig
+            .rows
+            .iter()
+            .map(|(t, f)| vec![t.clone(), pct(*f)])
+            .collect();
+        println!("{}", text_table(&["trigger", "fraction"], &rows));
+        save_json(&args.out, "fig5", &fig);
+    }
+
+    if wants("6") {
+        let rows = figures_trace::fig6(&data, 5);
+        println!("\n== Fig. 6: temporal locality of infrequent functions ==");
+        for row in &rows {
+            println!(
+                "function {} ({} invocations) active periods: {:?}",
+                row.function, row.total, row.active_periods
+            );
+        }
+        save_json(&args.out, "fig6", &rows);
+    }
+
+    if wants("empirical") {
+        let e = figures_trace::empirical(&data, 300);
+        println!("\n== Section III empirical statistics ==");
+        println!(
+            "timer functions (quasi-)periodic: {} of {} examined (paper: 68.12%)",
+            pct(e.timer_periodic_fraction),
+            e.timer_examined
+        );
+        println!(
+            "HTTP functions Poisson: {} of {} examined (paper: 45.02%)",
+            pct(e.http_poisson_fraction),
+            e.http_examined
+        );
+        println!(
+            "mean COR candidates vs negatives: {:.4} vs {:.4} ({:.1}x; paper: 0.2312 vs 0.0504, 4.6x)",
+            e.cor_candidates, e.cor_negative, e.cor_ratio
+        );
+        println!(
+            "same-trigger vs different-trigger candidate COR: {:.4} vs {:.4} (paper: 0.2710 vs 0.1307)",
+            e.cor_same_trigger, e.cor_diff_trigger
+        );
+        save_json(&args.out, "empirical", &e);
+    }
+
+    // ---- main evaluation (one shared comparison run) ----
+    let needs_comparison =
+        ["table1", "8", "9", "10", "11", "12", "overhead"].iter().any(|id| wants(id));
+    let cmp: Option<ComparisonRun> = needs_comparison.then(|| {
+        println!("\nrunning SPES + 5 baselines over the 14-day trace ...");
+        run_comparison(&data, &spes_cfg)
+    });
+
+    if let Some(cmp) = &cmp {
+        if wants("table1") {
+            let census = figures_main::table1(cmp);
+            println!("\n== Table I census: functions per SPES type ==");
+            let rows: Vec<Vec<String>> = census
+                .rows
+                .iter()
+                .map(|(t, c)| vec![t.clone(), c.to_string()])
+                .collect();
+            println!("{}", text_table(&["type", "functions"], &rows));
+            println!(
+                "recovered by forgetting: {}; unseen in training: {}",
+                census.recovered_by_forgetting, census.unseen
+            );
+            save_json(&args.out, "table1", &census);
+        }
+
+        if wants("8") {
+            let fig: Fig8 = figures_main::fig8(cmp);
+            println!("\n== Fig. 8: cold-start-rate CDF and headline percentiles ==");
+            let rows: Vec<Vec<String>> = fig
+                .q3_csr
+                .iter()
+                .zip(&fig.p90_csr)
+                .zip(&fig.warm_fraction)
+                .map(|(((name, q3), (_, p90)), (_, warm))| {
+                    vec![
+                        name.clone(),
+                        format!("{q3:.3}"),
+                        format!("{p90:.3}"),
+                        pct(*warm),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(&["policy", "Q3-CSR", "P90-CSR", "fully-warm"], &rows)
+            );
+            println!(
+                "SPES Q3-CSR improvement over best baseline: {:.2}% (paper: 49.77%)",
+                fig.q3_improvement_pct
+            );
+            save_json(&args.out, "fig8", &fig);
+        }
+
+        if wants("9") {
+            let fig = figures_main::fig9(cmp);
+            println!("\n== Fig. 9: normalised memory usage / always-cold functions ==");
+            let rows: Vec<Vec<String>> = fig
+                .normalized_memory
+                .iter()
+                .zip(&fig.always_cold_pct)
+                .map(|((name, mem), (_, cold))| {
+                    vec![name.clone(), format!("{mem:.3}"), format!("{cold:.2}%")]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(&["policy", "memory (SPES=1)", "always-cold"], &rows)
+            );
+            save_json(&args.out, "fig9", &fig);
+        }
+
+        if wants("10") {
+            let fig = figures_main::fig10(cmp);
+            println!("\n== Fig. 10: mean CSR per SPES function type ==");
+            let rows: Vec<Vec<String>> = fig
+                .rows
+                .iter()
+                .map(|(t, csr, n)| vec![t.clone(), format!("{csr:.3}"), n.to_string()])
+                .collect();
+            println!("{}", text_table(&["type", "mean CSR", "functions"], &rows));
+            save_json(&args.out, "fig10", &fig);
+        }
+
+        if wants("11") {
+            let fig = figures_main::fig11(cmp);
+            println!("\n== Fig. 11: normalised WMT / EMCR ==");
+            let rows: Vec<Vec<String>> = fig
+                .normalized_wmt
+                .iter()
+                .zip(&fig.emcr)
+                .map(|((name, wmt), (_, emcr))| {
+                    vec![name.clone(), format!("{wmt:.3}"), pct(*emcr)]
+                })
+                .collect();
+            println!("{}", text_table(&["policy", "WMT (SPES=1)", "EMCR"], &rows));
+            save_json(&args.out, "fig11", &fig);
+        }
+
+        if wants("12") {
+            let fig = figures_main::fig12(cmp);
+            println!("\n== Fig. 12: WMT / invocations ratio per SPES type ==");
+            let rows: Vec<Vec<String>> = fig
+                .rows
+                .iter()
+                .map(|(t, r)| vec![t.clone(), format!("{r:.2}")])
+                .collect();
+            println!("{}", text_table(&["type", "WMT ratio"], &rows));
+            save_json(&args.out, "fig12", &fig);
+        }
+
+        if wants("overhead") {
+            let table = figures_main::overhead(cmp);
+            println!("\n== RQ2: scheduling overhead per simulated minute ==");
+            let rows: Vec<Vec<String>> = table
+                .rows
+                .iter()
+                .map(|(name, secs)| vec![name.clone(), format!("{:.3} ms", secs * 1e3)])
+                .collect();
+            println!("{}", text_table(&["policy", "decision time / min"], &rows));
+            save_json(&args.out, "overhead", &table);
+        }
+    }
+
+    // ---- sweeps and ablations ----
+    if wants("13") {
+        println!("\n== Fig. 13: resource/latency trade-off sweeps ==");
+        let prewarm: Vec<SweepPoint> = figures_sweep::fig13_prewarm(&data, &spes_cfg);
+        let rows: Vec<Vec<String>> = prewarm
+            .iter()
+            .map(|p| {
+                vec![
+                    p.param.to_string(),
+                    format!("{:.3}", p.normalized_memory),
+                    format!("{:.3}", p.q3_csr),
+                ]
+            })
+            .collect();
+        println!("(a) theta_prewarm sweep");
+        println!("{}", text_table(&["theta", "memory (theta=2)", "Q3-CSR"], &rows));
+        save_json(&args.out, "fig13a", &prewarm);
+
+        let givenup: Vec<SweepPoint> = figures_sweep::fig13_givenup(&data, &spes_cfg);
+        let rows: Vec<Vec<String>> = givenup
+            .iter()
+            .map(|p| {
+                vec![
+                    p.param.to_string(),
+                    format!("{:.3}", p.normalized_memory),
+                    format!("{:.3}", p.q3_csr),
+                ]
+            })
+            .collect();
+        println!("(b) give-up scaler sweep");
+        println!("{}", text_table(&["scaler", "memory (x1)", "Q3-CSR"], &rows));
+        save_json(&args.out, "fig13b", &givenup);
+    }
+
+    let print_ablation = |title: &str, rows: &[AblationRow]| {
+        println!("\n== {title} ==");
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    format!("{:.3}", r.q3_csr),
+                    format!("{:.3}", r.normalized_memory),
+                    format!("{:.3}", r.normalized_wmt),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(&["variant", "Q3-CSR", "memory (SPES=1)", "WMT (SPES=1)"], &table_rows)
+        );
+    };
+
+    if wants("14") {
+        let rows = figures_sweep::fig14(&data, &spes_cfg);
+        print_ablation("Fig. 14: correlation-strategy ablation", &rows);
+        save_json(&args.out, "fig14", &rows);
+    }
+
+    if wants("15") {
+        let rows = figures_sweep::fig15(&data, &spes_cfg);
+        print_ablation("Fig. 15: concept-shift-strategy ablation", &rows);
+        save_json(&args.out, "fig15", &rows);
+    }
+
+    println!("\ndone.");
+}

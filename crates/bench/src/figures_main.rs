@@ -1,0 +1,300 @@
+//! Main-evaluation figures: Table I census, Figs. 8-12, and the RQ2
+//! overhead table, all computed from one [`ComparisonRun`].
+
+use crate::scenario::ComparisonRun;
+use serde::Serialize;
+use spes_sim::{per_category_stats, NormalizedComparison};
+
+/// Table I census: how many functions landed in each SPES type.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Census {
+    /// `(type label, function count)` rows.
+    pub rows: Vec<(String, usize)>,
+    /// Functions recovered by forgetting during the fit.
+    pub recovered_by_forgetting: usize,
+    /// Functions with zero training invocations.
+    pub unseen: usize,
+}
+
+/// Builds the census from a comparison run.
+#[must_use]
+pub fn table1(cmp: &ComparisonRun) -> Table1Census {
+    let mut rows: Vec<(String, usize)> = cmp
+        .fit_summary
+        .per_type
+        .iter()
+        .map(|(&k, &v)| (k.to_owned(), v))
+        .collect();
+    rows.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    Table1Census {
+        rows,
+        recovered_by_forgetting: cmp.fit_summary.recovered_by_forgetting,
+        unseen: cmp.fit_summary.unseen,
+    }
+}
+
+/// Fig. 8: the CDF of function-wise cold-start rates per policy, plus the
+/// headline percentile comparisons.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8 {
+    /// CSR evaluation points of the CDF.
+    pub points: Vec<f64>,
+    /// Per-policy CDF values at each point: `(policy, cdf values)`.
+    pub cdf: Vec<(String, Vec<f64>)>,
+    /// 75th-percentile CSR per policy (the paper's Q3-CSR).
+    pub q3_csr: Vec<(String, f64)>,
+    /// 90th-percentile CSR per policy.
+    pub p90_csr: Vec<(String, f64)>,
+    /// Fraction of invoked functions with zero cold starts per policy.
+    pub warm_fraction: Vec<(String, f64)>,
+    /// SPES Q3-CSR improvement over the best baseline, in percent
+    /// (paper: 49.77% over Defuse).
+    pub q3_improvement_pct: f64,
+}
+
+/// Builds Fig. 8.
+#[must_use]
+pub fn fig8(cmp: &ComparisonRun) -> Fig8 {
+    let points: Vec<f64> = (0..=50).map(|i| f64::from(i) / 50.0).collect();
+    let mut cdf = Vec::new();
+    let mut q3_csr = Vec::new();
+    let mut p90_csr = Vec::new();
+    let mut warm_fraction = Vec::new();
+    for run in &cmp.runs {
+        let name = run.policy_name.clone();
+        cdf.push((
+            name.clone(),
+            run.csr_cdf(&points).into_iter().map(|(_, y)| y).collect(),
+        ));
+        q3_csr.push((name.clone(), run.csr_percentile(75.0).unwrap_or(0.0)));
+        p90_csr.push((name.clone(), run.csr_percentile(90.0).unwrap_or(0.0)));
+        warm_fraction.push((name, run.warm_function_fraction()));
+    }
+    let spes_q3 = q3_csr
+        .iter()
+        .find(|(n, _)| n == "spes")
+        .map_or(0.0, |&(_, v)| v);
+    let best_baseline_q3 = q3_csr
+        .iter()
+        .filter(|(n, _)| n != "spes")
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let q3_improvement_pct = if best_baseline_q3 > 0.0 {
+        (best_baseline_q3 - spes_q3) / best_baseline_q3 * 100.0
+    } else {
+        0.0
+    };
+    Fig8 {
+        points,
+        cdf,
+        q3_csr,
+        p90_csr,
+        warm_fraction,
+        q3_improvement_pct,
+    }
+}
+
+/// Fig. 9: normalised memory usage (a) and always-cold percentage (b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9 {
+    /// Mean loaded instances normalised to SPES (Fig. 9a).
+    pub normalized_memory: Vec<(String, f64)>,
+    /// Percentage of invoked functions that are always cold (Fig. 9b).
+    pub always_cold_pct: Vec<(String, f64)>,
+}
+
+/// Builds Fig. 9.
+#[must_use]
+pub fn fig9(cmp: &ComparisonRun) -> Fig9 {
+    let memory = NormalizedComparison::build(&cmp.runs, "spes", |r| r.mean_loaded());
+    Fig9 {
+        normalized_memory: memory
+            .rows
+            .iter()
+            .map(|(n, _, norm)| (n.clone(), *norm))
+            .collect(),
+        always_cold_pct: cmp
+            .runs
+            .iter()
+            .map(|r| (r.policy_name.clone(), r.always_cold_fraction() * 100.0))
+            .collect(),
+    }
+}
+
+/// Fig. 10: mean CSR per SPES function type.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// `(type, mean CSR, invoked functions)` rows.
+    pub rows: Vec<(String, f64, usize)>,
+}
+
+/// Builds Fig. 10 from the SPES run and its category labels.
+#[must_use]
+pub fn fig10(cmp: &ComparisonRun) -> Fig10 {
+    let spes_run = cmp.run_of("spes");
+    let stats = per_category_stats(spes_run, |f| Some(cmp.spes_labels[f]));
+    let rows = stats
+        .into_iter()
+        .map(|(label, s)| (label.to_owned(), s.mean_csr, s.functions))
+        .collect();
+    Fig10 { rows }
+}
+
+/// Fig. 11: normalised wasted memory time (a) and EMCR (b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11 {
+    /// Total WMT normalised to SPES.
+    pub normalized_wmt: Vec<(String, f64)>,
+    /// Effective memory consumption ratio per policy.
+    pub emcr: Vec<(String, f64)>,
+}
+
+/// Builds Fig. 11.
+#[must_use]
+pub fn fig11(cmp: &ComparisonRun) -> Fig11 {
+    let wmt = NormalizedComparison::build(&cmp.runs, "spes", |r| r.total_wmt() as f64);
+    Fig11 {
+        normalized_wmt: wmt
+            .rows
+            .iter()
+            .map(|(n, _, norm)| (n.clone(), *norm))
+            .collect(),
+        emcr: cmp
+            .runs
+            .iter()
+            .map(|r| (r.policy_name.clone(), r.emcr()))
+            .collect(),
+    }
+}
+
+/// Fig. 12: WMT / invocations ratio per SPES function type.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12 {
+    /// `(type, mean WMT ratio)` rows.
+    pub rows: Vec<(String, f64)>,
+}
+
+/// Builds Fig. 12.
+#[must_use]
+pub fn fig12(cmp: &ComparisonRun) -> Fig12 {
+    let spes_run = cmp.run_of("spes");
+    let stats = per_category_stats(spes_run, |f| Some(cmp.spes_labels[f]));
+    let rows = stats
+        .into_iter()
+        .map(|(label, s)| (label.to_owned(), s.mean_wmt_ratio))
+        .collect();
+    Fig12 { rows }
+}
+
+/// RQ2: per-minute scheduling overhead of every policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadTable {
+    /// `(policy, seconds of decision time per simulated minute)` rows.
+    pub rows: Vec<(String, f64)>,
+}
+
+/// Builds the overhead table from the engine's policy-hook timings.
+#[must_use]
+pub fn overhead(cmp: &ComparisonRun) -> OverheadTable {
+    OverheadTable {
+        rows: cmp
+            .runs
+            .iter()
+            .map(|r| (r.policy_name.clone(), r.overhead_per_slot()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_comparison, Experiment};
+    use spes_core::SpesConfig;
+
+    fn comparison() -> ComparisonRun {
+        let data = Experiment::sized(250, 41).generate();
+        run_comparison(&data, &SpesConfig::default())
+    }
+
+    #[test]
+    fn table1_counts_all_functions() {
+        let cmp = comparison();
+        let t = table1(&cmp);
+        let total: usize = t.rows.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 250);
+    }
+
+    #[test]
+    fn fig8_cdf_shapes() {
+        let cmp = comparison();
+        let f = fig8(&cmp);
+        assert_eq!(f.cdf.len(), 6);
+        for (name, values) in &f.cdf {
+            assert_eq!(values.len(), f.points.len(), "{name}");
+            // CDFs are monotone and end at 1.
+            let mut prev = 0.0;
+            for &v in values {
+                assert!(v >= prev - 1e-12, "{name} CDF not monotone");
+                prev = v;
+            }
+            assert!((values.last().unwrap() - 1.0).abs() < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn fig8_spes_wins_q3() {
+        let cmp = comparison();
+        let f = fig8(&cmp);
+        assert!(
+            f.q3_improvement_pct > 0.0,
+            "SPES should beat the best baseline at Q3-CSR: {:?}",
+            f.q3_csr
+        );
+    }
+
+    #[test]
+    fn fig9_normalizes_to_spes() {
+        let cmp = comparison();
+        let f = fig9(&cmp);
+        let spes = f
+            .normalized_memory
+            .iter()
+            .find(|(n, _)| n == "spes")
+            .unwrap();
+        assert!((spes.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig10_and_12_cover_types() {
+        let cmp = comparison();
+        let f10 = fig10(&cmp);
+        assert!(!f10.rows.is_empty());
+        for (_, csr, _) in &f10.rows {
+            assert!((0.0..=1.0).contains(csr));
+        }
+        let f12 = fig12(&cmp);
+        assert!(!f12.rows.is_empty());
+        for (_, ratio) in &f12.rows {
+            assert!(*ratio >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fig11_emcr_in_unit_interval() {
+        let cmp = comparison();
+        let f = fig11(&cmp);
+        for (name, emcr) in &f.emcr {
+            assert!((0.0..=1.0).contains(emcr), "{name} emcr {emcr}");
+        }
+    }
+
+    #[test]
+    fn overhead_is_nonnegative() {
+        let cmp = comparison();
+        let t = overhead(&cmp);
+        assert_eq!(t.rows.len(), 6);
+        for (_, secs) in &t.rows {
+            assert!(*secs >= 0.0);
+        }
+    }
+}

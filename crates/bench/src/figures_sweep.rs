@@ -1,0 +1,253 @@
+//! Parameter sweeps and ablations: Figs. 13, 14, and 15.
+//!
+//! The sweeps run independent SPES configurations over the same trace, in
+//! parallel via crossbeam scoped threads (the trace is shared read-only).
+
+use crate::scenario::run_spes_only;
+use serde::Serialize;
+use spes_core::SpesConfig;
+use spes_trace::SynthTrace;
+
+/// One point of a Fig. 13 trade-off curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (θprewarm, or the give-up scaler).
+    pub param: u32,
+    /// Mean memory usage normalised to the paper's default setting.
+    pub normalized_memory: f64,
+    /// 75th-percentile cold-start rate.
+    pub q3_csr: f64,
+}
+
+/// Runs SPES once per configuration, in parallel, preserving input order.
+fn sweep(data: &SynthTrace, configs: Vec<(u32, SpesConfig)>) -> Vec<(u32, f64, f64)> {
+    let results = parking_lot::Mutex::new(vec![None; configs.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, (param, cfg)) in configs.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let (run, _) = run_spes_only(data, &cfg);
+                let q3 = run.csr_percentile(75.0).unwrap_or(0.0);
+                results.lock()[i] = Some((param, run.mean_loaded(), q3));
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("sweep slot filled"))
+        .collect()
+}
+
+/// Fig. 13a: θprewarm sweep over {1, 2, 3, 5, 10}, memory normalised to
+/// the default θprewarm = 2 run.
+#[must_use]
+pub fn fig13_prewarm(data: &SynthTrace, base: &SpesConfig) -> Vec<SweepPoint> {
+    let params = [1u32, 2, 3, 5, 10];
+    let configs = params
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                SpesConfig {
+                    theta_prewarm: p,
+                    ..base.clone()
+                },
+            )
+        })
+        .collect();
+    normalize_sweep(sweep(data, configs), 2)
+}
+
+/// Fig. 13b: give-up scaler sweep over {1, .., 5}, memory normalised to
+/// the default scaler = 1 run.
+#[must_use]
+pub fn fig13_givenup(data: &SynthTrace, base: &SpesConfig) -> Vec<SweepPoint> {
+    let params = [1u32, 2, 3, 4, 5];
+    let configs = params
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                SpesConfig {
+                    givenup_scaler: p,
+                    ..base.clone()
+                },
+            )
+        })
+        .collect();
+    normalize_sweep(sweep(data, configs), 1)
+}
+
+fn normalize_sweep(raw: Vec<(u32, f64, f64)>, reference_param: u32) -> Vec<SweepPoint> {
+    let reference = raw
+        .iter()
+        .find(|&&(p, _, _)| p == reference_param)
+        .map_or(1.0, |&(_, mem, _)| mem)
+        .max(f64::MIN_POSITIVE);
+    raw.into_iter()
+        .map(|(param, mem, q3)| SweepPoint {
+            param,
+            normalized_memory: mem / reference,
+            q3_csr: q3,
+        })
+        .collect()
+}
+
+/// One ablation variant's headline metrics (Figs. 14 and 15).
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Variant name ("spes", "w/o Corr", ...).
+    pub variant: String,
+    /// 75th-percentile cold-start rate.
+    pub q3_csr: f64,
+    /// Mean memory usage normalised to full SPES.
+    pub normalized_memory: f64,
+    /// Total WMT normalised to full SPES.
+    pub normalized_wmt: f64,
+}
+
+fn ablation(data: &SynthTrace, variants: Vec<(String, SpesConfig)>) -> Vec<AblationRow> {
+    let results = parking_lot::Mutex::new(vec![None; variants.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, (name, cfg)) in variants.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let (run, _) = run_spes_only(data, &cfg);
+                results.lock()[i] = Some((
+                    name,
+                    run.csr_percentile(75.0).unwrap_or(0.0),
+                    run.mean_loaded(),
+                    run.total_wmt() as f64,
+                ));
+            });
+        }
+    })
+    .expect("ablation thread panicked");
+    let rows: Vec<(String, f64, f64, f64)> = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("ablation slot filled"))
+        .collect();
+    let (ref_mem, ref_wmt) = rows
+        .first()
+        .map(|&(_, _, mem, wmt)| (mem.max(f64::MIN_POSITIVE), wmt.max(f64::MIN_POSITIVE)))
+        .unwrap_or((1.0, 1.0));
+    rows.into_iter()
+        .map(|(variant, q3, mem, wmt)| AblationRow {
+            variant,
+            q3_csr: q3,
+            normalized_memory: mem / ref_mem,
+            normalized_wmt: wmt / ref_wmt,
+        })
+        .collect()
+}
+
+/// Fig. 14: impact of the inter-function correlation designs. The first
+/// row is full SPES; "w/o Corr" disables the offline correlated type;
+/// "w/o Online-Corr" disables the unseen-function online correlation.
+#[must_use]
+pub fn fig14(data: &SynthTrace, base: &SpesConfig) -> Vec<AblationRow> {
+    ablation(
+        data,
+        vec![
+            ("spes".to_owned(), base.clone()),
+            (
+                "w/o Corr".to_owned(),
+                SpesConfig {
+                    enable_correlated: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "w/o Online-Corr".to_owned(),
+                SpesConfig {
+                    enable_online_corr: false,
+                    ..base.clone()
+                },
+            ),
+        ],
+    )
+}
+
+/// Fig. 15: impact of the concept-shift designs. "w/o Forgetting" skips
+/// the day-sliced re-check; "w/o Adjusting" freezes predictive values.
+#[must_use]
+pub fn fig15(data: &SynthTrace, base: &SpesConfig) -> Vec<AblationRow> {
+    ablation(
+        data,
+        vec![
+            ("spes".to_owned(), base.clone()),
+            (
+                "w/o Forgetting".to_owned(),
+                SpesConfig {
+                    enable_forgetting: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "w/o Adjusting".to_owned(),
+                SpesConfig {
+                    enable_adjusting: false,
+                    ..base.clone()
+                },
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Experiment;
+
+    fn data() -> SynthTrace {
+        Experiment::sized(180, 51).generate()
+    }
+
+    #[test]
+    fn prewarm_sweep_has_reference_point() {
+        let d = data();
+        let points = fig13_prewarm(&d, &SpesConfig::default());
+        assert_eq!(points.len(), 5);
+        let reference = points.iter().find(|p| p.param == 2).unwrap();
+        assert!((reference.normalized_memory - 1.0).abs() < 1e-12);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.q3_csr));
+        }
+    }
+
+    #[test]
+    fn larger_prewarm_uses_more_memory() {
+        let d = data();
+        let points = fig13_prewarm(&d, &SpesConfig::default());
+        let mem_1 = points.iter().find(|p| p.param == 1).unwrap().normalized_memory;
+        let mem_10 = points.iter().find(|p| p.param == 10).unwrap().normalized_memory;
+        assert!(mem_10 > mem_1, "{mem_10} <= {mem_1}");
+    }
+
+    #[test]
+    fn givenup_sweep_memory_monotone() {
+        let d = data();
+        let points = fig13_givenup(&d, &SpesConfig::default());
+        assert_eq!(points.len(), 5);
+        let mem_1 = points.iter().find(|p| p.param == 1).unwrap().normalized_memory;
+        let mem_5 = points.iter().find(|p| p.param == 5).unwrap().normalized_memory;
+        assert!(mem_5 > mem_1, "{mem_5} <= {mem_1}");
+    }
+
+    #[test]
+    fn ablations_reference_first_row() {
+        let d = data();
+        let rows = fig14(&d, &SpesConfig::default());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].variant, "spes");
+        assert!((rows[0].normalized_memory - 1.0).abs() < 1e-12);
+        assert!((rows[0].normalized_wmt - 1.0).abs() < 1e-12);
+
+        let rows15 = fig15(&d, &SpesConfig::default());
+        assert_eq!(rows15.len(), 3);
+        assert_eq!(rows15[1].variant, "w/o Forgetting");
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the SPES reproduction.
+//!
+//! One module per figure group, plus the shared scenario runner. The
+//! `repro` binary ties everything together: it regenerates every table
+//! and figure of the paper's evaluation section on the synthetic
+//! Azure-like workload (or a real trace loaded from CSV) and emits both
+//! text tables and JSON (`results/*.json`).
+
+pub mod figures_main;
+pub mod figures_sweep;
+pub mod figures_trace;
+pub mod scenario;
+
+pub use scenario::{run_comparison, run_spes_only, ComparisonRun, Experiment, POLICY_ORDER};

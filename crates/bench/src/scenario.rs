@@ -1,0 +1,185 @@
+//! Shared experiment setup: the standard workload, the six policies, and
+//! the full-comparison runner used by most figures.
+
+use spes_baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
+use spes_core::{SpesConfig, SpesPolicy};
+use spes_sim::{simulate, RunResult, SimConfig};
+use spes_trace::{synth, Slot, SynthConfig, SynthTrace};
+
+/// Experiment-wide settings (trace scale, seed, SPES config).
+#[derive(Debug, Clone, Default)]
+pub struct Experiment {
+    /// Synthetic-workload configuration.
+    pub synth: SynthConfig,
+    /// SPES configuration.
+    pub spes: SpesConfig,
+}
+
+impl Experiment {
+    /// A default experiment scaled to `n` functions with the given seed.
+    #[must_use]
+    pub fn sized(n: usize, seed: u64) -> Self {
+        Self {
+            synth: SynthConfig {
+                n_functions: n,
+                seed,
+                ..SynthConfig::default()
+            },
+            spes: SpesConfig::default(),
+        }
+    }
+
+    /// Generates the workload trace.
+    #[must_use]
+    pub fn generate(&self) -> SynthTrace {
+        synth::generate(&self.synth)
+    }
+
+    /// Training window end (12 of 14 days by default, as in the paper).
+    #[must_use]
+    pub fn train_end(&self) -> Slot {
+        self.synth.train_end()
+    }
+}
+
+/// The result of running SPES plus all five baselines on one trace.
+#[derive(Debug)]
+pub struct ComparisonRun {
+    /// Per-policy results, in [`POLICY_ORDER`] order.
+    pub runs: Vec<RunResult>,
+    /// SPES per-function category labels (for Figs. 10 and 12).
+    pub spes_labels: Vec<&'static str>,
+    /// Offline fit summary of the SPES run.
+    pub fit_summary: spes_core::FitStats,
+}
+
+/// Canonical policy order used in every comparison table.
+pub const POLICY_ORDER: [&str; 6] = [
+    "spes",
+    "defuse",
+    "hybrid-function",
+    "hybrid-application",
+    "fixed-keep-alive",
+    "faascache",
+];
+
+impl ComparisonRun {
+    /// The run of one policy by name.
+    ///
+    /// # Panics
+    /// Panics if the policy is not part of the comparison.
+    #[must_use]
+    pub fn run_of(&self, name: &str) -> &RunResult {
+        self.runs
+            .iter()
+            .find(|r| r.policy_name == name)
+            .unwrap_or_else(|| panic!("no run for policy {name}"))
+    }
+}
+
+/// Runs SPES and every baseline on `data` with the paper's 12/2-day
+/// train/simulate split: policies are fitted on the first 12 days, then
+/// the full 14 days are replayed with metrics collected over the final 2
+/// days (warm state carries across the boundary, matching the paper's
+/// reported warm-function fractions). FaaSCache receives a memory budget
+/// equal to SPES's peak usage, exactly as in Section V-A1.
+#[must_use]
+pub fn run_comparison(data: &SynthTrace, spes_cfg: &SpesConfig) -> ComparisonRun {
+    run_comparison_windowed(data, spes_cfg, data.trace.n_slots)
+}
+
+/// As [`run_comparison`], but simulating only up to `sim_end` (used by
+/// quick integration tests).
+#[must_use]
+pub fn run_comparison_windowed(
+    data: &SynthTrace,
+    spes_cfg: &SpesConfig,
+    sim_end: Slot,
+) -> ComparisonRun {
+    let trace = &data.trace;
+    let train_end = (12 * spes_trace::SLOTS_PER_DAY).min(sim_end);
+    let window = SimConfig::new(0, sim_end).with_metrics_start(train_end);
+    let n = trace.n_functions();
+
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
+    let spes_run = simulate(trace, &mut spes, window);
+    let spes_labels: Vec<&'static str> = (0..n)
+        .map(|i| spes.type_of(spes_trace::FunctionId(i as u32)).label())
+        .collect();
+    let fit_summary = spes.fit_stats().clone();
+    let spes_peak = spes_run.peak_loaded.max(1);
+
+    let mut runs = vec![spes_run];
+
+    let mut defuse = Defuse::paper_default(trace, 0, train_end);
+    runs.push(simulate(trace, &mut defuse, window));
+
+    let mut hf = HybridHistogram::fit(trace, 0, train_end, Granularity::Function);
+    runs.push(simulate(trace, &mut hf, window));
+
+    let mut ha = HybridHistogram::fit(trace, 0, train_end, Granularity::Application);
+    runs.push(simulate(trace, &mut ha, window));
+
+    let mut fixed = FixedKeepAlive::paper_default(n);
+    runs.push(simulate(trace, &mut fixed, window));
+
+    let mut faascache = FaasCache::new(n);
+    runs.push(simulate(trace, &mut faascache, window.with_capacity(spes_peak)));
+
+    ComparisonRun {
+        runs,
+        spes_labels,
+        fit_summary,
+    }
+}
+
+/// Runs only SPES with the given config (used by the Fig. 13-15 sweeps);
+/// returns the run plus the fitted policy for label access. Uses the same
+/// warm-up protocol as [`run_comparison`].
+#[must_use]
+pub fn run_spes_only(data: &SynthTrace, spes_cfg: &SpesConfig) -> (RunResult, SpesPolicy) {
+    let trace = &data.trace;
+    let train_end = (12 * spes_trace::SLOTS_PER_DAY).min(trace.n_slots);
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
+    let run = simulate(
+        trace,
+        &mut spes,
+        SimConfig::new(0, trace.n_slots).with_metrics_start(train_end),
+    );
+    (run, spes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_produces_all_policies() {
+        let data = Experiment::sized(120, 7).generate();
+        let cmp = run_comparison(&data, &SpesConfig::default());
+        assert_eq!(cmp.runs.len(), POLICY_ORDER.len());
+        for name in POLICY_ORDER {
+            assert_eq!(cmp.run_of(name).policy_name, name);
+        }
+        assert_eq!(cmp.spes_labels.len(), 120);
+    }
+
+    #[test]
+    fn policies_see_identical_workload() {
+        let data = Experiment::sized(100, 9).generate();
+        let cmp = run_comparison(&data, &SpesConfig::default());
+        let total = cmp.runs[0].total_invocations();
+        for run in &cmp.runs {
+            assert_eq!(run.total_invocations(), total, "{}", run.policy_name);
+        }
+    }
+
+    #[test]
+    fn faascache_respects_spes_peak_budget() {
+        let data = Experiment::sized(150, 11).generate();
+        let cmp = run_comparison(&data, &SpesConfig::default());
+        let spes_peak = cmp.run_of("spes").peak_loaded;
+        let fc_peak = cmp.run_of("faascache").peak_loaded;
+        assert!(fc_peak <= spes_peak.max(1), "fc {fc_peak} > spes {spes_peak}");
+    }
+}

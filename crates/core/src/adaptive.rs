@@ -1,0 +1,275 @@
+//! Adaptive strategy application (Section IV-C1): adjusting predictive
+//! values from online WTs and re-categorising unknown/unseen functions.
+//!
+//! * **S1** — online WTs are recorded during provision (the policy keeps a
+//!   bounded buffer per function).
+//! * **S2** — once enough WTs accumulate, a predictive value whose online
+//!   counterpart drifted beyond the offline standard deviation is updated
+//!   to the mean of old and new (the paper's "regular" recipe; the other
+//!   value-bearing types adopt the analogous update).
+//! * **S3** — an unknown or unseen function whose fresh WTs satisfy one of
+//!   the definitions is categorised accordingly; failing that, a repeated
+//!   WT promotes it to "newly-possible".
+
+use crate::categorize::is_regular_sequence;
+use crate::config::SpesConfig;
+use crate::patterns::{Categorized, FunctionType, PredictiveValues};
+use spes_stats::{modes, percentile};
+
+/// Outcome of an S2 adjustment attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdjustOutcome {
+    /// Nothing changed (not enough drift or not enough samples).
+    Unchanged,
+    /// Predictive values were updated.
+    Updated,
+}
+
+/// Applies the S2 adjusting rule to one function's predictive values.
+///
+/// `offline_std` is the standard deviation of the training-window WTs; a
+/// drift larger than it (with a floor of 1 slot) triggers the update.
+pub fn adjust_values(
+    ty: FunctionType,
+    values: &mut PredictiveValues,
+    online_wts: &[u32],
+    offline_std: f64,
+    config: &SpesConfig,
+) -> AdjustOutcome {
+    if online_wts.len() < config.adjust_min_samples {
+        return AdjustOutcome::Unchanged;
+    }
+    let drift_threshold = offline_std.max(1.0);
+    match (ty, &mut *values) {
+        (FunctionType::Regular, PredictiveValues::Discrete(vals)) if vals.len() == 1 => {
+            let old = f64::from(vals[0]);
+            let new = percentile(online_wts, 50.0).expect("non-empty online wts");
+            if (new - old).abs() > drift_threshold {
+                vals[0] = ((old + new) / 2.0).round() as u32;
+                AdjustOutcome::Updated
+            } else {
+                AdjustOutcome::Unchanged
+            }
+        }
+        (FunctionType::ApproRegular, PredictiveValues::Discrete(vals)) => {
+            let fresh: Vec<u32> = modes::top_modes(online_wts, config.appro_n_modes)
+                .into_iter()
+                .map(|m| m.value)
+                .collect();
+            let drifted = fresh.iter().any(|&nv| {
+                vals.iter()
+                    .all(|&ov| f64::from(nv.abs_diff(ov)) > drift_threshold)
+            });
+            if drifted && !fresh.is_empty() {
+                *vals = fresh;
+                AdjustOutcome::Updated
+            } else {
+                AdjustOutcome::Unchanged
+            }
+        }
+        (FunctionType::Dense, PredictiveValues::Range(lo, hi)) => {
+            let fresh = modes::top_modes(online_wts, config.dense_k_modes);
+            let new_lo = fresh.iter().map(|m| m.value).min().expect("non-empty");
+            let new_hi = fresh.iter().map(|m| m.value).max().expect("non-empty");
+            let drifted = f64::from(new_lo.abs_diff(*lo)) > drift_threshold
+                || f64::from(new_hi.abs_diff(*hi)) > drift_threshold;
+            if drifted {
+                *lo = (f64::from(*lo) + f64::from(new_lo)).div_euclid(2.0).round() as u32;
+                *hi = ((f64::from(*hi) + f64::from(new_hi)) / 2.0).round() as u32;
+                if lo > hi {
+                    std::mem::swap(lo, hi);
+                }
+                AdjustOutcome::Updated
+            } else {
+                AdjustOutcome::Unchanged
+            }
+        }
+        (FunctionType::Possible | FunctionType::NewlyPossible, PredictiveValues::Discrete(vals)) => {
+            let fresh = modes::repeated_values(online_wts);
+            let mut changed = false;
+            for v in fresh {
+                if !vals.contains(&v) {
+                    vals.push(v);
+                    changed = true;
+                }
+            }
+            // Keep the value set small: the paper's possible functions use
+            // duplicated WTs only, so cap at a handful of values.
+            if vals.len() > 5 {
+                vals.truncate(5);
+            }
+            if changed {
+                AdjustOutcome::Updated
+            } else {
+                AdjustOutcome::Unchanged
+            }
+        }
+        _ => AdjustOutcome::Unchanged,
+    }
+}
+
+/// S3: attempts to categorise an unknown/unseen function from its online
+/// WTs. Checks the value-bearing definitions in priority order and falls
+/// back to "newly-possible" when only a repeated WT exists.
+#[must_use]
+pub fn try_online_categorize(online_wts: &[u32], config: &SpesConfig) -> Option<Categorized> {
+    if online_wts.len() < config.adjust_min_samples {
+        return None;
+    }
+    if is_regular_sequence(online_wts, config) {
+        let median = percentile(online_wts, 50.0)?.round() as u32;
+        return Some(Categorized::new(
+            FunctionType::Regular,
+            PredictiveValues::Discrete(vec![median]),
+        ));
+    }
+    let coverage = modes::mode_coverage(online_wts, config.appro_n_modes);
+    if coverage as f64 >= config.appro_coverage * online_wts.len() as f64 {
+        let vals: Vec<u32> = modes::top_modes(online_wts, config.appro_n_modes)
+            .into_iter()
+            .map(|m| m.value)
+            .collect();
+        return Some(Categorized::new(
+            FunctionType::ApproRegular,
+            PredictiveValues::Discrete(vals),
+        ));
+    }
+    let p90 = percentile(online_wts, 90.0)?;
+    if p90 <= config.dense_p90_max {
+        let fresh = modes::top_modes(online_wts, config.dense_k_modes);
+        let lo = fresh.iter().map(|m| m.value).min()?;
+        let hi = fresh.iter().map(|m| m.value).max()?;
+        return Some(Categorized::new(
+            FunctionType::Dense,
+            PredictiveValues::Range(lo, hi),
+        ));
+    }
+    let repeated = modes::repeated_values(online_wts);
+    if !repeated.is_empty() {
+        return Some(Categorized::new(
+            FunctionType::NewlyPossible,
+            PredictiveValues::Discrete(repeated),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SpesConfig {
+        SpesConfig::default()
+    }
+
+    #[test]
+    fn regular_adjusts_on_drift() {
+        let mut values = PredictiveValues::Discrete(vec![29]);
+        // Online WTs now centre on 59 (period doubled).
+        let online = vec![59, 59, 58, 59, 60];
+        let out = adjust_values(FunctionType::Regular, &mut values, &online, 0.5, &cfg());
+        assert_eq!(out, AdjustOutcome::Updated);
+        assert_eq!(values, PredictiveValues::Discrete(vec![44])); // mean(29, 59)
+    }
+
+    #[test]
+    fn regular_no_adjust_within_std() {
+        let mut values = PredictiveValues::Discrete(vec![29]);
+        let online = vec![29, 30, 29, 29, 30];
+        let out = adjust_values(FunctionType::Regular, &mut values, &online, 2.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Unchanged);
+        assert_eq!(values, PredictiveValues::Discrete(vec![29]));
+    }
+
+    #[test]
+    fn too_few_samples_never_adjusts() {
+        let mut values = PredictiveValues::Discrete(vec![29]);
+        let out = adjust_values(FunctionType::Regular, &mut values, &[99, 99], 0.1, &cfg());
+        assert_eq!(out, AdjustOutcome::Unchanged);
+    }
+
+    #[test]
+    fn appro_regular_replaces_modes_on_drift() {
+        let mut values = PredictiveValues::Discrete(vec![3, 4, 5]);
+        let online = vec![20, 21, 20, 21, 20, 21];
+        let out = adjust_values(FunctionType::ApproRegular, &mut values, &online, 1.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Updated);
+        match values {
+            PredictiveValues::Discrete(v) => {
+                assert!(v.contains(&20) && v.contains(&21));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_blends_range() {
+        let mut values = PredictiveValues::Range(1, 3);
+        let online = vec![8, 9, 8, 9, 10, 9];
+        let out = adjust_values(FunctionType::Dense, &mut values, &online, 1.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Updated);
+        match values {
+            PredictiveValues::Range(lo, hi) => {
+                assert!(lo >= 1 && hi <= 10 && lo <= hi, "[{lo}, {hi}]");
+                // Blended towards the online values.
+                assert!(hi > 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn possible_accumulates_new_repeated_values() {
+        let mut values = PredictiveValues::Discrete(vec![100]);
+        let online = vec![40, 40, 7, 40, 100];
+        let out = adjust_values(FunctionType::Possible, &mut values, &online, 1.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Updated);
+        match &values {
+            PredictiveValues::Discrete(v) => assert!(v.contains(&40) && v.contains(&100)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_value_types_unchanged() {
+        let mut values = PredictiveValues::None;
+        let out = adjust_values(
+            FunctionType::Successive,
+            &mut values,
+            &[1, 1, 1, 1, 1],
+            1.0,
+            &cfg(),
+        );
+        assert_eq!(out, AdjustOutcome::Unchanged);
+    }
+
+    #[test]
+    fn online_categorize_regular() {
+        let online = vec![29, 29, 29, 30, 29, 29];
+        let c = try_online_categorize(&online, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::Regular);
+    }
+
+    #[test]
+    fn online_categorize_dense() {
+        let online = vec![1, 3, 2, 4, 1, 2, 3, 1, 4, 2];
+        let c = try_online_categorize(&online, &cfg()).unwrap();
+        // Modes cover >= 90%? values 1,2,3 cover 8/10 = 0.8 < 0.9, so not
+        // appro-regular; P90 <= 5 -> dense.
+        assert_eq!(c.ty, FunctionType::Dense);
+    }
+
+    #[test]
+    fn online_categorize_newly_possible() {
+        let online = vec![500, 17, 500, 90, 2000];
+        let c = try_online_categorize(&online, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::NewlyPossible);
+        assert_eq!(c.values, PredictiveValues::Discrete(vec![500]));
+    }
+
+    #[test]
+    fn online_categorize_nothing() {
+        assert!(try_online_categorize(&[1, 900, 40, 7000, 23], &cfg()).is_none());
+        assert!(try_online_categorize(&[5, 5], &cfg()).is_none());
+    }
+}

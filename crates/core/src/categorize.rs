@@ -1,0 +1,328 @@
+//! Deterministic function categorisation (Section IV-A, Table I).
+//!
+//! Definitions are checked from easy to difficult — always-warm, regular,
+//! appro-regular, dense, successive — and the first match wins, exactly as
+//! the paper prescribes ("if a function fits a former type, it will not
+//! fit any latter type").
+
+use crate::config::SpesConfig;
+use crate::patterns::{Categorized, FunctionType, PredictiveValues};
+use crate::slacking;
+use spes_stats::{percentile, Summary};
+use spes_trace::{Sequences, Slot, SparseSeries};
+
+/// Whether a WT sequence satisfies the "regular" rule: the 5th-95th
+/// percentile spread is at most `regular_spread_max` or the coefficient of
+/// variation is at most `regular_cv_max`.
+#[must_use]
+pub fn is_regular_sequence(wts: &[u32], config: &SpesConfig) -> bool {
+    if wts.len() < config.min_wt_samples {
+        return false;
+    }
+    let Some(summary) = Summary::of(wts) else {
+        return false;
+    };
+    summary.p95 - summary.p5 <= config.regular_spread_max || summary.cv <= config.regular_cv_max
+}
+
+/// Applies the "regular" definition with the two slacking fallbacks
+/// (trim, then merge-adjacent). Returns the processed WT sequence that
+/// passed, so the caller derives the predictive value from it.
+#[must_use]
+pub fn regular_with_slack(wts: &[u32], config: &SpesConfig) -> Option<Vec<u32>> {
+    if is_regular_sequence(wts, config) {
+        return Some(wts.to_vec());
+    }
+    if let Some(trimmed) = slacking::trim_ends(wts) {
+        if is_regular_sequence(&trimmed, config) {
+            return Some(trimmed);
+        }
+    }
+    let merged = slacking::merge_adjacent(wts, config);
+    if merged.len() != wts.len() && is_regular_sequence(&merged, config) {
+        return Some(merged);
+    }
+    None
+}
+
+/// Categorises one function from its invocation history in
+/// `[start, end)`. Returns `None` when none of the five deterministic
+/// definitions matches (the function proceeds to indeterminate
+/// assignment, Section IV-B).
+#[must_use]
+pub fn categorize_deterministic(
+    series: &SparseSeries,
+    start: Slot,
+    end: Slot,
+    config: &SpesConfig,
+) -> Option<Categorized> {
+    if end <= start {
+        return None;
+    }
+    let window = u64::from(end - start);
+    let active = series.events_in(start, end).len() as u64;
+    if active == 0 {
+        return None;
+    }
+
+    // 1. Always warm: invoked at every slot, or idle for at most a
+    // thousandth of the observing window. We count *all* idle slots
+    // (including leading/trailing ones) so that a briefly-seen function
+    // cannot masquerade as always-warm.
+    let idle = window - active;
+    if active == window || (idle as f64) <= config.always_warm_idle_fraction * window as f64 {
+        return Some(Categorized::plain(FunctionType::AlwaysWarm));
+    }
+
+    let seq = Sequences::extract(series, start, end);
+
+    // 2. Regular (with slacking).
+    if let Some(processed) = regular_with_slack(&seq.wt, config) {
+        let median = percentile(&processed, 50.0).unwrap_or(0.0).round() as u32;
+        return Some(Categorized::new(
+            FunctionType::Regular,
+            PredictiveValues::Discrete(vec![median]),
+        ));
+    }
+
+    // 3. Approximatively regular: the first n modes cover >= 90% of WTs.
+    if seq.wt.len() >= config.min_wt_samples {
+        let coverage = spes_stats::modes::mode_coverage(&seq.wt, config.appro_n_modes);
+        if coverage as f64 >= config.appro_coverage * seq.wt.len() as f64 {
+            let modes: Vec<u32> = spes_stats::top_modes(&seq.wt, config.appro_n_modes)
+                .into_iter()
+                .map(|m| m.value)
+                .collect();
+            return Some(Categorized::new(
+                FunctionType::ApproRegular,
+                PredictiveValues::Discrete(modes),
+            ));
+        }
+
+        // 4. Dense: P90 of WTs below the small constant.
+        let p90 = percentile(&seq.wt, 90.0).expect("non-empty wts");
+        if p90 <= config.dense_p90_max {
+            let modes = spes_stats::top_modes(&seq.wt, config.dense_k_modes);
+            let lo = modes.iter().map(|m| m.value).min().expect("non-empty");
+            let hi = modes.iter().map(|m| m.value).max().expect("non-empty");
+            return Some(Categorized::new(
+                FunctionType::Dense,
+                PredictiveValues::Range(lo, hi),
+            ));
+        }
+    }
+
+    // 5. Successive: every active run is long (>= γ1 slots) or heavy
+    // (>= γ2 invocations); the prose uses OR, Table I lists both, so the
+    // combination is configurable.
+    if seq.at.len() >= config.successive_min_runs {
+        let min_at = seq.at.iter().copied().min().unwrap_or(0);
+        let min_an = seq.an.iter().copied().min().unwrap_or(0);
+        let c1 = min_at >= config.successive_min_at;
+        let c2 = min_an >= config.successive_min_an;
+        let hit = if config.successive_require_both {
+            c1 && c2
+        } else {
+            c1 || c2
+        };
+        if hit {
+            return Some(Categorized::plain(FunctionType::Successive));
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SpesConfig {
+        SpesConfig::default()
+    }
+
+    fn series_every(period: Slot, end: Slot) -> SparseSeries {
+        SparseSeries::from_pairs((0..end).step_by(period as usize).map(|s| (s, 1)).collect())
+    }
+
+    fn dense_series(end: Slot) -> SparseSeries {
+        // Invoked at every slot except every 7th -> WTs of 1, P90 = 1.
+        SparseSeries::from_pairs(
+            (0..end)
+                .filter(|s| s % 7 != 0)
+                .map(|s| (s, 2))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_series_uncategorised() {
+        let s = SparseSeries::new();
+        assert!(categorize_deterministic(&s, 0, 100, &cfg()).is_none());
+    }
+
+    #[test]
+    fn every_slot_is_always_warm() {
+        let s = series_every(1, 500);
+        let c = categorize_deterministic(&s, 0, 500, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::AlwaysWarm);
+        assert!(c.values.is_none());
+    }
+
+    #[test]
+    fn tiny_idle_fraction_is_always_warm() {
+        // 10,000 slots, idle at ~0.1%: 10 idle slots spread out.
+        let pairs: Vec<(Slot, u32)> = (0..10_000).filter(|s| s % 1000 != 0).map(|s| (s, 1)).collect();
+        let s = SparseSeries::from_pairs(pairs);
+        let c = categorize_deterministic(&s, 0, 10_000, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::AlwaysWarm);
+    }
+
+    #[test]
+    fn single_invocation_is_not_always_warm() {
+        let s = SparseSeries::from_pairs(vec![(5, 1)]);
+        assert!(categorize_deterministic(&s, 0, 10_000, &cfg()).is_none());
+    }
+
+    #[test]
+    fn periodic_is_regular_with_median() {
+        let s = series_every(30, 3000);
+        let c = categorize_deterministic(&s, 0, 3000, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::Regular);
+        assert_eq!(c.values, PredictiveValues::Discrete(vec![29]));
+    }
+
+    #[test]
+    fn regular_via_trim() {
+        // Constant WTs except a deviant first and last entry. The sequence
+        // is short enough that the P5/P95 interpolation cannot hide the
+        // outliers (long sequences absorb <5% outliers by design).
+        let wts = vec![100u32, 29, 29, 29, 29, 29, 29, 3];
+        assert!(!is_regular_sequence(&wts, &cfg()));
+        let processed = regular_with_slack(&wts, &cfg()).unwrap();
+        assert_eq!(processed, vec![29; 6]);
+    }
+
+    #[test]
+    fn regular_via_merge() {
+        // The paper's merge example padded to satisfy the sample minimum.
+        let wts = vec![1439, 1438, 1, 1439, 1438, 1, 1439, 1438, 1];
+        let processed = regular_with_slack(&wts, &cfg()).unwrap();
+        assert!(processed.iter().all(|&w| w == 1439));
+    }
+
+    #[test]
+    fn appro_regular_three_modes() {
+        // Gaps alternating 3/4/5 (WTs 2/3/4) -> top-3 modes cover all.
+        let mut pairs = Vec::new();
+        let mut slot = 0;
+        for i in 0..60 {
+            pairs.push((slot, 1));
+            slot += 3 + (i % 3);
+        }
+        let s = SparseSeries::from_pairs(pairs);
+        let c = categorize_deterministic(&s, 0, slot + 1, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::ApproRegular);
+        match c.values {
+            PredictiveValues::Discrete(v) => {
+                let mut v = v;
+                v.sort_unstable();
+                assert_eq!(v, vec![2, 3, 4]);
+            }
+            other => panic!("unexpected values {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_small_wts() {
+        let s = dense_series(2000);
+        let c = categorize_deterministic(&s, 0, 2000, &cfg()).unwrap();
+        // All WTs are exactly 1 -> CV = 0 -> caught by the *regular* rule
+        // first, by priority. Widen the gaps to make it dense instead.
+        assert_eq!(c.ty, FunctionType::Regular);
+
+        // Irregular small gaps: WT values {1, 2, 3, 4} mixed.
+        let mut pairs = Vec::new();
+        let mut slot = 0u32;
+        for i in 0..200u32 {
+            pairs.push((slot, 1));
+            slot += 2 + (i * i + i / 3) % 4; // gaps 2-5 in a scrambled order
+        }
+        let s = SparseSeries::from_pairs(pairs);
+        let c = categorize_deterministic(&s, 0, slot + 1, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::Dense);
+        match c.values {
+            PredictiveValues::Range(lo, hi) => {
+                assert!(lo >= 1 && hi <= 4 && lo < hi, "range [{lo}, {hi}]");
+            }
+            other => panic!("unexpected values {other:?}"),
+        }
+    }
+
+    #[test]
+    fn successive_long_bursts() {
+        // Bursts of 5 consecutive slots separated by long scrambled gaps.
+        let mut pairs = Vec::new();
+        let mut slot = 0u32;
+        for i in 0..10u32 {
+            for j in 0..5 {
+                pairs.push((slot + j, 1));
+            }
+            slot += 5 + 200 + (i * 97) % 400;
+        }
+        let s = SparseSeries::from_pairs(pairs);
+        let c = categorize_deterministic(&s, 0, slot + 1, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::Successive);
+    }
+
+    #[test]
+    fn successive_heavy_single_slot_bursts_via_an() {
+        // One-slot bursts of 50 invocations: min(AT) = 1 < γ1 but
+        // min(AN) = 50 >= γ2 -> successive under the OR rule.
+        let mut pairs = Vec::new();
+        let mut slot = 0u32;
+        for i in 0..8u32 {
+            pairs.push((slot, 50));
+            slot += 150 + (i * 131) % 300;
+        }
+        let s = SparseSeries::from_pairs(pairs);
+        let c = categorize_deterministic(&s, 0, slot + 1, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::Successive);
+
+        let strict = SpesConfig {
+            successive_require_both: true,
+            ..cfg()
+        };
+        assert!(categorize_deterministic(&s, 0, slot + 1, &strict).is_none());
+    }
+
+    #[test]
+    fn irregular_rare_function_uncategorised() {
+        // A handful of invocations at wildly varying gaps with light bursts.
+        let s = SparseSeries::from_pairs(vec![(0, 1), (50, 1), (51, 1), (700, 1), (3000, 1)]);
+        assert!(categorize_deterministic(&s, 0, 5000, &cfg()).is_none());
+    }
+
+    #[test]
+    fn priority_regular_beats_appro() {
+        // A perfectly periodic function also satisfies the appro-regular
+        // coverage rule; priority must give "regular".
+        let s = series_every(10, 1000);
+        let c = categorize_deterministic(&s, 0, 1000, &cfg()).unwrap();
+        assert_eq!(c.ty, FunctionType::Regular);
+    }
+
+    #[test]
+    fn window_restriction_changes_outcome() {
+        // Periodic only within the first half, then silent: the full
+        // window has a giant final gap (still regular via trim? no --
+        // trailing idle is not a WT), so both windows say regular.
+        let s = series_every(20, 1000);
+        let full = categorize_deterministic(&s, 0, 2000, &cfg()).unwrap();
+        assert_eq!(full.ty, FunctionType::Regular);
+        let first_half = categorize_deterministic(&s, 0, 1000, &cfg()).unwrap();
+        assert_eq!(first_half.ty, FunctionType::Regular);
+        // A window covering only silence finds nothing.
+        assert!(categorize_deterministic(&s, 1000, 2000, &cfg()).is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! QoS-aware function priorities (the paper's Section VI-A3 future-work
+//! extension).
+//!
+//! A real platform prioritises time-sensitive or mission-critical
+//! workloads "even during periods of high demand or resource
+//! constraints". This module implements the hierarchical knob the paper
+//! sketches: each function carries a [`Priority`] that scales its
+//! provisioning aggressiveness — critical functions get wider pre-warm
+//! windows and longer give-up thresholds, best-effort functions get
+//! tighter ones — without touching the categorisation logic.
+
+use crate::config::SpesConfig;
+use crate::patterns::FunctionType;
+use serde::{Deserialize, Serialize};
+use spes_trace::FunctionId;
+
+/// Quality-of-service tier of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Priority {
+    /// Latency-critical: pre-warm earlier, hold longer.
+    Critical,
+    /// The default tier; the plain paper behaviour.
+    #[default]
+    Standard,
+    /// Cost-sensitive: tolerate more cold starts to save memory.
+    BestEffort,
+}
+
+impl Priority {
+    /// Multiplier applied to the pre-warm half-window θprewarm.
+    #[must_use]
+    pub fn prewarm_factor(self) -> f64 {
+        match self {
+            Priority::Critical => 2.0,
+            Priority::Standard => 1.0,
+            Priority::BestEffort => 0.5,
+        }
+    }
+
+    /// Multiplier applied to the give-up threshold θgivenup.
+    #[must_use]
+    pub fn givenup_factor(self) -> f64 {
+        match self {
+            Priority::Critical => 3.0,
+            Priority::Standard => 1.0,
+            Priority::BestEffort => 1.0,
+        }
+    }
+}
+
+/// Per-function priority assignments with a configured default.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityMap {
+    overrides: std::collections::HashMap<FunctionId, Priority>,
+    default: Priority,
+}
+
+impl PriorityMap {
+    /// A map where every function is [`Priority::Standard`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the default tier for functions without an override.
+    #[must_use]
+    pub fn with_default(mut self, default: Priority) -> Self {
+        self.default = default;
+        self
+    }
+
+    /// Overrides one function's tier.
+    pub fn set(&mut self, f: FunctionId, priority: Priority) {
+        self.overrides.insert(f, priority);
+    }
+
+    /// The tier of a function.
+    #[must_use]
+    pub fn of(&self, f: FunctionId) -> Priority {
+        self.overrides.get(&f).copied().unwrap_or(self.default)
+    }
+
+    /// Number of explicit overrides.
+    #[must_use]
+    pub fn overrides(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Effective pre-warm half-window for `f` under `config`.
+    #[must_use]
+    pub fn theta_prewarm(&self, f: FunctionId, config: &SpesConfig) -> u32 {
+        scale(config.theta_prewarm, self.of(f).prewarm_factor())
+    }
+
+    /// Effective give-up threshold for `f` of type `ty` under `config`.
+    #[must_use]
+    pub fn theta_givenup(&self, f: FunctionId, ty: FunctionType, config: &SpesConfig) -> u32 {
+        scale(config.givenup_for(ty), self.of(f).givenup_factor())
+    }
+
+    /// Builds a per-function [`SpesConfig`] with the scaled thresholds,
+    /// for fitting a dedicated policy per tier (the simplest deployment
+    /// of the hierarchical module the paper sketches).
+    #[must_use]
+    pub fn config_for(&self, f: FunctionId, base: &SpesConfig) -> SpesConfig {
+        let priority = self.of(f);
+        SpesConfig {
+            theta_prewarm: scale(base.theta_prewarm, priority.prewarm_factor()),
+            theta_givenup_dense: scale(base.theta_givenup_dense, priority.givenup_factor()),
+            theta_givenup_pulsed: scale(base.theta_givenup_pulsed, priority.givenup_factor()),
+            theta_givenup_default: scale(base.theta_givenup_default, priority.givenup_factor()),
+            ..base.clone()
+        }
+    }
+}
+
+fn scale(value: u32, factor: f64) -> u32 {
+    ((f64::from(value) * factor).round() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_standard() {
+        let map = PriorityMap::new();
+        assert_eq!(map.of(FunctionId(7)), Priority::Standard);
+        assert_eq!(map.overrides(), 0);
+    }
+
+    #[test]
+    fn overrides_and_defaults_compose() {
+        let mut map = PriorityMap::new().with_default(Priority::BestEffort);
+        map.set(FunctionId(1), Priority::Critical);
+        assert_eq!(map.of(FunctionId(1)), Priority::Critical);
+        assert_eq!(map.of(FunctionId(2)), Priority::BestEffort);
+        assert_eq!(map.overrides(), 1);
+    }
+
+    #[test]
+    fn critical_widens_thresholds() {
+        let config = SpesConfig::default();
+        let mut map = PriorityMap::new();
+        map.set(FunctionId(0), Priority::Critical);
+        map.set(FunctionId(1), Priority::BestEffort);
+
+        // theta_prewarm 2 -> 4 (critical), 1 (best-effort).
+        assert_eq!(map.theta_prewarm(FunctionId(0), &config), 4);
+        assert_eq!(map.theta_prewarm(FunctionId(1), &config), 1);
+        assert_eq!(map.theta_prewarm(FunctionId(2), &config), 2);
+
+        // Dense give-up 5 -> 15 for critical, unchanged otherwise.
+        assert_eq!(
+            map.theta_givenup(FunctionId(0), FunctionType::Dense, &config),
+            15
+        );
+        assert_eq!(
+            map.theta_givenup(FunctionId(1), FunctionType::Dense, &config),
+            5
+        );
+    }
+
+    #[test]
+    fn scaled_thresholds_never_reach_zero() {
+        let config = SpesConfig {
+            theta_prewarm: 1,
+            ..SpesConfig::default()
+        };
+        let map = PriorityMap::new().with_default(Priority::BestEffort);
+        assert_eq!(map.theta_prewarm(FunctionId(0), &config), 1);
+    }
+
+    #[test]
+    fn config_for_scales_all_thresholds() {
+        let base = SpesConfig::default();
+        let mut map = PriorityMap::new();
+        map.set(FunctionId(3), Priority::Critical);
+        let critical = map.config_for(FunctionId(3), &base);
+        assert_eq!(critical.theta_prewarm, 4);
+        assert_eq!(critical.theta_givenup_dense, 15);
+        assert_eq!(critical.theta_givenup_default, 3);
+        critical.validate().unwrap();
+        // Untouched fields inherit from the base.
+        assert_eq!(critical.cor_threshold, base.cor_threshold);
+
+        let standard = map.config_for(FunctionId(4), &base);
+        assert_eq!(standard.theta_prewarm, base.theta_prewarm);
+    }
+
+    #[test]
+    fn critical_policy_reduces_cold_starts_at_memory_cost() {
+        use crate::SpesPolicy;
+        use spes_sim::{simulate, SimConfig};
+        use spes_trace::{synth, SynthConfig};
+
+        let data = synth::generate(&SynthConfig {
+            n_functions: 150,
+            seed: 9,
+            ..SynthConfig::default()
+        });
+        let train_end = 12 * spes_trace::SLOTS_PER_DAY;
+        let base = SpesConfig::default();
+        let critical_cfg = PriorityMap::new()
+            .with_default(Priority::Critical)
+            .config_for(FunctionId(0), &base);
+
+        let window = SimConfig::new(0, data.trace.n_slots).with_metrics_start(train_end);
+        let mut standard = SpesPolicy::fit(&data.trace, 0, train_end, base);
+        let standard_run = simulate(&data.trace, &mut standard, window);
+        let mut critical = SpesPolicy::fit(&data.trace, 0, train_end, critical_cfg);
+        let critical_run = simulate(&data.trace, &mut critical, window);
+
+        assert!(critical_run.total_cold_starts() <= standard_run.total_cold_starts());
+        assert!(critical_run.mean_loaded() >= standard_run.mean_loaded());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests of the SPES core: slacking rules, categorisation
+//! priority, correlation metrics, and indeterminate scoring.
+
+use proptest::prelude::*;
+use spes_core::correlation::{best_lagged_cor, cor, lagged_cor, link_precision};
+use spes_core::indeterminate::{choose_strategy, score_pulsed, StrategyScore};
+use spes_core::patterns::{FunctionType, PredictiveValues};
+use spes_core::slacking::{merge_adjacent, merge_mode, trim_ends};
+use spes_core::{categorize::categorize_deterministic, SpesConfig};
+use spes_trace::{Slot, SparseSeries};
+
+fn wt_seq() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1u32..2000, 0..60)
+}
+
+fn sparse(max_slot: Slot) -> impl Strategy<Value = SparseSeries> {
+    prop::collection::vec((0..max_slot, 1u32..10), 0..50).prop_map(SparseSeries::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- slacking ----
+
+    #[test]
+    fn trim_removes_exactly_the_ends(wts in wt_seq()) {
+        match trim_ends(&wts) {
+            Some(trimmed) => {
+                prop_assert_eq!(trimmed.len(), wts.len() - 2);
+                prop_assert_eq!(&trimmed[..], &wts[1..wts.len() - 1]);
+            }
+            None => prop_assert!(wts.len() < 3),
+        }
+    }
+
+    #[test]
+    fn merge_preserves_total_waiting_time(wts in wt_seq()) {
+        let config = SpesConfig::default();
+        let merged = merge_adjacent(&wts, &config);
+        let before: u64 = wts.iter().map(|&w| u64::from(w)).sum();
+        let after: u64 = merged.iter().map(|&w| u64::from(w)).sum();
+        prop_assert_eq!(before, after, "merging must only regroup WTs");
+        prop_assert!(merged.len() <= wts.len());
+    }
+
+    #[test]
+    fn merge_mode_is_a_mode(wts in wt_seq()) {
+        if let Some(mode) = merge_mode(&wts) {
+            let mode_count = wts.iter().filter(|&&w| w == mode).count();
+            for &v in &wts {
+                let c = wts.iter().filter(|&&w| w == v).count();
+                prop_assert!(c <= mode_count);
+            }
+        } else {
+            prop_assert!(wts.is_empty());
+        }
+    }
+
+    // ---- categorisation ----
+
+    #[test]
+    fn categorisation_is_stable_and_valued_consistently(s in sparse(800)) {
+        let config = SpesConfig::default();
+        let a = categorize_deterministic(&s, 0, 800, &config);
+        let b = categorize_deterministic(&s, 0, 800, &config);
+        prop_assert_eq!(&a, &b);
+        if let Some(cat) = a {
+            prop_assert!(cat.ty.is_deterministic());
+            // Value-bearing types carry values; the others never do.
+            match cat.ty {
+                FunctionType::Regular | FunctionType::ApproRegular => {
+                    prop_assert!(matches!(cat.values, PredictiveValues::Discrete(ref v) if !v.is_empty()));
+                }
+                FunctionType::Dense => {
+                    prop_assert!(matches!(cat.values, PredictiveValues::Range(lo, hi) if lo <= hi));
+                }
+                _ => prop_assert!(cat.values.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn perfectly_periodic_series_is_always_caught(period in 2u32..200, n in 6u32..40) {
+        let s = SparseSeries::from_pairs((0..n).map(|i| (i * period, 1)).collect());
+        let end = n * period;
+        let config = SpesConfig::default();
+        let cat = categorize_deterministic(&s, 0, end, &config);
+        prop_assert!(cat.is_some(), "period {period} x{n} uncategorised");
+        let cat = cat.unwrap();
+        prop_assert!(
+            matches!(cat.ty, FunctionType::Regular | FunctionType::Dense | FunctionType::AlwaysWarm),
+            "unexpected type {:?}",
+            cat.ty
+        );
+    }
+
+    // ---- predictions ----
+
+    #[test]
+    fn predicted_slots_follow_definitions(values in prop::collection::vec(0u32..5000, 1..6), last in 0u32..100_000) {
+        let p = PredictiveValues::Discrete(values.clone());
+        let predicted = p.predicted_slots(last);
+        prop_assert_eq!(predicted.len(), values.len());
+        for (&v, &slot) in values.iter().zip(&predicted) {
+            prop_assert_eq!(slot, last + v + 1);
+        }
+        let (lo, hi) = p.predicted_span(last).unwrap();
+        prop_assert!(predicted.iter().all(|&s| (lo..=hi).contains(&s)));
+    }
+
+    // ---- correlation ----
+
+    #[test]
+    fn cor_is_bounded_and_self_is_one(a in sparse(500), b in sparse(500)) {
+        let c = cor(&a, &b, 0, 500);
+        prop_assert!((0.0..=1.0).contains(&c));
+        if !a.is_empty() {
+            prop_assert_eq!(cor(&a, &a, 0, 500), 1.0);
+        }
+    }
+
+    #[test]
+    fn best_lagged_cor_dominates_each_lag(a in sparse(400), b in sparse(400), max_lag in 0u32..12) {
+        let (best_lag, best) = best_lagged_cor(&a, &b, max_lag, 0, 400);
+        prop_assert!(best_lag <= max_lag);
+        for lag in 0..=max_lag {
+            prop_assert!(lagged_cor(&a, &b, lag, 0, 400) <= best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn link_precision_bounded(a in sparse(400), b in sparse(400), hold in 0u32..20) {
+        let p = link_precision(&a, &b, hold, 0, 400);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn exact_chain_has_perfect_lagged_cor(base in sparse(300), lag in 1u32..8) {
+        prop_assume!(!base.is_empty());
+        let child = SparseSeries::from_pairs(
+            base.events().iter().map(|&(s, c)| (s + lag, c)).collect(),
+        );
+        let c = lagged_cor(&child, &base, lag, 0, 400);
+        prop_assert_eq!(c, 1.0);
+    }
+
+    // ---- indeterminate scoring ----
+
+    #[test]
+    fn pulsed_score_monotone_in_keepalive(s in sparse(600), keep_a in 0u32..10, extra in 1u32..10) {
+        let a = score_pulsed(&s, 0, 600, keep_a);
+        let b = score_pulsed(&s, 0, 600, keep_a + extra);
+        // Longer keep-alive: never more cold starts.
+        prop_assert!(b.cold_starts <= a.cold_starts);
+    }
+
+    #[test]
+    fn choose_strategy_picks_a_listed_option(
+        cs in prop::collection::vec(0u64..100, 1..4),
+        wm in prop::collection::vec(0u64..1000, 1..4),
+    ) {
+        let types = [FunctionType::Pulsed, FunctionType::Correlated, FunctionType::Possible];
+        let n = cs.len().min(wm.len());
+        let options: Vec<(FunctionType, StrategyScore)> = (0..n)
+            .map(|i| {
+                (
+                    types[i],
+                    StrategyScore {
+                        cold_starts: cs[i],
+                        wasted: wm[i],
+                    },
+                )
+            })
+            .collect();
+        let chosen = choose_strategy(&options, 0.5);
+        prop_assert!(options.iter().any(|&(ty, _)| ty == chosen));
+        // A strict double-winner must be chosen.
+        let min_cs = options.iter().map(|&(_, s)| s.cold_starts).min().unwrap();
+        let min_wm = options.iter().map(|&(_, s)| s.wasted).min().unwrap();
+        if let Some(&(ty, _)) = options
+            .iter()
+            .find(|&&(_, s)| s.cold_starts == min_cs && s.wasted == min_wm)
+        {
+            prop_assert_eq!(chosen, ty);
+        }
+    }
+}

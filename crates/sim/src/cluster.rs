@@ -1,0 +1,288 @@
+//! Multi-node placement — the system-layer dimension the paper defers to
+//! future work (Section VI-A2: "we do not consider problems like worker
+//! communication, sandbox optimization, and load balancing").
+//!
+//! The paper's simulation assumes one node of infinite capacity. Real
+//! platforms spread instances over workers; where an instance lands
+//! decides which worker's memory it occupies and whether a later
+//! invocation finds it warm. This module provides the minimal substrate
+//! for studying that: a [`Cluster`] of fixed-capacity nodes and pluggable
+//! [`PlacementStrategy`]s (round-robin, least-loaded, and the
+//! hash-affinity placement real FaaS schedulers use so that re-loads find
+//! their previous node).
+
+use spes_trace::{FunctionId, Slot};
+
+/// How new instances are assigned to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Cycle through nodes in order.
+    RoundRobin,
+    /// Pick the node with the most free capacity.
+    LeastLoaded,
+    /// Hash the function id to a home node; spill to the least-loaded
+    /// node when the home is full (keeps warm instances findable).
+    HashAffinity,
+}
+
+/// One worker node: a bounded slot count and the instances it holds.
+#[derive(Debug, Clone)]
+struct Node {
+    capacity: usize,
+    loaded: Vec<FunctionId>,
+}
+
+impl Node {
+    fn has_room(&self) -> bool {
+        self.loaded.len() < self.capacity
+    }
+}
+
+/// A fixed fleet of equal-capacity worker nodes.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    /// Which node holds each function (dense map; `NO_NODE` = unloaded).
+    node_of: Vec<u32>,
+    strategy: PlacementStrategy,
+    next_rr: usize,
+    /// Placements that failed because the whole cluster was full.
+    rejections: u64,
+}
+
+const NO_NODE: u32 = u32::MAX;
+
+impl Cluster {
+    /// Creates a cluster of `n_nodes` nodes, each holding up to
+    /// `node_capacity` instances, for `n_functions` functions.
+    ///
+    /// # Panics
+    /// Panics if `n_nodes` or `node_capacity` is zero.
+    #[must_use]
+    pub fn new(
+        n_nodes: usize,
+        node_capacity: usize,
+        n_functions: usize,
+        strategy: PlacementStrategy,
+    ) -> Self {
+        assert!(n_nodes > 0, "cluster needs at least one node");
+        assert!(node_capacity > 0, "nodes need capacity");
+        Self {
+            nodes: vec![
+                Node {
+                    capacity: node_capacity,
+                    loaded: Vec::new(),
+                };
+                n_nodes
+            ],
+            node_of: vec![NO_NODE; n_functions],
+            strategy,
+            next_rr: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total loaded instances across the fleet.
+    #[must_use]
+    pub fn loaded_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.loaded.len()).sum()
+    }
+
+    /// Node currently holding `f`, if loaded.
+    #[must_use]
+    pub fn node_of(&self, f: FunctionId) -> Option<usize> {
+        let n = self.node_of[f.index()];
+        (n != NO_NODE).then_some(n as usize)
+    }
+
+    /// Whether `f` is loaded anywhere.
+    #[must_use]
+    pub fn contains(&self, f: FunctionId) -> bool {
+        self.node_of[f.index()] != NO_NODE
+    }
+
+    /// Placements rejected because every node was full.
+    #[must_use]
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Per-node load factors (loaded / capacity).
+    #[must_use]
+    pub fn load_factors(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| n.loaded.len() as f64 / n.capacity as f64)
+            .collect()
+    }
+
+    /// Imbalance: max minus min node load factor (0 = perfectly even).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let factors = self.load_factors();
+        let max = factors.iter().copied().fold(0.0f64, f64::max);
+        let min = factors.iter().copied().fold(1.0f64, f64::min);
+        (max - min).max(0.0)
+    }
+
+    fn pick_node(&mut self, f: FunctionId) -> Option<usize> {
+        let n = self.nodes.len();
+        match self.strategy {
+            PlacementStrategy::RoundRobin => {
+                for step in 0..n {
+                    let idx = (self.next_rr + step) % n;
+                    if self.nodes[idx].has_room() {
+                        self.next_rr = (idx + 1) % n;
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+            PlacementStrategy::LeastLoaded => self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, node)| node.has_room())
+                .min_by_key(|(_, node)| node.loaded.len())
+                .map(|(idx, _)| idx),
+            PlacementStrategy::HashAffinity => {
+                // Fibonacci hashing of the function id to its home node.
+                let home =
+                    (u64::from(f.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as usize;
+                if self.nodes[home].has_room() {
+                    Some(home)
+                } else {
+                    self.nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, node)| node.has_room())
+                        .min_by_key(|(_, node)| node.loaded.len())
+                        .map(|(idx, _)| idx)
+                }
+            }
+        }
+    }
+
+    /// Loads `f` somewhere, returning its node; `None` (and a recorded
+    /// rejection) when the whole fleet is full. Loading an already-loaded
+    /// function returns its current node.
+    pub fn load(&mut self, f: FunctionId, _now: Slot) -> Option<usize> {
+        if let Some(existing) = self.node_of(f) {
+            return Some(existing);
+        }
+        match self.pick_node(f) {
+            Some(idx) => {
+                self.nodes[idx].loaded.push(f);
+                self.node_of[f.index()] = idx as u32;
+                Some(idx)
+            }
+            None => {
+                self.rejections += 1;
+                None
+            }
+        }
+    }
+
+    /// Evicts `f` from wherever it is loaded. Returns `true` if it was
+    /// loaded.
+    pub fn evict(&mut self, f: FunctionId) -> bool {
+        let Some(idx) = self.node_of(f) else {
+            return false;
+        };
+        let node = &mut self.nodes[idx];
+        if let Some(pos) = node.loaded.iter().position(|&g| g == f) {
+            node.loaded.swap_remove(pos);
+        }
+        self.node_of[f.index()] = NO_NODE;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FunctionId {
+        FunctionId(i)
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let mut c = Cluster::new(4, 10, 100, PlacementStrategy::RoundRobin);
+        for i in 0..8 {
+            c.load(f(i), 0).unwrap();
+        }
+        assert_eq!(c.loaded_count(), 8);
+        assert!(c.imbalance() < 1e-9, "imbalance {}", c.imbalance());
+    }
+
+    #[test]
+    fn least_loaded_fills_the_emptiest() {
+        let mut c = Cluster::new(2, 10, 100, PlacementStrategy::LeastLoaded);
+        c.load(f(0), 0);
+        c.load(f(1), 0);
+        c.load(f(2), 0);
+        // Loads alternate: 2-1 or 1-2 split at worst.
+        let factors = c.load_factors();
+        assert!((factors[0] - factors[1]).abs() <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn hash_affinity_is_sticky() {
+        let mut c = Cluster::new(8, 4, 100, PlacementStrategy::HashAffinity);
+        let home = c.load(f(42), 0).unwrap();
+        c.evict(f(42));
+        let again = c.load(f(42), 5).unwrap();
+        assert_eq!(home, again, "re-load must find the same home node");
+    }
+
+    #[test]
+    fn hash_affinity_spills_when_home_full() {
+        let mut c = Cluster::new(2, 1, 100, PlacementStrategy::HashAffinity);
+        // Two functions that hash to the same home still both load.
+        let mut homes = Vec::new();
+        for i in 0..2 {
+            homes.push(c.load(f(i), 0).unwrap());
+        }
+        assert_eq!(c.loaded_count(), 2);
+    }
+
+    #[test]
+    fn full_cluster_rejects_and_counts() {
+        let mut c = Cluster::new(2, 1, 10, PlacementStrategy::RoundRobin);
+        assert!(c.load(f(0), 0).is_some());
+        assert!(c.load(f(1), 0).is_some());
+        assert!(c.load(f(2), 0).is_none());
+        assert_eq!(c.rejections(), 1);
+        // Evicting frees a slot.
+        assert!(c.evict(f(0)));
+        assert!(c.load(f(2), 1).is_some());
+    }
+
+    #[test]
+    fn double_load_is_idempotent() {
+        let mut c = Cluster::new(2, 4, 10, PlacementStrategy::LeastLoaded);
+        let a = c.load(f(3), 0).unwrap();
+        let b = c.load(f(3), 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(c.loaded_count(), 1);
+    }
+
+    #[test]
+    fn evict_unloaded_is_noop() {
+        let mut c = Cluster::new(1, 1, 4, PlacementStrategy::RoundRobin);
+        assert!(!c.evict(f(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Cluster::new(0, 1, 1, PlacementStrategy::RoundRobin);
+    }
+}

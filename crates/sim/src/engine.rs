@@ -1,0 +1,404 @@
+//! The per-slot simulation engine.
+//!
+//! Implements the paper's simulation principles (Section V-A): minute
+//! slots, every execution finishes within its slot, uniform cold-start
+//! latency (so only counts matter), and one node that holds all loaded
+//! instances (optionally capacity-limited for FaaSCache).
+//!
+//! Per slot `t` the engine:
+//! 1. charges warm/cold starts for every function invoked at `t`,
+//!    force-loading cold ones (asking the policy for victims when the pool
+//!    is full);
+//! 2. invokes the policy's decision hook (timed, for the RQ2 overhead
+//!    metric);
+//! 3. accounts WMT (loaded-but-idle instances), EMCR, and the memory-usage
+//!    integral.
+
+use crate::memory::MemoryPool;
+use crate::metrics::RunResult;
+use crate::policy::Policy;
+use spes_trace::{Slot, Trace};
+#[cfg(test)]
+use spes_trace::FunctionId;
+use std::time::Instant;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// First simulated slot (inclusive).
+    pub start: Slot,
+    /// End of the simulated window (exclusive).
+    pub end: Slot,
+    /// First slot contributing to metrics; slots in `[start,
+    /// metrics_start)` are simulated as warm-up (policies act, nothing is
+    /// recorded). The paper's protocol simulates the whole 14-day trace
+    /// and reports on the final 2 days, with warm state carried across.
+    pub metrics_start: Slot,
+    /// Memory capacity in instances; `None` means unlimited (the paper's
+    /// default assumption).
+    pub capacity: Option<usize>,
+}
+
+impl SimConfig {
+    /// Simulates `[start, end)` with unlimited memory, measuring from
+    /// `start`.
+    #[must_use]
+    pub fn new(start: Slot, end: Slot) -> Self {
+        Self {
+            start,
+            end,
+            metrics_start: start,
+            capacity: None,
+        }
+    }
+
+    /// Sets a memory capacity (used for FaaSCache).
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Treats `[start, metrics_start)` as warm-up: simulated, unmeasured.
+    #[must_use]
+    pub fn with_metrics_start(mut self, metrics_start: Slot) -> Self {
+        self.metrics_start = metrics_start;
+        self
+    }
+}
+
+/// Runs `policy` over `trace` for the window in `config`.
+///
+/// # Panics
+/// Panics if the window is invalid or extends beyond the trace horizon.
+pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> RunResult {
+    let SimConfig {
+        start,
+        end,
+        metrics_start,
+        capacity,
+    } = config;
+    assert!(start <= end, "invalid simulation window");
+    assert!(end <= trace.n_slots, "window beyond trace horizon");
+    assert!(
+        (start..=end).contains(&metrics_start),
+        "metrics_start outside the simulated window"
+    );
+
+    let n = trace.n_functions();
+    let buckets = trace.bucket_by_slot(start, end);
+    let mut pool = MemoryPool::with_capacity(n, capacity);
+
+    let mut invocations = vec![0u64; n];
+    let mut cold_starts = vec![0u64; n];
+    let mut wmt = vec![0u64; n];
+    let mut invoked_this_slot = vec![false; n];
+    let mut loaded_integral = 0u64;
+    let mut emcr_sum = 0.0f64;
+    let mut emcr_slots = 0u64;
+    let mut overhead_secs = 0.0f64;
+    let mut peak_loaded = 0usize;
+
+    policy.on_start(start, &mut pool);
+
+    for t in start..end {
+        let invoked = &buckets[(t - start) as usize];
+        let measured = t >= metrics_start;
+
+        // 1. Serve invocations: first arrival on an unloaded function is a
+        // cold start; the instance is then resident for the rest of the
+        // minute (and beyond, until the policy evicts it).
+        for &(f, count) in invoked {
+            invoked_this_slot[f.index()] = true;
+            if measured {
+                invocations[f.index()] += u64::from(count);
+            }
+            if !pool.contains(f) {
+                if measured {
+                    cold_starts[f.index()] += 1;
+                }
+                make_room(policy, &mut pool);
+                pool.load(f, t);
+            }
+        }
+
+        // 2. Policy decision hook (timed for the RQ2 overhead comparison).
+        let begin = Instant::now();
+        policy.on_slot(t, invoked, &mut pool);
+        if measured {
+            overhead_secs += begin.elapsed().as_secs_f64();
+        }
+
+        // 3. Slot accounting (metrics window only).
+        if measured {
+            let loaded_now = pool.loaded_count();
+            loaded_integral += loaded_now as u64;
+            peak_loaded = peak_loaded.max(loaded_now);
+            if loaded_now > 0 {
+                let mut invoked_loaded = 0usize;
+                for &f in pool.loaded() {
+                    if invoked_this_slot[f.index()] {
+                        invoked_loaded += 1;
+                    } else {
+                        wmt[f.index()] += 1;
+                    }
+                }
+                emcr_sum += invoked_loaded as f64 / loaded_now as f64;
+                emcr_slots += 1;
+            }
+        }
+
+        for &(f, _) in invoked {
+            invoked_this_slot[f.index()] = false;
+        }
+    }
+
+    RunResult {
+        policy_name: policy.name().to_owned(),
+        start: metrics_start,
+        end,
+        invocations,
+        cold_starts,
+        wmt,
+        loaded_integral,
+        emcr_sum,
+        emcr_slots,
+        overhead_secs,
+        peak_loaded,
+    }
+}
+
+/// Evicts instances (policy-chosen victims, falling back to the
+/// oldest-loaded instance) until the pool has room for one more load.
+fn make_room(policy: &mut dyn Policy, pool: &mut MemoryPool) {
+    while pool.is_full() {
+        let victim = policy
+            .pick_victim(pool)
+            .filter(|&v| pool.contains(v))
+            .or_else(|| {
+                // Last resort: evict the longest-loaded instance.
+                pool.loaded()
+                    .iter()
+                    .copied()
+                    .min_by_key(|&f| pool.loaded_since(f))
+            });
+        match victim {
+            Some(v) => {
+                pool.evict(v);
+            }
+            None => return, // empty pool with capacity 0; nothing to do
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{KeepForever, NoKeepAlive};
+    use spes_trace::{AppId, FunctionMeta, SparseSeries, TriggerType, UserId};
+
+    fn trace_of(series: Vec<SparseSeries>, n_slots: Slot) -> Trace {
+        let meta = FunctionMeta {
+            app: AppId(0),
+            user: UserId(0),
+            trigger: TriggerType::Http,
+        };
+        let n = series.len();
+        Trace::new(n_slots, vec![meta; n], series)
+    }
+
+    /// Keep-alive for a fixed number of slots after the last invocation —
+    /// a tiny inline policy used to validate engine accounting.
+    struct TinyKeepAlive {
+        last_invoked: Vec<Option<Slot>>,
+        keep: u32,
+    }
+
+    impl TinyKeepAlive {
+        fn new(n: usize, keep: u32) -> Self {
+            Self {
+                last_invoked: vec![None; n],
+                keep,
+            }
+        }
+    }
+
+    impl Policy for TinyKeepAlive {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+
+        fn on_slot(&mut self, now: Slot, invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+            for &(f, _) in invoked {
+                self.last_invoked[f.index()] = Some(now);
+            }
+            for f in pool.loaded().to_vec() {
+                match self.last_invoked[f.index()] {
+                    Some(last) if now - last >= self.keep => {
+                        pool.evict(f);
+                    }
+                    None => {
+                        pool.evict(f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_invocation_is_cold() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(2, 3)])], 5);
+        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 5));
+        assert_eq!(r.invocations[0], 3);
+        assert_eq!(r.cold_starts[0], 1);
+    }
+
+    #[test]
+    fn keep_forever_warm_after_first() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (3, 1), (4, 1)])], 6);
+        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 6));
+        assert_eq!(r.cold_starts[0], 1);
+        // WMT: loaded at 0, idle at slots 1, 2, 5 -> 3.
+        assert_eq!(r.wmt[0], 3);
+        assert_eq!(r.csr_of(0), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn no_keep_alive_every_active_slot_is_cold() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 2), (1, 2), (5, 1)])], 6);
+        let r = simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 6));
+        // 3 active slots, each cold (instance dropped immediately).
+        assert_eq!(r.cold_starts[0], 3);
+        assert_eq!(r.invocations[0], 5);
+        assert_eq!(r.total_wmt(), 0);
+        assert_eq!(r.mean_loaded(), 0.0);
+    }
+
+    #[test]
+    fn tiny_keep_alive_wmt_accounting() {
+        // Invocations at slots 0 and 4; keep-alive 2 slots.
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (4, 1)])], 8);
+        let r = simulate(&trace, &mut TinyKeepAlive::new(1, 2), SimConfig::new(0, 8));
+        // Slot 0: invoked (cold). Slot 1: idle (wmt). Slot 2: evicted at
+        // on_slot since now-last=2. Slot 4: invoked again -> cold. Slot 5
+        // idle, slot 6 evicted.
+        assert_eq!(r.cold_starts[0], 2);
+        assert_eq!(r.wmt[0], 2);
+    }
+
+    #[test]
+    fn warm_when_preloaded_by_keepalive() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (1, 1), (2, 1)])], 4);
+        let r = simulate(&trace, &mut TinyKeepAlive::new(1, 3), SimConfig::new(0, 4));
+        assert_eq!(r.cold_starts[0], 1);
+        assert_eq!(r.invocations[0], 3);
+    }
+
+    #[test]
+    fn emcr_counts_invoked_over_loaded() {
+        // Two functions; f0 invoked every slot, f1 loaded but idle.
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs((0..4).map(|s| (s, 1)).collect()),
+                SparseSeries::from_pairs(vec![(0, 1)]),
+            ],
+            4,
+        );
+        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 4));
+        // Slot 0: both invoked & loaded -> EMCR 1.0. Slots 1-3: f0 invoked,
+        // f1 idle -> EMCR 0.5. Mean = (1.0 + 3 * 0.5) / 4.
+        assert!((r.emcr() - 0.625).abs() < 1e-12);
+        assert_eq!(r.wmt[1], 3);
+        assert_eq!(r.wmt[0], 0);
+    }
+
+    #[test]
+    fn capacity_forces_eviction_of_oldest() {
+        // Three functions invoked in turn with capacity 2; the engine's
+        // fallback evicts the oldest-loaded instance.
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 1), (3, 1)]),
+                SparseSeries::from_pairs(vec![(1, 1)]),
+                SparseSeries::from_pairs(vec![(2, 1)]),
+            ],
+            4,
+        );
+        let r = simulate(
+            &trace,
+            &mut KeepForever,
+            SimConfig::new(0, 4).with_capacity(2),
+        );
+        assert_eq!(r.peak_loaded, 2);
+        // f0 loaded at 0, f1 at 1; loading f2 at slot 2 evicts f0 (oldest);
+        // f0's return at slot 3 is cold again and evicts f1.
+        assert_eq!(r.cold_starts[0], 2);
+        assert_eq!(r.cold_starts[1], 1);
+        assert_eq!(r.cold_starts[2], 1);
+    }
+
+    #[test]
+    fn window_restricts_accounting() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 5), (8, 5)])], 10);
+        let r = simulate(&trace, &mut KeepForever, SimConfig::new(5, 10));
+        // Only the slot-8 invocation is inside the window.
+        assert_eq!(r.total_invocations(), 5);
+        assert_eq!(r.total_cold_starts(), 1);
+        assert_eq!(r.n_slots(), 5);
+    }
+
+    #[test]
+    fn empty_window_is_empty_result() {
+        let trace = trace_of(vec![SparseSeries::new()], 10);
+        let r = simulate(&trace, &mut KeepForever, SimConfig::new(3, 3));
+        assert_eq!(r.n_slots(), 0);
+        assert_eq!(r.total_invocations(), 0);
+        assert_eq!(r.mean_loaded(), 0.0);
+    }
+
+    #[test]
+    fn warmup_carries_state_but_not_metrics() {
+        // Invocations at slots 2 and 6; metrics start at 5. With
+        // keep-forever, the slot-6 invocation finds the instance loaded
+        // during warm-up -> warm, and the warm-up invocation is not
+        // counted.
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(2, 4), (6, 1)])], 10);
+        let r = simulate(
+            &trace,
+            &mut KeepForever,
+            SimConfig::new(0, 10).with_metrics_start(5),
+        );
+        assert_eq!(r.total_invocations(), 1);
+        assert_eq!(r.total_cold_starts(), 0);
+        assert_eq!(r.n_slots(), 5);
+        // WMT counted only from slot 5: idle at 5, 7, 8, 9.
+        assert_eq!(r.wmt[0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics_start outside")]
+    fn rejects_bad_metrics_start() {
+        let trace = trace_of(vec![SparseSeries::new()], 10);
+        let _ = simulate(
+            &trace,
+            &mut KeepForever,
+            SimConfig::new(2, 8).with_metrics_start(9),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window beyond trace horizon")]
+    fn rejects_window_beyond_horizon() {
+        let trace = trace_of(vec![SparseSeries::new()], 10);
+        let _ = simulate(&trace, &mut KeepForever, SimConfig::new(0, 11));
+    }
+
+    #[test]
+    fn overhead_is_recorded() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1)])], 100);
+        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 100));
+        assert!(r.overhead_secs >= 0.0);
+        assert!(r.overhead_per_slot() >= 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Discrete-time FaaS platform simulator for the SPES reproduction.
+//!
+//! Simulates a serverless platform at one-minute granularity under the
+//! paper's simulation principles: executions complete within their slot,
+//! cold-start latency is uniform (so cold-start *counts* are the metric),
+//! and a single node holds all loaded instances (the [`cluster`] module
+//! additionally models multi-node placement). Policies implement
+//! [`Policy`] and are driven by [`engine::simulate`], which produces a
+//! [`RunResult`] with every metric the paper reports (CSR, WMT, EMCR,
+//! memory usage, always-cold fraction, scheduling overhead).
+
+pub mod cluster;
+pub mod engine;
+pub mod memory;
+pub mod metrics;
+pub mod policy;
+pub mod report;
+
+pub use cluster::{Cluster, PlacementStrategy};
+pub use engine::{simulate, SimConfig};
+pub use memory::MemoryPool;
+pub use metrics::RunResult;
+pub use policy::{KeepForever, NoKeepAlive, Policy};
+pub use report::{per_category_stats, text_table, CategoryStats, NormalizedComparison};

@@ -1,0 +1,240 @@
+//! The in-memory function-instance pool.
+//!
+//! Following the paper's simulation principles (Section V-A / VI-A2), all
+//! function instances consume one unit of memory and, by default, a single
+//! node holds arbitrarily many instances. A capacity-limited variant backs
+//! the FaaSCache baseline, which works against a fixed memory budget.
+
+use spes_trace::{FunctionId, Slot};
+
+/// The set of loaded function instances.
+///
+/// Backed by a dense membership vector plus a swap-remove index so that
+/// `contains`, `load`, and `evict` are O(1) and iteration over loaded
+/// functions is linear in the number of loaded instances.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    member: Vec<bool>,
+    position: Vec<u32>,
+    loaded: Vec<FunctionId>,
+    capacity: Option<usize>,
+    /// Slot at which each currently loaded instance was loaded.
+    loaded_at: Vec<Slot>,
+}
+
+const NO_POSITION: u32 = u32::MAX;
+
+impl MemoryPool {
+    /// Creates an empty pool for `n_functions` functions with unlimited
+    /// capacity.
+    #[must_use]
+    pub fn unbounded(n_functions: usize) -> Self {
+        Self::with_capacity(n_functions, None)
+    }
+
+    /// Creates an empty pool; `capacity` of `Some(k)` limits the pool to
+    /// `k` simultaneously loaded instances.
+    #[must_use]
+    pub fn with_capacity(n_functions: usize, capacity: Option<usize>) -> Self {
+        Self {
+            member: vec![false; n_functions],
+            position: vec![NO_POSITION; n_functions],
+            loaded: Vec::new(),
+            capacity,
+            loaded_at: vec![0; n_functions],
+        }
+    }
+
+    /// Number of functions the pool tracks.
+    #[must_use]
+    pub fn n_functions(&self) -> usize {
+        self.member.len()
+    }
+
+    /// Number of currently loaded instances.
+    #[must_use]
+    pub fn loaded_count(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// Optional capacity limit.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Whether the pool is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.loaded.len() >= c)
+    }
+
+    /// Whether `f` is loaded.
+    #[must_use]
+    pub fn contains(&self, f: FunctionId) -> bool {
+        self.member[f.index()]
+    }
+
+    /// Loads `f` at slot `now`. Returns `true` if it was newly loaded,
+    /// `false` if it was already present (a no-op).
+    ///
+    /// # Panics
+    /// Panics when loading a new instance into a full pool; callers must
+    /// make room first (see [`crate::policy::Policy::pick_victim`]).
+    pub fn load(&mut self, f: FunctionId, now: Slot) -> bool {
+        if self.member[f.index()] {
+            return false;
+        }
+        assert!(
+            !self.is_full(),
+            "loading {f} into a full pool (capacity {:?})",
+            self.capacity
+        );
+        self.member[f.index()] = true;
+        self.position[f.index()] = self.loaded.len() as u32;
+        self.loaded.push(f);
+        self.loaded_at[f.index()] = now;
+        true
+    }
+
+    /// Evicts `f`. Returns `true` if it was loaded.
+    pub fn evict(&mut self, f: FunctionId) -> bool {
+        if !self.member[f.index()] {
+            return false;
+        }
+        let pos = self.position[f.index()] as usize;
+        let last = *self.loaded.last().expect("non-empty loaded list");
+        self.loaded.swap_remove(pos);
+        if pos < self.loaded.len() {
+            self.position[last.index()] = pos as u32;
+        }
+        self.member[f.index()] = false;
+        self.position[f.index()] = NO_POSITION;
+        true
+    }
+
+    /// Slot at which `f` was most recently loaded (meaningful only while
+    /// `f` is loaded).
+    #[must_use]
+    pub fn loaded_since(&self, f: FunctionId) -> Slot {
+        self.loaded_at[f.index()]
+    }
+
+    /// The currently loaded functions, in unspecified order.
+    #[must_use]
+    pub fn loaded(&self) -> &[FunctionId] {
+        &self.loaded
+    }
+
+    /// Evicts everything.
+    pub fn clear(&mut self) {
+        for f in std::mem::take(&mut self.loaded) {
+            self.member[f.index()] = false;
+            self.position[f.index()] = NO_POSITION;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_contains() {
+        let mut pool = MemoryPool::unbounded(4);
+        assert!(!pool.contains(FunctionId(1)));
+        assert!(pool.load(FunctionId(1), 5));
+        assert!(pool.contains(FunctionId(1)));
+        assert_eq!(pool.loaded_count(), 1);
+        assert_eq!(pool.loaded_since(FunctionId(1)), 5);
+    }
+
+    #[test]
+    fn double_load_is_noop() {
+        let mut pool = MemoryPool::unbounded(4);
+        assert!(pool.load(FunctionId(0), 1));
+        assert!(!pool.load(FunctionId(0), 9));
+        assert_eq!(pool.loaded_count(), 1);
+        // The original load slot is preserved on a no-op load.
+        assert_eq!(pool.loaded_since(FunctionId(0)), 1);
+    }
+
+    #[test]
+    fn evict_removes() {
+        let mut pool = MemoryPool::unbounded(4);
+        pool.load(FunctionId(0), 0);
+        pool.load(FunctionId(1), 0);
+        pool.load(FunctionId(2), 0);
+        assert!(pool.evict(FunctionId(1)));
+        assert!(!pool.contains(FunctionId(1)));
+        assert_eq!(pool.loaded_count(), 2);
+        assert!(pool.contains(FunctionId(0)));
+        assert!(pool.contains(FunctionId(2)));
+        // Evicting again is a no-op.
+        assert!(!pool.evict(FunctionId(1)));
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut pool = MemoryPool::unbounded(8);
+        for i in 0..6 {
+            pool.load(FunctionId(i), 0);
+        }
+        pool.evict(FunctionId(0)); // last element swaps into slot 0
+        pool.evict(FunctionId(5)); // the swapped element must still evict cleanly
+        assert_eq!(pool.loaded_count(), 4);
+        for i in 1..5 {
+            assert!(pool.contains(FunctionId(i)));
+        }
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut pool = MemoryPool::with_capacity(8, Some(2));
+        pool.load(FunctionId(0), 0);
+        pool.load(FunctionId(1), 0);
+        assert!(pool.is_full());
+        // Re-loading an existing instance is fine at capacity.
+        assert!(!pool.load(FunctionId(0), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "full pool")]
+    fn overfull_load_panics() {
+        let mut pool = MemoryPool::with_capacity(8, Some(1));
+        pool.load(FunctionId(0), 0);
+        pool.load(FunctionId(1), 0);
+    }
+
+    #[test]
+    fn unbounded_is_never_full() {
+        let mut pool = MemoryPool::unbounded(100);
+        for i in 0..100 {
+            pool.load(FunctionId(i), 0);
+        }
+        assert!(!pool.is_full());
+        assert_eq!(pool.loaded_count(), 100);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut pool = MemoryPool::unbounded(4);
+        pool.load(FunctionId(2), 0);
+        pool.load(FunctionId(3), 0);
+        pool.clear();
+        assert_eq!(pool.loaded_count(), 0);
+        assert!(!pool.contains(FunctionId(2)));
+        // Pool remains usable.
+        assert!(pool.load(FunctionId(2), 1));
+    }
+
+    #[test]
+    fn loaded_lists_members() {
+        let mut pool = MemoryPool::unbounded(5);
+        pool.load(FunctionId(4), 0);
+        pool.load(FunctionId(2), 0);
+        let mut ids: Vec<u32> = pool.loaded().iter().map(|f| f.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 4]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Metrics of a simulation run.
+//!
+//! The paper evaluates provisioning policies with:
+//! * **CSR** — function-wise cold-start rate: cold starts / invocations
+//!   (Section V-A2), summarised by percentiles of its distribution over
+//!   functions (Fig. 8) and the always-cold fraction (Fig. 9b).
+//! * **WMT** — wasted memory time: slots during which an instance is
+//!   loaded but not invoked (Section II-B, Fig. 11a), and the per-type
+//!   WMT/invocation ratio (Fig. 12).
+//! * **EMCR** — effective memory consumption ratio: invoked instances over
+//!   loaded instances per slot, averaged (Fig. 11b).
+//! * **Memory usage** — the time-integral of loaded instances (Fig. 9a).
+//! * **Overhead** — wall-clock scheduling time per simulated minute (RQ2).
+
+use spes_trace::Slot;
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Name of the policy that produced the run.
+    pub policy_name: String,
+    /// First simulated slot (inclusive).
+    pub start: Slot,
+    /// End of the simulated window (exclusive).
+    pub end: Slot,
+    /// Per-function invocation totals within the window.
+    pub invocations: Vec<u64>,
+    /// Per-function cold-start counts.
+    pub cold_starts: Vec<u64>,
+    /// Per-function wasted memory time (loaded-but-idle slots).
+    pub wmt: Vec<u64>,
+    /// Sum over slots of the number of loaded instances.
+    pub loaded_integral: u64,
+    /// Sum of per-slot EMCR values over slots with at least one loaded
+    /// instance.
+    pub emcr_sum: f64,
+    /// Number of slots contributing to `emcr_sum`.
+    pub emcr_slots: u64,
+    /// Total wall-clock seconds spent inside the policy's decision hook.
+    pub overhead_secs: f64,
+    /// Maximum simultaneously loaded instances.
+    pub peak_loaded: usize,
+}
+
+impl RunResult {
+    /// Number of simulated slots.
+    #[must_use]
+    pub fn n_slots(&self) -> u64 {
+        u64::from(self.end - self.start)
+    }
+
+    /// Cold-start rate of one function, `None` if it was never invoked in
+    /// the window.
+    #[must_use]
+    pub fn csr_of(&self, f: usize) -> Option<f64> {
+        let inv = self.invocations[f];
+        if inv == 0 {
+            None
+        } else {
+            Some(self.cold_starts[f] as f64 / inv as f64)
+        }
+    }
+
+    /// CSR values of all invoked functions (the Fig. 8 population).
+    #[must_use]
+    pub fn csr_values(&self) -> Vec<f64> {
+        (0..self.invocations.len())
+            .filter_map(|f| self.csr_of(f))
+            .collect()
+    }
+
+    /// Percentile of the function-wise CSR distribution (e.g. 75.0 for the
+    /// paper's Q3-CSR headline metric). `None` when nothing was invoked.
+    #[must_use]
+    pub fn csr_percentile(&self, p: f64) -> Option<f64> {
+        let mut values = self.csr_values();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(f64::total_cmp);
+        Some(percentile_f64(&values, p))
+    }
+
+    /// Fraction of invoked functions that never had a cold start.
+    #[must_use]
+    pub fn warm_function_fraction(&self) -> f64 {
+        let values = self.csr_values();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().filter(|&&c| c == 0.0).count() as f64 / values.len() as f64
+    }
+
+    /// Fraction of invoked functions with CSR exactly 1.0 ("always-cold",
+    /// Fig. 9b).
+    #[must_use]
+    pub fn always_cold_fraction(&self) -> f64 {
+        let values = self.csr_values();
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().filter(|&&c| c >= 1.0).count() as f64 / values.len() as f64
+    }
+
+    /// Total wasted memory time across all functions, in instance-slots.
+    #[must_use]
+    pub fn total_wmt(&self) -> u64 {
+        self.wmt.iter().sum()
+    }
+
+    /// Total cold starts across all functions.
+    #[must_use]
+    pub fn total_cold_starts(&self) -> u64 {
+        self.cold_starts.iter().sum()
+    }
+
+    /// Total invocations across all functions.
+    #[must_use]
+    pub fn total_invocations(&self) -> u64 {
+        self.invocations.iter().sum()
+    }
+
+    /// Mean number of loaded instances per slot (the Fig. 9a memory-usage
+    /// measure before normalisation).
+    #[must_use]
+    pub fn mean_loaded(&self) -> f64 {
+        if self.n_slots() == 0 {
+            0.0
+        } else {
+            self.loaded_integral as f64 / self.n_slots() as f64
+        }
+    }
+
+    /// Average effective memory consumption ratio (Fig. 11b).
+    #[must_use]
+    pub fn emcr(&self) -> f64 {
+        if self.emcr_slots == 0 {
+            0.0
+        } else {
+            self.emcr_sum / self.emcr_slots as f64
+        }
+    }
+
+    /// Scheduling overhead in seconds per simulated minute (RQ2).
+    #[must_use]
+    pub fn overhead_per_slot(&self) -> f64 {
+        if self.n_slots() == 0 {
+            0.0
+        } else {
+            self.overhead_secs / self.n_slots() as f64
+        }
+    }
+
+    /// WMT / invocations for one function (the Fig. 12 "ratio of WMT");
+    /// `None` if the function was never invoked.
+    #[must_use]
+    pub fn wmt_ratio_of(&self, f: usize) -> Option<f64> {
+        let inv = self.invocations[f];
+        if inv == 0 {
+            None
+        } else {
+            Some(self.wmt[f] as f64 / inv as f64)
+        }
+    }
+
+    /// Empirical CDF of the function-wise CSR evaluated at `points`
+    /// (fraction of invoked functions with CSR <= point), for Fig. 8.
+    #[must_use]
+    pub fn csr_cdf(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        let mut values = self.csr_values();
+        values.sort_by(f64::total_cmp);
+        let n = values.len();
+        points
+            .iter()
+            .map(|&p| {
+                if n == 0 {
+                    (p, 0.0)
+                } else {
+                    let le = values.partition_point(|&v| v <= p);
+                    (p, le as f64 / n as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Linear-interpolation percentile over a sorted `f64` slice.
+#[must_use]
+pub fn percentile_f64(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(invocations: Vec<u64>, cold: Vec<u64>, wmt: Vec<u64>) -> RunResult {
+        RunResult {
+            policy_name: "test".into(),
+            start: 0,
+            end: 10,
+            invocations,
+            cold_starts: cold,
+            wmt,
+            loaded_integral: 30,
+            emcr_sum: 4.0,
+            emcr_slots: 8,
+            overhead_secs: 0.5,
+            peak_loaded: 7,
+        }
+    }
+
+    #[test]
+    fn csr_basics() {
+        let r = result(vec![10, 0, 4], vec![5, 0, 4], vec![0, 0, 0]);
+        assert_eq!(r.csr_of(0), Some(0.5));
+        assert_eq!(r.csr_of(1), None);
+        assert_eq!(r.csr_of(2), Some(1.0));
+        assert_eq!(r.csr_values(), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn always_cold_and_warm_fractions() {
+        let r = result(vec![4, 2, 1, 0], vec![0, 2, 1, 0], vec![0; 4]);
+        assert!((r.always_cold_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.warm_function_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_percentile_median() {
+        let r = result(vec![1, 1, 1], vec![0, 1, 1], vec![0; 3]);
+        // CSRs: 0.0, 1.0, 1.0 -> median 1.0, p25 0.5
+        assert_eq!(r.csr_percentile(50.0), Some(1.0));
+        assert_eq!(r.csr_percentile(25.0), Some(0.5));
+    }
+
+    #[test]
+    fn csr_percentile_empty() {
+        let r = result(vec![0], vec![0], vec![0]);
+        assert_eq!(r.csr_percentile(75.0), None);
+        assert_eq!(r.always_cold_fraction(), 0.0);
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let r = result(vec![5, 5], vec![1, 2], vec![7, 3]);
+        assert_eq!(r.total_wmt(), 10);
+        assert_eq!(r.total_cold_starts(), 3);
+        assert_eq!(r.total_invocations(), 10);
+        assert_eq!(r.mean_loaded(), 3.0);
+        assert_eq!(r.emcr(), 0.5);
+        assert!((r.overhead_per_slot() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wmt_ratio() {
+        let r = result(vec![4, 0], vec![0, 0], vec![8, 5]);
+        assert_eq!(r.wmt_ratio_of(0), Some(2.0));
+        assert_eq!(r.wmt_ratio_of(1), None);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let r = result(vec![1, 1, 1, 1], vec![0, 0, 1, 1], vec![0; 4]);
+        let points: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+        let cdf = r.csr_cdf(&points);
+        let mut prev = 0.0;
+        for &(_, y) in &cdf {
+            assert!(y >= prev);
+            assert!((0.0..=1.0).contains(&y));
+            prev = y;
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        // CSR 0.0 for half the functions.
+        assert_eq!(cdf[0].1, 0.5);
+    }
+
+    #[test]
+    fn percentile_f64_interpolates() {
+        let xs = [0.0, 1.0];
+        assert_eq!(percentile_f64(&xs, 50.0), 0.5);
+        assert_eq!(percentile_f64(&xs, 0.0), 0.0);
+        assert_eq!(percentile_f64(&xs, 100.0), 1.0);
+    }
+}

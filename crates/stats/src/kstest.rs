@@ -1,0 +1,269 @@
+//! One-sample Kolmogorov-Smirnov tests for the Section III empirical
+//! analysis.
+//!
+//! The paper checks (a) whether timer-triggered functions are invoked
+//! (quasi-)periodically — equivalently, whether their inter-arrival times
+//! concentrate on a constant, tested against a narrow uniform law — and (b)
+//! whether HTTP-triggered invocation counts per slot follow a Poisson
+//! arrival process. Both are "does the sample reject the hypothesised
+//! distribution at p >= 0.05" questions, answered with the classical KS
+//! statistic and the asymptotic Kolmogorov distribution for the p-value.
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsOutcome {
+    /// The KS statistic `D = sup |F_n(x) - F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value from the Kolmogorov distribution.
+    pub p_value: f64,
+}
+
+impl KsOutcome {
+    /// Whether the null hypothesis is *not* rejected at `alpha`.
+    ///
+    /// The paper uses `p >= 0.05` ("not rejecting the null hypothesis") as
+    /// its criterion for a function following the tested distribution.
+    #[must_use]
+    pub fn consistent_with_null(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// KS statistic of an integer-valued sample against an arbitrary CDF.
+///
+/// `cdf` must be the hypothesised cumulative distribution function with the
+/// right-continuous convention `F(x) = P(X <= x)`; it is evaluated at the
+/// distinct sample values `v` and their left limits `v - 1` (the sample is
+/// integer-valued, so the left limit of `F` at `v` is `F(v - 1)`). Using
+/// the discrete-case statistic (Noether 1963, the reference the paper
+/// cites) rather than the continuous per-observation formula is essential:
+/// invocation data is full of ties. Returns `None` for an empty sample.
+#[must_use]
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[u32], cdf: F) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<u32> = sample.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    let mut seen = 0usize;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let v = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == v {
+            j += 1;
+        }
+        let ecdf_before = seen as f64 / n;
+        seen = j;
+        let ecdf_at = seen as f64 / n;
+        let f_at = cdf(f64::from(v)).clamp(0.0, 1.0);
+        let f_before = cdf(f64::from(v) - 1.0).clamp(0.0, 1.0);
+        d = d.max((f_at - ecdf_at).abs()).max((f_before - ecdf_before).abs());
+        i = j;
+    }
+    Some(d)
+}
+
+/// Asymptotic Kolmogorov survival function:
+/// `P(sqrt(n) * D > x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2)`.
+#[must_use]
+pub fn kolmogorov_p_value(statistic: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let x = statistic * (n as f64).sqrt();
+    if x < 1e-9 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * x * x).exp();
+        if term < 1e-12 {
+            break;
+        }
+        sum += if k % 2 == 1 { term } else { -term };
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Tests whether the sample is consistent with inter-arrival times drawn
+/// uniformly from `[lo, hi]` (inclusive, in minutes).
+///
+/// A (quasi-)periodic timer function has inter-arrival times concentrated
+/// in a narrow band around its period; testing against a narrow uniform law
+/// over that band is the discrete analogue the reference analysis used.
+#[must_use]
+pub fn ks_test_uniform_interarrival(sample: &[u32], lo: u32, hi: u32) -> Option<KsOutcome> {
+    if hi < lo {
+        return None;
+    }
+    let span = f64::from(hi - lo) + 1.0;
+    let cdf = move |x: f64| {
+        if x < f64::from(lo) {
+            0.0
+        } else if x >= f64::from(hi) {
+            1.0
+        } else {
+            // Discrete uniform on lo..=hi evaluated with the right-continuous
+            // convention: P(X <= x) counts whole support points reached.
+            ((x - f64::from(lo)).floor() + 1.0) / span
+        }
+    };
+    let d = ks_statistic(sample, cdf)?;
+    Some(KsOutcome {
+        statistic: d,
+        p_value: kolmogorov_p_value(d, sample.len()),
+    })
+}
+
+/// Tests whether per-slot invocation counts are consistent with a Poisson
+/// law whose rate is the sample mean.
+///
+/// This mirrors the paper's check that ~45% of HTTP-triggered functions
+/// follow a Poisson arrival process. The Poisson CDF is evaluated by
+/// summing the PMF; rates are small (events per minute), so the direct sum
+/// is numerically safe.
+#[must_use]
+pub fn ks_test_poisson(sample: &[u32]) -> Option<KsOutcome> {
+    if sample.is_empty() {
+        return None;
+    }
+    let lambda = sample.iter().map(|&x| f64::from(x)).sum::<f64>() / sample.len() as f64;
+    let cdf = move |x: f64| {
+        if x < 0.0 {
+            0.0
+        } else {
+            poisson_cdf(x.floor() as u64, lambda)
+        }
+    };
+    let d = ks_statistic(sample, cdf)?;
+    Some(KsOutcome {
+        statistic: d,
+        p_value: kolmogorov_p_value(d, sample.len()),
+    })
+}
+
+/// Poisson CDF `P(X <= k)` for rate `lambda`.
+#[must_use]
+pub fn poisson_cdf(k: u64, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut pmf = (-lambda).exp();
+    let mut cdf = pmf;
+    for i in 1..=k {
+        pmf *= lambda / i as f64;
+        cdf += pmf;
+    }
+    cdf.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_statistic_empty_is_none() {
+        assert!(ks_statistic(&[], |_| 0.5).is_none());
+    }
+
+    #[test]
+    fn ks_statistic_perfect_fit_is_small() {
+        // Sample = exact quantiles of uniform(0, 100).
+        let sample: Vec<u32> = (1..=99).collect();
+        let d = ks_statistic(&sample, |x| x / 100.0).unwrap();
+        assert!(d < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn ks_statistic_terrible_fit_is_large() {
+        // All mass at 0 vs a CDF that assigns it probability ~0.
+        let sample = vec![0; 50];
+        let d = ks_statistic(&sample, |x| (x / 1000.0).min(1.0)).unwrap();
+        assert!(d > 0.9);
+    }
+
+    #[test]
+    fn kolmogorov_p_value_extremes() {
+        assert!((kolmogorov_p_value(0.0, 100) - 1.0).abs() < 1e-9);
+        assert!(kolmogorov_p_value(0.5, 1000) < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_p_value_known_point() {
+        // K(1.36) ~ 0.049: the classic 5% critical value.
+        let p = kolmogorov_p_value(1.36, 1);
+        assert!((p - 0.049).abs() < 0.003, "p = {p}");
+    }
+
+    #[test]
+    fn periodic_timer_passes_uniform_test() {
+        // A timer firing every 60 min with +-1 min jitter.
+        let sample: Vec<u32> = (0..60).map(|i| 59 + (i % 3)).collect();
+        let out = ks_test_uniform_interarrival(&sample, 59, 61).unwrap();
+        assert!(
+            out.consistent_with_null(0.05),
+            "D = {}, p = {}",
+            out.statistic,
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn bursty_sample_fails_uniform_test() {
+        // Wildly varying inter-arrivals vs a narrow uniform band.
+        let sample: Vec<u32> = (0..100).map(|i| 1 + (i * i) % 500).collect();
+        let out = ks_test_uniform_interarrival(&sample, 59, 61).unwrap();
+        assert!(!out.consistent_with_null(0.05));
+    }
+
+    #[test]
+    fn uniform_test_rejects_inverted_bounds() {
+        assert!(ks_test_uniform_interarrival(&[1, 2], 5, 3).is_none());
+    }
+
+    #[test]
+    fn poisson_cdf_monotone_and_bounded() {
+        let lambda = 3.5;
+        let mut prev = 0.0;
+        for k in 0..30 {
+            let c = poisson_cdf(k, lambda);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((poisson_cdf(100, lambda) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_cdf_zero_lambda() {
+        assert_eq!(poisson_cdf(0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn poisson_sample_passes_poisson_test() {
+        // A hand-rolled sample matching Poisson(2) frequencies closely:
+        // pmf(0) ~ .135, pmf(1) ~ .271, pmf(2) ~ .271, pmf(3) ~ .180 ...
+        let mut sample = Vec::new();
+        for (value, reps) in [(0u32, 14), (1, 27), (2, 27), (3, 18), (4, 9), (5, 4), (6, 1)] {
+            sample.extend(std::iter::repeat_n(value, reps));
+        }
+        let out = ks_test_poisson(&sample).unwrap();
+        assert!(
+            out.consistent_with_null(0.05),
+            "D = {}, p = {}",
+            out.statistic,
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn constant_nonzero_sample_fails_poisson_test() {
+        // Constant value 4: variance 0 vs Poisson variance 4 -> reject.
+        let sample = vec![4u32; 200];
+        let out = ks_test_poisson(&sample).unwrap();
+        assert!(!out.consistent_with_null(0.05));
+    }
+}

@@ -1,0 +1,147 @@
+//! Mode (most-frequent-value) extraction over waiting-time sequences.
+//!
+//! The "appro-regular" rule of SPES checks whether the first `n` modes of a
+//! WT sequence cover at least 90% of the sequence, and both "appro-regular"
+//! and "dense" functions use the top modes as predictive values. The
+//! "possible" assignment uses every WT value that occurs more than once.
+
+use std::collections::HashMap;
+
+/// A value together with its occurrence count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeEntry {
+    /// The observed value.
+    pub value: u32,
+    /// How many times it occurred.
+    pub count: usize,
+}
+
+/// Full frequency table of `xs`, sorted by descending count and then by
+/// ascending value so that ties break deterministically.
+#[must_use]
+pub fn mode_table(xs: &[u32]) -> Vec<ModeEntry> {
+    let mut freq: HashMap<u32, usize> = HashMap::with_capacity(xs.len());
+    for &x in xs {
+        *freq.entry(x).or_insert(0) += 1;
+    }
+    let mut table: Vec<ModeEntry> = freq
+        .into_iter()
+        .map(|(value, count)| ModeEntry { value, count })
+        .collect();
+    table.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.value.cmp(&b.value)));
+    table
+}
+
+/// The first `n` modes of `xs` (fewer if `xs` has fewer distinct values).
+#[must_use]
+pub fn top_modes(xs: &[u32], n: usize) -> Vec<ModeEntry> {
+    let mut table = mode_table(xs);
+    table.truncate(n);
+    table
+}
+
+/// Number of observations covered by the first `n` modes.
+///
+/// The appro-regular rule is `mode_coverage(wts, n) >= 0.9 * wts.len()`.
+#[must_use]
+pub fn mode_coverage(xs: &[u32], n: usize) -> usize {
+    top_modes(xs, n).iter().map(|m| m.count).sum()
+}
+
+/// Values occurring strictly more than once, in descending-frequency order.
+///
+/// These are the predictive values of "possible" functions (Section IV-B,
+/// D3): infrequently invoked, but with at least one duplicated WT.
+#[must_use]
+pub fn repeated_values(xs: &[u32]) -> Vec<u32> {
+    mode_table(xs)
+        .into_iter()
+        .filter(|m| m.count > 1)
+        .map(|m| m.value)
+        .collect()
+}
+
+/// Whether `value` is "close" to the most frequent value of `xs` within an
+/// absolute tolerance. Used by the merge-adjacent slacking rule, which only
+/// merges small WTs into neighbours valued near the mode.
+#[must_use]
+pub fn near_primary_mode(xs: &[u32], value: u32, tolerance: u32) -> bool {
+    match mode_table(xs).first() {
+        Some(primary) => value.abs_diff(primary.value) <= tolerance,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_table_empty() {
+        assert!(mode_table(&[]).is_empty());
+    }
+
+    #[test]
+    fn mode_table_orders_by_count_then_value() {
+        let t = mode_table(&[3, 1, 3, 2, 2, 3]);
+        assert_eq!(t[0], ModeEntry { value: 3, count: 3 });
+        assert_eq!(t[1], ModeEntry { value: 2, count: 2 });
+        assert_eq!(t[2], ModeEntry { value: 1, count: 1 });
+    }
+
+    #[test]
+    fn mode_table_tie_breaks_ascending_value() {
+        let t = mode_table(&[5, 4, 5, 4]);
+        assert_eq!(t[0].value, 4);
+        assert_eq!(t[1].value, 5);
+    }
+
+    #[test]
+    fn top_modes_truncates() {
+        let t = top_modes(&[1, 1, 2, 2, 3], 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].value, 1);
+        assert_eq!(t[1].value, 2);
+    }
+
+    #[test]
+    fn top_modes_fewer_distinct_than_n() {
+        assert_eq!(top_modes(&[9, 9, 9], 5).len(), 1);
+    }
+
+    #[test]
+    fn coverage_appro_regular_example() {
+        // IoT-hub style: invoked every 3-5 minutes; 3 and 4 dominate.
+        let wts = [3, 4, 3, 4, 3, 4, 3, 4, 3, 17];
+        assert_eq!(mode_coverage(&wts, 2), 9);
+        assert!(mode_coverage(&wts, 2) as f64 >= 0.9 * wts.len() as f64);
+    }
+
+    #[test]
+    fn coverage_with_n_zero_is_zero() {
+        assert_eq!(mode_coverage(&[1, 2, 3], 0), 0);
+    }
+
+    #[test]
+    fn repeated_values_filters_singletons() {
+        assert_eq!(repeated_values(&[7, 7, 3, 9, 3, 1]), vec![3, 7]);
+    }
+
+    #[test]
+    fn repeated_values_none() {
+        assert!(repeated_values(&[1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn near_primary_mode_tolerance() {
+        let xs = [100, 100, 100, 5];
+        assert!(near_primary_mode(&xs, 99, 1));
+        assert!(near_primary_mode(&xs, 100, 0));
+        assert!(!near_primary_mode(&xs, 95, 1));
+    }
+
+    #[test]
+    fn near_primary_mode_empty_is_false() {
+        assert!(!near_primary_mode(&[], 1, 10));
+    }
+}

@@ -1,0 +1,143 @@
+//! Online (streaming) mean/variance via Welford's algorithm.
+//!
+//! SPES's adaptive "adjusting" strategy (Section IV-C1) keeps collecting
+//! online waiting times during the simulation and compares their statistics
+//! with the offline predictive values without buffering the full history.
+
+/// Numerically stable streaming mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.n = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_batch_computation() {
+        let xs = [2u32, 4, 4, 4, 5, 5, 7, 9];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(f64::from(x));
+        }
+        assert!((s.mean() - descriptive::mean(&xs)).abs() < 1e-12);
+        assert!((s.stddev() - descriptive::stddev(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..3] {
+            a.push(x);
+        }
+        for &x in &xs[3..] {
+            b.push(x);
+        }
+        a.merge(&b);
+
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(5.0);
+        a.push(7.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use spes_stats::{
+    descriptive::{coefficient_of_variation, mean, percentile, stddev, Summary},
+    histogram::Histogram,
+    kstest::{kolmogorov_p_value, ks_statistic, poisson_cdf},
+    modes::{mode_coverage, mode_table, top_modes},
+    online::OnlineStats,
+};
+
+proptest! {
+    #[test]
+    fn percentile_within_min_max(xs in prop::collection::vec(0u32..10_000, 1..200), p in 0.0f64..100.0) {
+        let v = percentile(&xs, p).unwrap();
+        let min = f64::from(*xs.iter().min().unwrap());
+        let max = f64::from(*xs.iter().max().unwrap());
+        prop_assert!(v >= min && v <= max, "p{p} = {v} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn percentile_monotone_in_p(xs in prop::collection::vec(0u32..10_000, 1..100)) {
+        let p25 = percentile(&xs, 25.0).unwrap();
+        let p50 = percentile(&xs, 50.0).unwrap();
+        let p75 = percentile(&xs, 75.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(xs in prop::collection::vec(0u32..1_000_000, 1..200)) {
+        let m = mean(&xs);
+        let min = f64::from(*xs.iter().min().unwrap());
+        let max = f64::from(*xs.iter().max().unwrap());
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn stddev_nonnegative_and_translation_invariant(
+        xs in prop::collection::vec(0u32..10_000, 2..100),
+        shift in 0u32..1000,
+    ) {
+        let sd = stddev(&xs);
+        prop_assert!(sd >= 0.0);
+        let shifted: Vec<u32> = xs.iter().map(|&x| x + shift).collect();
+        prop_assert!((stddev(&shifted) - sd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero(v in 1u32..10_000, n in 2usize..50) {
+        let xs = vec![v; n];
+        prop_assert_eq!(coefficient_of_variation(&xs), 0.0);
+    }
+
+    #[test]
+    fn summary_consistent(xs in prop::collection::vec(0u32..5_000, 1..150)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert_eq!(s.len, xs.len());
+        prop_assert!(s.p5 <= s.median && s.median <= s.p90 && s.p90 <= s.p95);
+        prop_assert!(f64::from(s.min) <= s.mean && s.mean <= f64::from(s.max));
+    }
+
+    #[test]
+    fn mode_table_counts_sum_to_len(xs in prop::collection::vec(0u32..50, 0..200)) {
+        let total: usize = mode_table(&xs).iter().map(|m| m.count).sum();
+        prop_assert_eq!(total, xs.len());
+    }
+
+    #[test]
+    fn mode_coverage_monotone_in_n(xs in prop::collection::vec(0u32..20, 1..100)) {
+        let mut prev = 0;
+        for n in 0..6 {
+            let c = mode_coverage(&xs, n);
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+        prop_assert!(mode_coverage(&xs, xs.len()) == xs.len());
+    }
+
+    #[test]
+    fn top_modes_sorted_by_count(xs in prop::collection::vec(0u32..30, 1..150), n in 1usize..6) {
+        let t = top_modes(&xs, n);
+        for w in t.windows(2) {
+            prop_assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_within_range(
+        xs in prop::collection::vec(0u32..100, 1..150),
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = Histogram::new(100);
+        for &x in &xs {
+            h.observe(x);
+        }
+        let v = h.percentile(p).unwrap();
+        prop_assert!(xs.contains(&v) || xs.iter().any(|&x| x >= v));
+        prop_assert!(v <= *xs.iter().max().unwrap());
+        prop_assert!(v >= *xs.iter().min().unwrap() || p == 0.0);
+    }
+
+    #[test]
+    fn histogram_total_counts(xs in prop::collection::vec(0u32..500, 0..200)) {
+        let mut h = Histogram::new(100);
+        for &x in &xs {
+            h.observe(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let oob = xs.iter().filter(|&&x| x >= 100).count() as u64;
+        prop_assert_eq!(h.in_range(), xs.len() as u64 - oob);
+    }
+
+    #[test]
+    fn ks_statistic_bounded(xs in prop::collection::vec(0u32..100, 1..100)) {
+        let d = ks_statistic(&xs, |x| (x / 100.0).clamp(0.0, 1.0)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn kolmogorov_p_value_in_unit_interval(d in 0.0f64..1.0, n in 1usize..10_000) {
+        let p = kolmogorov_p_value(d, n);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn poisson_cdf_monotone(lambda in 0.01f64..50.0) {
+        let mut prev = 0.0;
+        for k in 0..100 {
+            let c = poisson_cdf(k, lambda);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn online_stats_match_batch(xs in prop::collection::vec(0u32..10_000, 0..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(f64::from(x));
+        }
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        if !xs.is_empty() {
+            prop_assert!((s.mean() - mean(&xs)).abs() < 1e-6);
+            prop_assert!((s.stddev() - stddev(&xs)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn online_stats_merge_associative(
+        a in prop::collection::vec(0f64..1000.0, 0..50),
+        b in prop::collection::vec(0f64..1000.0, 0..50),
+    ) {
+        let mut sa = OnlineStats::new();
+        for &x in &a { sa.push(x); }
+        let mut sb = OnlineStats::new();
+        for &x in &b { sb.push(x); }
+        let mut merged = sa;
+        merged.merge(&sb);
+
+        let mut seq = OnlineStats::new();
+        for &x in a.iter().chain(&b) { seq.push(x); }
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - seq.variance()).abs() < 1e-4);
+    }
+}

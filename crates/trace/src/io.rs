@@ -1,0 +1,249 @@
+//! Trace (de)serialisation in a simple long-form CSV schema.
+//!
+//! The real Azure Functions 2019 dataset ships as wide per-day CSVs
+//! (owner/app/function hashes, trigger, 1440 per-minute count columns).
+//! We use an equivalent long form that is easy to produce from the public
+//! dataset with a few lines of preprocessing:
+//!
+//! ```text
+//! # header
+//! user,app,func,trigger,slot,count
+//! 0,0,0,http,17,3
+//! ```
+//!
+//! Function rows with no invocations at all are declared once with
+//! `slot = -` (a dash) so silent functions survive a round trip.
+
+use crate::model::{AppId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors arising while parsing a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serialises a trace to the long-form CSV schema.
+pub fn write_csv<W: Write>(trace: &Trace, mut out: W) -> std::io::Result<()> {
+    let mut buf = String::with_capacity(1 << 16);
+    buf.push_str("user,app,func,trigger,slot,count\n");
+    for (i, (meta, series)) in trace.metas.iter().zip(&trace.series).enumerate() {
+        if series.is_empty() {
+            let _ = writeln!(
+                buf,
+                "{},{},{},{},-,0",
+                meta.user.0,
+                meta.app.0,
+                i,
+                meta.trigger.name()
+            );
+        } else {
+            for &(slot, count) in series.events() {
+                let _ = writeln!(
+                    buf,
+                    "{},{},{},{},{},{}",
+                    meta.user.0,
+                    meta.app.0,
+                    i,
+                    meta.trigger.name(),
+                    slot,
+                    count
+                );
+            }
+        }
+        if buf.len() > (1 << 16) {
+            out.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    out.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a trace from the long-form CSV schema.
+///
+/// `n_slots` may be larger than any slot in the file (e.g. to declare a
+/// 14-day horizon with quiet final minutes); passing `None` infers
+/// `max slot + 1`.
+pub fn read_csv<R: Read>(input: R, n_slots: Option<Slot>) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(input);
+    struct Entry {
+        meta: FunctionMeta,
+        pairs: Vec<(Slot, u32)>,
+    }
+    let mut functions: HashMap<u32, Entry> = HashMap::new();
+    let mut max_slot: Option<Slot> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if idx == 0 && trimmed.starts_with("user,") {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let mut next_field = |name: &str| {
+            parts.next().ok_or_else(|| TraceIoError::Parse {
+                line: lineno,
+                message: format!("missing field `{name}`"),
+            })
+        };
+        let user: u32 = parse_u32(next_field("user")?, lineno, "user")?;
+        let app: u32 = parse_u32(next_field("app")?, lineno, "app")?;
+        let func: u32 = parse_u32(next_field("func")?, lineno, "func")?;
+        let trigger_raw = next_field("trigger")?;
+        let trigger = TriggerType::from_name(trigger_raw).ok_or_else(|| TraceIoError::Parse {
+            line: lineno,
+            message: format!("unknown trigger `{trigger_raw}`"),
+        })?;
+        let slot_raw = next_field("slot")?;
+        let count: u32 = parse_u32(next_field("count")?, lineno, "count")?;
+
+        let entry = functions.entry(func).or_insert_with(|| Entry {
+            meta: FunctionMeta {
+                app: AppId(app),
+                user: UserId(user),
+                trigger,
+            },
+            pairs: Vec::new(),
+        });
+        if slot_raw != "-" {
+            let slot = parse_u32(slot_raw, lineno, "slot")?;
+            if count > 0 {
+                entry.pairs.push((slot, count));
+                max_slot = Some(max_slot.map_or(slot, |m: Slot| m.max(slot)));
+            }
+        }
+    }
+
+    let n_functions = functions.keys().max().map_or(0, |&m| m as usize + 1);
+    let default_meta = FunctionMeta {
+        app: AppId(0),
+        user: UserId(0),
+        trigger: TriggerType::Others,
+    };
+    let mut metas = vec![default_meta; n_functions];
+    let mut series = vec![SparseSeries::new(); n_functions];
+    for (func, entry) in functions {
+        metas[func as usize] = entry.meta;
+        series[func as usize] = SparseSeries::from_pairs(entry.pairs);
+    }
+    let inferred = max_slot.map_or(0, |m| m + 1);
+    let horizon = n_slots.unwrap_or(inferred).max(inferred);
+    Ok(Trace::new(horizon, metas, series))
+}
+
+fn parse_u32(s: &str, line: usize, field: &str) -> Result<u32, TraceIoError> {
+    s.parse().map_err(|_| TraceIoError::Parse {
+        line,
+        message: format!("invalid {field} value `{s}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let out = synth::small_test_trace(150, 17);
+        let mut buf = Vec::new();
+        write_csv(&out.trace, &mut buf).unwrap();
+        let parsed = read_csv(&buf[..], Some(out.trace.n_slots)).unwrap();
+        assert_eq!(parsed.n_slots, out.trace.n_slots);
+        assert_eq!(parsed.metas, out.trace.metas);
+        assert_eq!(parsed.series, out.trace.series);
+    }
+
+    #[test]
+    fn read_simple_literal() {
+        let csv = "user,app,func,trigger,slot,count\n0,0,0,http,3,2\n0,0,0,http,5,1\n1,1,1,timer,-,0\n";
+        let t = read_csv(csv.as_bytes(), None).unwrap();
+        assert_eq!(t.n_functions(), 2);
+        assert_eq!(t.n_slots, 6);
+        assert_eq!(t.series[0].events(), &[(3, 2), (5, 1)]);
+        assert!(t.series[1].is_empty());
+        assert_eq!(t.metas[1].trigger, TriggerType::Timer);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let csv = "# a comment\n\n0,0,0,queue,1,1\n";
+        let t = read_csv(csv.as_bytes(), None).unwrap();
+        assert_eq!(t.n_functions(), 1);
+        assert_eq!(t.metas[0].trigger, TriggerType::Queue);
+    }
+
+    #[test]
+    fn explicit_horizon_wins_when_larger() {
+        let csv = "0,0,0,http,3,1\n";
+        let t = read_csv(csv.as_bytes(), Some(100)).unwrap();
+        assert_eq!(t.n_slots, 100);
+        // Too-small explicit horizon is widened to fit the data.
+        let t2 = read_csv(csv.as_bytes(), Some(2)).unwrap();
+        assert_eq!(t2.n_slots, 4);
+    }
+
+    #[test]
+    fn bad_trigger_is_an_error() {
+        let csv = "0,0,0,carrier-pigeon,1,1\n";
+        let err = read_csv(csv.as_bytes(), None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("carrier-pigeon"), "{msg}");
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let csv = "0,0,zero,http,1,1\n";
+        let err = read_csv(csv.as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("invalid func"));
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let csv = "0,0,0,http\n";
+        let err = read_csv(csv.as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_trace() {
+        let t = read_csv(&b""[..], None).unwrap();
+        assert_eq!(t.n_functions(), 0);
+        assert_eq!(t.n_slots, 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! Core trace model: functions, applications, users, triggers, and the
+//! per-minute invocation trace.
+//!
+//! The model mirrors the Azure Functions 2019 dataset the paper evaluates
+//! on: each function belongs to one application, each application to one
+//! user (owner), each function carries a trigger type, and the trace
+//! records the invocation count of every function for every minute of a
+//! 14-day window.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A minute-granularity time slot index into the trace.
+pub type Slot = u32;
+
+/// Number of slots in one day at minute granularity.
+pub const SLOTS_PER_DAY: Slot = 24 * 60;
+
+/// Identifier of a serverless function (dense index into the trace).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FunctionId(pub u32);
+
+/// Identifier of an application (a group of functions).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AppId(pub u32);
+
+/// Identifier of a user (owner of one or more applications).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub u32);
+
+impl FunctionId {
+    /// The dense index of this function.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Trigger types, following the taxonomy of Fig. 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TriggerType {
+    /// HTTP requests (41.19% of functions in the Azure trace).
+    Http,
+    /// Scheduled timers (26.64%).
+    Timer,
+    /// Queue / service-bus messages (14.40%).
+    Queue,
+    /// Durable-orchestration activity (7.76%).
+    Orchestration,
+    /// Event-grid style events (2.52%).
+    Event,
+    /// Blob/storage events (2.19%).
+    Storage,
+    /// Everything else (2.72%).
+    Others,
+    /// More than one trigger type bound to the function (2.60%).
+    Combination,
+}
+
+impl TriggerType {
+    /// All trigger types in a stable order.
+    pub const ALL: [TriggerType; 8] = [
+        TriggerType::Http,
+        TriggerType::Timer,
+        TriggerType::Queue,
+        TriggerType::Orchestration,
+        TriggerType::Event,
+        TriggerType::Storage,
+        TriggerType::Others,
+        TriggerType::Combination,
+    ];
+
+    /// Short stable name used in reports and the CSV format.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerType::Http => "http",
+            TriggerType::Timer => "timer",
+            TriggerType::Queue => "queue",
+            TriggerType::Orchestration => "orchestration",
+            TriggerType::Event => "event",
+            TriggerType::Storage => "storage",
+            TriggerType::Others => "others",
+            TriggerType::Combination => "combination",
+        }
+    }
+
+    /// Parses a name produced by [`TriggerType::name`].
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+impl fmt::Display for TriggerType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static metadata of one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionMeta {
+    /// Owning application.
+    pub app: AppId,
+    /// Owning user.
+    pub user: UserId,
+    /// Trigger type bound to the function.
+    pub trigger: TriggerType,
+}
+
+/// A sparse per-minute invocation series: sorted `(slot, count)` pairs with
+/// strictly positive counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseSeries {
+    events: Vec<(Slot, u32)>,
+}
+
+impl SparseSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a series from `(slot, count)` pairs; pairs with zero count are
+    /// dropped, duplicates are summed, and the result is sorted.
+    #[must_use]
+    pub fn from_pairs(mut pairs: Vec<(Slot, u32)>) -> Self {
+        pairs.retain(|&(_, c)| c > 0);
+        pairs.sort_unstable_by_key(|&(s, _)| s);
+        let mut events: Vec<(Slot, u32)> = Vec::with_capacity(pairs.len());
+        for (slot, count) in pairs {
+            match events.last_mut() {
+                Some((last_slot, last_count)) if *last_slot == slot => {
+                    *last_count = last_count.saturating_add(count);
+                }
+                _ => events.push((slot, count)),
+            }
+        }
+        Self { events }
+    }
+
+    /// Appends an invocation count at `slot`, which must be strictly after
+    /// every existing event (generator fast path).
+    ///
+    /// # Panics
+    /// Panics if `slot` is not strictly increasing or `count` is zero.
+    pub fn push(&mut self, slot: Slot, count: u32) {
+        assert!(count > 0, "zero-count event");
+        if let Some(&(last, _)) = self.events.last() {
+            assert!(slot > last, "push out of order: {slot} after {last}");
+        }
+        self.events.push((slot, count));
+    }
+
+    /// Adds `count` invocations at `slot`, merging with an existing event.
+    /// Unlike [`SparseSeries::push`], arbitrary order is allowed.
+    pub fn add(&mut self, slot: Slot, count: u32) {
+        if count == 0 {
+            return;
+        }
+        match self.events.binary_search_by_key(&slot, |&(s, _)| s) {
+            Ok(i) => self.events[i].1 = self.events[i].1.saturating_add(count),
+            Err(i) => self.events.insert(i, (slot, count)),
+        }
+    }
+
+    /// Number of slots with at least one invocation.
+    #[must_use]
+    pub fn active_slots(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the series has no invocations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total invocations over the whole series.
+    #[must_use]
+    pub fn total_invocations(&self) -> u64 {
+        self.events.iter().map(|&(_, c)| u64::from(c)).sum()
+    }
+
+    /// Invocation count at `slot` (0 when absent).
+    #[must_use]
+    pub fn count_at(&self, slot: Slot) -> u32 {
+        match self.events.binary_search_by_key(&slot, |&(s, _)| s) {
+            Ok(i) => self.events[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// All events as a slice of `(slot, count)` pairs.
+    #[must_use]
+    pub fn events(&self) -> &[(Slot, u32)] {
+        &self.events
+    }
+
+    /// Events within `[start, end)`.
+    #[must_use]
+    pub fn events_in(&self, start: Slot, end: Slot) -> &[(Slot, u32)] {
+        let lo = self.events.partition_point(|&(s, _)| s < start);
+        let hi = self.events.partition_point(|&(s, _)| s < end);
+        &self.events[lo..hi]
+    }
+
+    /// First invoked slot, if any.
+    #[must_use]
+    pub fn first_slot(&self) -> Option<Slot> {
+        self.events.first().map(|&(s, _)| s)
+    }
+
+    /// Last invoked slot, if any.
+    #[must_use]
+    pub fn last_slot(&self) -> Option<Slot> {
+        self.events.last().map(|&(s, _)| s)
+    }
+}
+
+/// A complete invocation trace over a population of functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Exclusive upper bound of valid slots.
+    pub n_slots: Slot,
+    /// Per-function metadata, indexed by [`FunctionId`].
+    pub metas: Vec<FunctionMeta>,
+    /// Per-function invocation series, indexed by [`FunctionId`].
+    pub series: Vec<SparseSeries>,
+}
+
+impl Trace {
+    /// Creates a trace; `metas` and `series` must have equal length.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or an event at/after `n_slots`.
+    #[must_use]
+    pub fn new(n_slots: Slot, metas: Vec<FunctionMeta>, series: Vec<SparseSeries>) -> Self {
+        assert_eq!(metas.len(), series.len(), "metas/series length mismatch");
+        for (i, s) in series.iter().enumerate() {
+            if let Some(last) = s.last_slot() {
+                assert!(
+                    last < n_slots,
+                    "function {i} has event at slot {last} >= n_slots {n_slots}"
+                );
+            }
+        }
+        Self {
+            n_slots,
+            metas,
+            series,
+        }
+    }
+
+    /// Number of functions in the trace.
+    #[must_use]
+    pub fn n_functions(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Iterator over all function ids.
+    pub fn function_ids(&self) -> impl Iterator<Item = FunctionId> + '_ {
+        (0..self.metas.len() as u32).map(FunctionId)
+    }
+
+    /// Series of one function.
+    #[must_use]
+    pub fn series_of(&self, f: FunctionId) -> &SparseSeries {
+        &self.series[f.index()]
+    }
+
+    /// Metadata of one function.
+    #[must_use]
+    pub fn meta_of(&self, f: FunctionId) -> &FunctionMeta {
+        &self.metas[f.index()]
+    }
+
+    /// Functions grouped by application.
+    #[must_use]
+    pub fn functions_by_app(&self) -> HashMap<AppId, Vec<FunctionId>> {
+        let mut map: HashMap<AppId, Vec<FunctionId>> = HashMap::new();
+        for (i, meta) in self.metas.iter().enumerate() {
+            map.entry(meta.app).or_default().push(FunctionId(i as u32));
+        }
+        map
+    }
+
+    /// Functions grouped by user.
+    #[must_use]
+    pub fn functions_by_user(&self) -> HashMap<UserId, Vec<FunctionId>> {
+        let mut map: HashMap<UserId, Vec<FunctionId>> = HashMap::new();
+        for (i, meta) in self.metas.iter().enumerate() {
+            map.entry(meta.user).or_default().push(FunctionId(i as u32));
+        }
+        map
+    }
+
+    /// Per-slot invocation buckets for `[start, end)`: element `t - start`
+    /// lists every `(function, count)` invoked at slot `t`.
+    ///
+    /// The simulation engine builds this once per run so the hot loop never
+    /// searches the sparse series.
+    #[must_use]
+    pub fn bucket_by_slot(&self, start: Slot, end: Slot) -> Vec<Vec<(FunctionId, u32)>> {
+        assert!(start <= end, "invalid bucket range");
+        let mut buckets: Vec<Vec<(FunctionId, u32)>> = vec![Vec::new(); (end - start) as usize];
+        for (i, series) in self.series.iter().enumerate() {
+            for &(slot, count) in series.events_in(start, end) {
+                buckets[(slot - start) as usize].push((FunctionId(i as u32), count));
+            }
+        }
+        buckets
+    }
+
+    /// Functions with at least one invocation in `[start, end)`.
+    #[must_use]
+    pub fn invoked_in(&self, start: Slot, end: Slot) -> Vec<FunctionId> {
+        self.function_ids()
+            .filter(|&f| !self.series_of(f).events_in(start, end).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> FunctionMeta {
+        FunctionMeta {
+            app: AppId(0),
+            user: UserId(0),
+            trigger: TriggerType::Http,
+        }
+    }
+
+    #[test]
+    fn trigger_names_round_trip() {
+        for t in TriggerType::ALL {
+            assert_eq!(TriggerType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(TriggerType::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn from_pairs_sorts_dedups_and_drops_zeros() {
+        let s = SparseSeries::from_pairs(vec![(5, 1), (2, 3), (5, 2), (7, 0)]);
+        assert_eq!(s.events(), &[(2, 3), (5, 3)]);
+        assert_eq!(s.total_invocations(), 6);
+    }
+
+    #[test]
+    fn push_in_order() {
+        let mut s = SparseSeries::new();
+        s.push(1, 10);
+        s.push(4, 2);
+        assert_eq!(s.count_at(1), 10);
+        assert_eq!(s.count_at(2), 0);
+        assert_eq!(s.active_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "push out of order")]
+    fn push_rejects_out_of_order() {
+        let mut s = SparseSeries::new();
+        s.push(4, 1);
+        s.push(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-count event")]
+    fn push_rejects_zero_count() {
+        let mut s = SparseSeries::new();
+        s.push(4, 0);
+    }
+
+    #[test]
+    fn add_merges_and_inserts() {
+        let mut s = SparseSeries::from_pairs(vec![(3, 1)]);
+        s.add(3, 2);
+        s.add(1, 5);
+        s.add(9, 0); // no-op
+        assert_eq!(s.events(), &[(1, 5), (3, 3)]);
+    }
+
+    #[test]
+    fn events_in_half_open_range() {
+        let s = SparseSeries::from_pairs(vec![(1, 1), (3, 1), (5, 1), (8, 1)]);
+        assert_eq!(s.events_in(3, 8), &[(3, 1), (5, 1)]);
+        assert_eq!(s.events_in(0, 100), s.events());
+        assert!(s.events_in(6, 8).is_empty());
+    }
+
+    #[test]
+    fn first_last_slots() {
+        let s = SparseSeries::from_pairs(vec![(4, 1), (9, 2)]);
+        assert_eq!(s.first_slot(), Some(4));
+        assert_eq!(s.last_slot(), Some(9));
+        assert_eq!(SparseSeries::new().first_slot(), None);
+    }
+
+    #[test]
+    fn trace_grouping() {
+        let metas = vec![
+            FunctionMeta {
+                app: AppId(1),
+                user: UserId(1),
+                trigger: TriggerType::Http,
+            },
+            FunctionMeta {
+                app: AppId(1),
+                user: UserId(1),
+                trigger: TriggerType::Timer,
+            },
+            FunctionMeta {
+                app: AppId(2),
+                user: UserId(1),
+                trigger: TriggerType::Queue,
+            },
+        ];
+        let series = vec![SparseSeries::new(); 3];
+        let t = Trace::new(100, metas, series);
+        let by_app = t.functions_by_app();
+        assert_eq!(by_app[&AppId(1)].len(), 2);
+        assert_eq!(by_app[&AppId(2)], vec![FunctionId(2)]);
+        let by_user = t.functions_by_user();
+        assert_eq!(by_user[&UserId(1)].len(), 3);
+    }
+
+    #[test]
+    fn bucket_by_slot_places_events() {
+        let series = vec![
+            SparseSeries::from_pairs(vec![(0, 1), (2, 5)]),
+            SparseSeries::from_pairs(vec![(2, 7)]),
+        ];
+        let t = Trace::new(4, vec![meta(); 2], series);
+        let buckets = t.bucket_by_slot(0, 4);
+        assert_eq!(buckets[0], vec![(FunctionId(0), 1)]);
+        assert!(buckets[1].is_empty());
+        assert_eq!(buckets[2], vec![(FunctionId(0), 5), (FunctionId(1), 7)]);
+        assert!(buckets[3].is_empty());
+    }
+
+    #[test]
+    fn bucket_by_slot_subrange() {
+        let series = vec![SparseSeries::from_pairs(vec![(1, 1), (3, 1)])];
+        let t = Trace::new(5, vec![meta()], series);
+        let buckets = t.bucket_by_slot(2, 5);
+        assert!(buckets[0].is_empty());
+        assert_eq!(buckets[1], vec![(FunctionId(0), 1)]);
+        assert!(buckets[2].is_empty());
+    }
+
+    #[test]
+    fn invoked_in_filters() {
+        let series = vec![
+            SparseSeries::from_pairs(vec![(1, 1)]),
+            SparseSeries::new(),
+            SparseSeries::from_pairs(vec![(9, 1)]),
+        ];
+        let t = Trace::new(10, vec![meta(); 3], series);
+        assert_eq!(t.invoked_in(0, 5), vec![FunctionId(0)]);
+        assert_eq!(t.invoked_in(5, 10), vec![FunctionId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "metas/series length mismatch")]
+    fn trace_rejects_length_mismatch() {
+        let _ = Trace::new(10, vec![meta()], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= n_slots")]
+    fn trace_rejects_event_out_of_horizon() {
+        let _ = Trace::new(
+            5,
+            vec![meta()],
+            vec![SparseSeries::from_pairs(vec![(7, 1)])],
+        );
+    }
+}

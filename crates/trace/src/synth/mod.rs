@@ -1,0 +1,355 @@
+//! Synthetic Azure-like trace generation.
+//!
+//! The generator reproduces the published statistics of the Azure
+//! Functions 2019 trace that every SPES mechanism depends on (see
+//! DESIGN.md for the substitution argument): trigger mix, heavy-tailed
+//! invocation counts, trigger-conditioned behavioural patterns, intra-app
+//! chaining, temporal locality, concept shifts, and unseen functions.
+
+pub mod archetype;
+pub mod population;
+
+pub use archetype::Archetype;
+pub use population::{FunctionSpec, Segment};
+
+use crate::model::{Slot, SparseSeries, Trace, SLOTS_PER_DAY};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthConfig {
+    /// Number of functions to generate.
+    pub n_functions: usize,
+    /// Trace length in days (paper: 14).
+    pub days: u32,
+    /// Training prefix in days (paper: 12); unseen functions start after it.
+    pub train_days: u32,
+    /// RNG seed; the same seed reproduces the same trace bit-for-bit.
+    pub seed: u64,
+    /// Fraction of functions never invoked at all.
+    pub silent_fraction: f64,
+    /// Fraction of functions that first appear after the training window
+    /// (Azure: 743 / 83,137 ~ 0.9%).
+    pub unseen_fraction: f64,
+    /// Fraction of functions undergoing a concept shift (Fig. 4).
+    pub shift_fraction: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            n_functions: 2_000,
+            days: 14,
+            train_days: 12,
+            seed: 0xC0FFEE,
+            silent_fraction: 0.02,
+            unseen_fraction: 0.009,
+            shift_fraction: 0.06,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// Total trace horizon in slots.
+    #[must_use]
+    pub fn horizon(&self) -> Slot {
+        self.days * SLOTS_PER_DAY
+    }
+
+    /// End of the training window in slots.
+    #[must_use]
+    pub fn train_end(&self) -> Slot {
+        self.train_days * SLOTS_PER_DAY
+    }
+}
+
+/// A generated trace together with its ground-truth function specs.
+#[derive(Debug, Clone)]
+pub struct SynthTrace {
+    /// The invocation trace.
+    pub trace: Trace,
+    /// Per-function ground truth (archetypes, shifts, unseen flags),
+    /// aligned with `trace` function ids.
+    pub specs: Vec<FunctionSpec>,
+}
+
+/// Generates a synthetic trace.
+///
+/// # Panics
+/// Panics if `train_days > days` or `n_functions == 0`.
+#[must_use]
+pub fn generate(config: &SynthConfig) -> SynthTrace {
+    assert!(config.train_days <= config.days, "train window too long");
+    assert!(config.n_functions > 0, "empty population");
+    let horizon = config.horizon();
+    let train_end = config.train_end();
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let specs = population::build_population(
+        config.n_functions,
+        horizon,
+        train_end,
+        config.silent_fraction,
+        config.unseen_fraction,
+        config.shift_fraction,
+        &mut rng,
+    );
+
+    // Pass 1: all non-chained functions, each from a per-function RNG so
+    // that the output is independent of generation order.
+    let mut series: Vec<SparseSeries> = vec![SparseSeries::new(); specs.len()];
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.is_chained() {
+            continue;
+        }
+        series[i] = generate_segments(spec, config.seed, i as u64);
+    }
+
+    // Pass 2: chained functions, reading their parent's finished series.
+    for (i, spec) in specs.iter().enumerate() {
+        if !spec.is_chained() {
+            continue;
+        }
+        let mut frng = SmallRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let mut pairs: Vec<(Slot, u32)> = Vec::new();
+        for seg in &spec.segments {
+            let seg_series = match &seg.archetype {
+                Archetype::Chained { parent, lag, prob } => archetype::generate_chained(
+                    &series[parent.index()],
+                    *lag,
+                    *prob,
+                    seg.start,
+                    seg.end,
+                    &mut frng,
+                ),
+                other => archetype::generate(other, seg.start, seg.end, &mut frng),
+            };
+            pairs.extend_from_slice(seg_series.events());
+        }
+        series[i] = SparseSeries::from_pairs(pairs);
+    }
+
+    let metas = specs.iter().map(|s| s.meta).collect();
+    SynthTrace {
+        trace: Trace::new(horizon, metas, series),
+        specs,
+    }
+}
+
+fn generate_segments(spec: &FunctionSpec, seed: u64, index: u64) -> SparseSeries {
+    let mut frng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9));
+    let mut pairs: Vec<(Slot, u32)> = Vec::new();
+    for seg in &spec.segments {
+        let seg_series = archetype::generate(&seg.archetype, seg.start, seg.end, &mut frng);
+        pairs.extend_from_slice(seg_series.events());
+    }
+    SparseSeries::from_pairs(pairs)
+}
+
+/// Convenience: generates a small deterministic trace for tests/examples.
+#[must_use]
+pub fn small_test_trace(n_functions: usize, seed: u64) -> SynthTrace {
+    generate(&SynthConfig {
+        n_functions,
+        seed,
+        ..SynthConfig::default()
+    })
+}
+
+/// Draws `k` distinct random elements from `0..n` (reservoir sampling);
+/// used by the empirical-analysis figures for negative sampling.
+pub fn sample_distinct<R: RngExt>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let k = k.min(n);
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.random_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TriggerType;
+    use crate::series::Sequences;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig {
+            n_functions: 200,
+            ..SynthConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.trace.series, b.trace.series);
+        assert_eq!(a.trace.metas, b.trace.metas);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_test_trace(100, 1);
+        let b = small_test_trace(100, 2);
+        assert_ne!(a.trace.series, b.trace.series);
+    }
+
+    #[test]
+    fn horizon_respected() {
+        let out = small_test_trace(300, 3);
+        let horizon = out.trace.n_slots;
+        for s in &out.trace.series {
+            if let Some(last) = s.last_slot() {
+                assert!(last < horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_functions_silent_during_training() {
+        let cfg = SynthConfig {
+            n_functions: 3_000,
+            unseen_fraction: 0.05,
+            ..SynthConfig::default()
+        };
+        let out = generate(&cfg);
+        let train_end = cfg.train_end();
+        let mut n_unseen = 0;
+        for (i, spec) in out.specs.iter().enumerate() {
+            if spec.unseen {
+                n_unseen += 1;
+                assert!(
+                    out.trace.series[i].events_in(0, train_end).is_empty(),
+                    "unseen function {i} invoked during training"
+                );
+            }
+        }
+        assert!(n_unseen > 50);
+    }
+
+    #[test]
+    fn heavy_tail_spans_orders_of_magnitude() {
+        let out = small_test_trace(2_000, 11);
+        let totals: Vec<u64> = out
+            .trace
+            .series
+            .iter()
+            .map(SparseSeries::total_invocations)
+            .filter(|&t| t > 0)
+            .collect();
+        let max = *totals.iter().max().unwrap();
+        let min_nonzero = *totals.iter().min().unwrap();
+        // Fig. 3: counts span many orders of magnitude.
+        assert!(
+            max / min_nonzero.max(1) > 10_000,
+            "max {max}, min {min_nonzero}"
+        );
+    }
+
+    #[test]
+    fn chained_functions_follow_parents() {
+        let cfg = SynthConfig {
+            n_functions: 3_000,
+            shift_fraction: 0.0,
+            ..SynthConfig::default()
+        };
+        let out = generate(&cfg);
+        let mut checked = 0;
+        for (i, spec) in out.specs.iter().enumerate() {
+            if let Archetype::Chained { parent, lag, .. } = spec.primary_archetype() {
+                let child = &out.trace.series[i];
+                if child.is_empty() {
+                    continue;
+                }
+                let parent_series = &out.trace.series[parent.index()];
+                // Every child invocation must sit `lag` slots after some
+                // parent invocation.
+                for &(slot, _) in child.events() {
+                    assert!(
+                        parent_series.count_at(slot - lag) > 0,
+                        "orphan child invocation at {slot}"
+                    );
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "only {checked} chained functions checked");
+    }
+
+    #[test]
+    fn shifted_regular_changes_wt_distribution() {
+        // Find a shifted regular function and verify its WT mode differs
+        // across the shift point.
+        let cfg = SynthConfig {
+            n_functions: 4_000,
+            shift_fraction: 0.5,
+            silent_fraction: 0.0,
+            unseen_fraction: 0.0,
+            ..SynthConfig::default()
+        };
+        let out = generate(&cfg);
+        let mut verified = 0;
+        for (i, spec) in out.specs.iter().enumerate() {
+            if spec.segments.len() != 2 {
+                continue;
+            }
+            let (a, b) = (&spec.segments[0], &spec.segments[1]);
+            if let (Archetype::Regular { period: p1 }, Archetype::Regular { period: p2 }) =
+                (&a.archetype, &b.archetype)
+            {
+                if p1 == p2 {
+                    continue;
+                }
+                let wt_a = Sequences::waiting_times(&out.trace.series[i], a.start, a.end);
+                let wt_b = Sequences::waiting_times(&out.trace.series[i], b.start, b.end);
+                if wt_a.len() < 4 || wt_b.len() < 4 {
+                    continue;
+                }
+                let mode_a = spes_stats::top_modes(&wt_a, 1)[0].value;
+                let mode_b = spes_stats::top_modes(&wt_b, 1)[0].value;
+                assert_ne!(mode_a, mode_b, "function {i} shift not visible");
+                verified += 1;
+                if verified >= 5 {
+                    break;
+                }
+            }
+        }
+        assert!(verified >= 1, "no shifted regular function verified");
+    }
+
+    #[test]
+    fn trigger_mix_in_generated_trace() {
+        let out = small_test_trace(20_000, 5);
+        let timers = out
+            .specs
+            .iter()
+            .filter(|s| s.meta.trigger == TriggerType::Timer)
+            .count();
+        let frac = timers as f64 / out.specs.len() as f64;
+        assert!((0.24..=0.29).contains(&frac), "timer fraction {frac}");
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sample_distinct(100, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(s.iter().all(|&x| x < 100));
+        // k > n clamps.
+        assert_eq!(sample_distinct(3, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "train window too long")]
+    fn rejects_bad_train_window() {
+        let _ = generate(&SynthConfig {
+            days: 2,
+            train_days: 5,
+            ..SynthConfig::default()
+        });
+    }
+}

@@ -1,0 +1,66 @@
+//! Head-to-head comparison of SPES and all five baselines on one
+//! workload — a miniature of the paper's Figs. 8, 9, and 11.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use spes::baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
+use spes::core::{SpesConfig, SpesPolicy};
+use spes::sim::{simulate, NormalizedComparison, RunResult, SimConfig};
+use spes::trace::{synth, SynthConfig, SLOTS_PER_DAY};
+
+fn main() {
+    let config = SynthConfig {
+        n_functions: 800,
+        seed: 2024,
+        ..SynthConfig::default()
+    };
+    let data = synth::generate(&config);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
+
+    let mut runs: Vec<RunResult> = Vec::new();
+
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
+    runs.push(simulate(trace, &mut spes, window));
+    let spes_peak = runs[0].peak_loaded.max(1);
+
+    let mut defuse = Defuse::paper_default(trace, 0, train_end);
+    runs.push(simulate(trace, &mut defuse, window));
+
+    let mut hf = HybridHistogram::fit(trace, 0, train_end, Granularity::Function);
+    runs.push(simulate(trace, &mut hf, window));
+
+    let mut ha = HybridHistogram::fit(trace, 0, train_end, Granularity::Application);
+    runs.push(simulate(trace, &mut ha, window));
+
+    let mut fixed = FixedKeepAlive::paper_default(trace.n_functions());
+    runs.push(simulate(trace, &mut fixed, window));
+
+    // FaaSCache runs against SPES's peak memory, as in the paper.
+    let mut faascache = FaasCache::new(trace.n_functions());
+    runs.push(simulate(trace, &mut faascache, window.with_capacity(spes_peak)));
+
+    let memory = NormalizedComparison::build(&runs, "spes", RunResult::mean_loaded);
+    let wmt = NormalizedComparison::build(&runs, "spes", |r| r.total_wmt() as f64);
+
+    println!(
+        "{:<20} {:>8} {:>8} {:>12} {:>10} {:>12} {:>9}",
+        "policy", "Q3-CSR", "P90-CSR", "always-cold", "memory", "wasted-mem", "EMCR"
+    );
+    for run in &runs {
+        println!(
+            "{:<20} {:>8.3} {:>8.3} {:>11.1}% {:>9.2}x {:>11.2}x {:>8.1}%",
+            run.policy_name,
+            run.csr_percentile(75.0).unwrap_or(f64::NAN),
+            run.csr_percentile(90.0).unwrap_or(f64::NAN),
+            run.always_cold_fraction() * 100.0,
+            memory.normalized_of(&run.policy_name).unwrap(),
+            wmt.normalized_of(&run.policy_name).unwrap(),
+            run.emcr() * 100.0,
+        );
+    }
+    println!("\n(memory and wasted-mem are normalised to SPES = 1.00x)");
+}

@@ -1,0 +1,11 @@
+//! Facade crate for the SPES reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so downstream users can
+//! depend on a single `spes` package. See the README for a quickstart and
+//! DESIGN.md for the system inventory.
+
+pub use spes_baselines as baselines;
+pub use spes_core as core;
+pub use spes_sim as sim;
+pub use spes_stats as stats;
+pub use spes_trace as trace;

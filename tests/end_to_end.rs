@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the full generate -> fit -> simulate
+//! pipeline and its invariants.
+
+use spes::baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
+use spes::core::{SpesConfig, SpesPolicy};
+use spes::sim::{simulate, Policy, RunResult, SimConfig};
+use spes::trace::{synth, SynthConfig, SynthTrace, SLOTS_PER_DAY};
+
+fn workload(n: usize, seed: u64) -> SynthTrace {
+    synth::generate(&SynthConfig {
+        n_functions: n,
+        seed,
+        ..SynthConfig::default()
+    })
+}
+
+fn run_policy(data: &SynthTrace, policy: &mut dyn Policy) -> RunResult {
+    let train_end = 12 * SLOTS_PER_DAY;
+    simulate(
+        &data.trace,
+        policy,
+        SimConfig::new(0, data.trace.n_slots).with_metrics_start(train_end),
+    )
+}
+
+/// Per-function accounting invariants hold for every policy.
+#[test]
+fn accounting_invariants_hold_for_all_policies() {
+    let data = workload(300, 99);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+    let n_slots = u64::from(trace.n_slots - train_end);
+
+    let mut policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(SpesPolicy::fit(trace, 0, train_end, SpesConfig::default())),
+        Box::new(Defuse::paper_default(trace, 0, train_end)),
+        Box::new(HybridHistogram::fit(trace, 0, train_end, Granularity::Function)),
+        Box::new(HybridHistogram::fit(trace, 0, train_end, Granularity::Application)),
+        Box::new(FixedKeepAlive::paper_default(trace.n_functions())),
+    ];
+    for policy in &mut policies {
+        let run = run_policy(&data, policy.as_mut());
+        for f in 0..trace.n_functions() {
+            // A function cold-starts at most once per invoked slot.
+            let invoked_slots = trace
+                .series_of(spes::trace::FunctionId(f as u32))
+                .events_in(train_end, trace.n_slots)
+                .len() as u64;
+            assert!(
+                run.cold_starts[f] <= invoked_slots,
+                "{}: f{f} cold {} > invoked slots {invoked_slots}",
+                run.policy_name,
+                run.cold_starts[f]
+            );
+            assert!(run.cold_starts[f] <= run.invocations[f]);
+            // WMT cannot exceed the window.
+            assert!(run.wmt[f] <= n_slots);
+        }
+        // The loaded-time integral at least covers the wasted time.
+        assert!(run.loaded_integral >= run.total_wmt());
+        assert!((0.0..=1.0).contains(&run.emcr()));
+    }
+}
+
+/// Identical inputs give identical results (full determinism end to end).
+#[test]
+fn end_to_end_determinism() {
+    let run = |seed| {
+        let data = workload(150, seed);
+        let mut spes =
+            SpesPolicy::fit(&data.trace, 0, 12 * SLOTS_PER_DAY, SpesConfig::default());
+        run_policy(&data, &mut spes)
+    };
+    let a = run(5);
+    let b = run(5);
+    assert_eq!(a.cold_starts, b.cold_starts);
+    assert_eq!(a.wmt, b.wmt);
+    assert_eq!(a.loaded_integral, b.loaded_integral);
+    let c = run(6);
+    assert_ne!(a.cold_starts, c.cold_starts);
+}
+
+/// The headline result: SPES beats the fixed keep-alive policy on *both*
+/// sides of the trade-off (fewer cold starts and less wasted memory).
+#[test]
+fn spes_dominates_fixed_keepalive() {
+    let data = workload(400, 123);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
+    let spes_run = run_policy(&data, &mut spes);
+    let mut fixed = FixedKeepAlive::paper_default(trace.n_functions());
+    let fixed_run = run_policy(&data, &mut fixed);
+
+    assert!(
+        spes_run.csr_percentile(75.0).unwrap() < fixed_run.csr_percentile(75.0).unwrap(),
+        "SPES Q3 {:?} vs fixed {:?}",
+        spes_run.csr_percentile(75.0),
+        fixed_run.csr_percentile(75.0)
+    );
+    assert!(
+        spes_run.total_cold_starts() < fixed_run.total_cold_starts(),
+        "SPES {} cold starts vs fixed {}",
+        spes_run.total_cold_starts(),
+        fixed_run.total_cold_starts()
+    );
+    assert!(
+        spes_run.total_wmt() < fixed_run.total_wmt(),
+        "SPES wmt {} vs fixed {}",
+        spes_run.total_wmt(),
+        fixed_run.total_wmt()
+    );
+}
+
+/// SPES beats the strongest baseline at the paper's headline percentile.
+#[test]
+fn spes_beats_best_baseline_at_q3() {
+    let data = workload(600, 2024);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
+    let spes_q3 = run_policy(&data, &mut spes).csr_percentile(75.0).unwrap();
+
+    let mut best_baseline_q3 = f64::INFINITY;
+    let mut defuse = Defuse::paper_default(trace, 0, train_end);
+    best_baseline_q3 =
+        best_baseline_q3.min(run_policy(&data, &mut defuse).csr_percentile(75.0).unwrap());
+    let mut hf = HybridHistogram::fit(trace, 0, train_end, Granularity::Function);
+    best_baseline_q3 =
+        best_baseline_q3.min(run_policy(&data, &mut hf).csr_percentile(75.0).unwrap());
+    let mut ha = HybridHistogram::fit(trace, 0, train_end, Granularity::Application);
+    best_baseline_q3 =
+        best_baseline_q3.min(run_policy(&data, &mut ha).csr_percentile(75.0).unwrap());
+
+    assert!(
+        spes_q3 < best_baseline_q3,
+        "SPES Q3 {spes_q3} vs best baseline {best_baseline_q3}"
+    );
+}
+
+/// FaaSCache under SPES's memory budget never exceeds it.
+#[test]
+fn faascache_respects_budget() {
+    let data = workload(300, 77);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
+    let spes_run = run_policy(&data, &mut spes);
+    let budget = spes_run.peak_loaded.max(1);
+
+    let mut faascache = FaasCache::new(trace.n_functions());
+    let run = simulate(
+        trace,
+        &mut faascache,
+        SimConfig::new(0, trace.n_slots)
+            .with_metrics_start(train_end)
+            .with_capacity(budget),
+    );
+    assert!(run.peak_loaded <= budget);
+    // With bounded memory it serves the same workload, worse or equal.
+    assert_eq!(run.total_invocations(), spes_run.total_invocations());
+    assert!(run.total_cold_starts() >= spes_run.total_cold_starts());
+}
+
+/// The always-warm invariants of the SPES policy: functions it labels
+/// always-warm never cold-start in the simulated window.
+#[test]
+fn always_warm_functions_never_cold() {
+    let data = workload(500, 31);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+    let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
+    let labels: Vec<&str> = (0..trace.n_functions())
+        .map(|i| spes.type_of(spes::trace::FunctionId(i as u32)).label())
+        .collect();
+    let run = run_policy(&data, &mut spes);
+    for (f, label) in labels.iter().enumerate() {
+        if *label == "always-warm" {
+            assert_eq!(run.cold_starts[f], 0, "always-warm f{f} went cold");
+        }
+    }
+}

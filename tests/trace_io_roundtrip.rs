@@ -1,0 +1,50 @@
+//! Integration tests of the trace CSV format: a round-tripped trace must
+//! drive every policy to identical results.
+
+use spes::core::{SpesConfig, SpesPolicy};
+use spes::sim::{simulate, SimConfig};
+use spes::trace::{io, synth, SynthConfig, SLOTS_PER_DAY};
+
+#[test]
+fn round_tripped_trace_reproduces_simulation() {
+    let data = synth::generate(&SynthConfig {
+        n_functions: 200,
+        seed: 404,
+        ..SynthConfig::default()
+    });
+    let original = &data.trace;
+
+    let mut buffer = Vec::new();
+    io::write_csv(original, &mut buffer).expect("serialise");
+    let reloaded = io::read_csv(&buffer[..], Some(original.n_slots)).expect("parse");
+
+    assert_eq!(reloaded.n_slots, original.n_slots);
+    assert_eq!(reloaded.metas, original.metas);
+    assert_eq!(reloaded.series, original.series);
+
+    let train_end = 12 * SLOTS_PER_DAY;
+    let window = SimConfig::new(0, original.n_slots).with_metrics_start(train_end);
+
+    let mut spes_a = SpesPolicy::fit(original, 0, train_end, SpesConfig::default());
+    let run_a = simulate(original, &mut spes_a, window);
+    let mut spes_b = SpesPolicy::fit(&reloaded, 0, train_end, SpesConfig::default());
+    let run_b = simulate(&reloaded, &mut spes_b, window);
+
+    assert_eq!(run_a.cold_starts, run_b.cold_starts);
+    assert_eq!(run_a.wmt, run_b.wmt);
+    assert_eq!(run_a.loaded_integral, run_b.loaded_integral);
+}
+
+#[test]
+fn empty_and_tiny_traces_are_handled() {
+    // An empty CSV parses to an empty trace.
+    let empty = io::read_csv(&b""[..], None).expect("parse empty");
+    assert_eq!(empty.n_functions(), 0);
+
+    // A single-function, single-invocation trace runs end to end.
+    let csv = "user,app,func,trigger,slot,count\n0,0,0,http,5,1\n";
+    let tiny = io::read_csv(csv.as_bytes(), Some(20)).expect("parse tiny");
+    let mut spes = SpesPolicy::fit(&tiny, 0, 10, SpesConfig::default());
+    let run = simulate(&tiny, &mut spes, SimConfig::new(10, 20));
+    assert_eq!(run.total_invocations(), 0); // invocation was in training
+}
