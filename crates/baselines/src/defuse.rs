@@ -55,7 +55,13 @@ impl Defuse {
     /// Mines dependencies and trains the histogram layer on
     /// `[train_start, train_end)`.
     #[must_use]
-    pub fn fit(trace: &Trace, train_start: Slot, train_end: Slot, confidence: f64, max_lag: u32) -> Self {
+    pub fn fit(
+        trace: &Trace,
+        train_start: Slot,
+        train_end: Slot,
+        confidence: f64,
+        max_lag: u32,
+    ) -> Self {
         // Defuse derives keep-alive windows from day-scale invocation
         // histories rather than Shahrad's 4-hour histogram, which is what
         // lets it cover overnight idle periods (at a memory premium).

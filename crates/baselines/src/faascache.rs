@@ -78,15 +78,11 @@ impl Policy for FaasCache {
     }
 
     fn pick_victim(&mut self, pool: &MemoryPool) -> Option<FunctionId> {
-        let victim = pool
-            .loaded()
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.priority[a.index()]
-                    .total_cmp(&self.priority[b.index()])
-                    .then(a.0.cmp(&b.0))
-            })?;
+        let victim = pool.loaded().iter().copied().min_by(|&a, &b| {
+            self.priority[a.index()]
+                .total_cmp(&self.priority[b.index()])
+                .then(a.0.cmp(&b.0))
+        })?;
         // GDSF aging: the clock jumps to the evicted priority.
         self.clock = self.clock.max(self.priority[victim.index()]);
         Some(victim)
@@ -127,10 +123,7 @@ mod tests {
 
     #[test]
     fn unbounded_pool_never_evicts() {
-        let trace = trace_of(
-            vec![SparseSeries::from_pairs(vec![(0, 1), (50, 1)])],
-            100,
-        );
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (50, 1)])], 100);
         let mut p = FaasCache::new(1);
         let r = simulate(&trace, &mut p, SimConfig::new(0, 100));
         assert_eq!(r.cold_starts[0], 1);

@@ -76,7 +76,10 @@ impl UnitState {
     fn refresh_decision(&mut self, fallback_keep_alive: u32) {
         let trusted = self.histogram.in_range() >= MIN_OBSERVATIONS
             && self.histogram.oob_fraction() <= MAX_OOB_FRACTION
-            && self.histogram.cv().is_some_and(|cv| cv <= MAX_REPRESENTATIVE_CV);
+            && self
+                .histogram
+                .cv()
+                .is_some_and(|cv| cv <= MAX_REPRESENTATIVE_CV);
         if !trusted {
             self.representative = false;
             self.prewarm = 0;
@@ -246,7 +249,10 @@ impl Policy for HybridHistogram {
             for unit_idx in self.agenda.remove(&slot).expect("agenda key") {
                 let unit = &self.units[unit_idx];
                 // Skip stale pre-warms (unit invoked again meanwhile).
-                if unit.last_invoked.is_some_and(|last| last + unit.prewarm > now) {
+                if unit
+                    .last_invoked
+                    .is_some_and(|last| last + unit.prewarm > now)
+                {
                     continue;
                 }
                 for &f in &unit.members {
@@ -307,11 +313,7 @@ mod tests {
     fn representative_unit_prewarns() {
         // Period 60 over 4 days; idle times all 60 < 240 bins.
         let horizon = 4 * 1440;
-        let trace = Trace::new(
-            horizon,
-            vec![meta(0)],
-            vec![periodic(60, 0, horizon)],
-        );
+        let trace = Trace::new(horizon, vec![meta(0)], vec![periodic(60, 0, horizon)]);
         let mut p = HybridHistogram::fit(&trace, 0, 2 * 1440, Granularity::Function);
         assert!(p.fallback_fraction() < 1.0);
         let r = simulate(&trace, &mut p, SimConfig::new(2 * 1440, horizon));
@@ -344,11 +346,7 @@ mod tests {
     fn oob_dominated_unit_falls_back() {
         let horizon = 20 * 1440;
         // Idle times of ~10 hours: every observation lands out of bounds.
-        let trace = Trace::new(
-            horizon,
-            vec![meta(0)],
-            vec![periodic(600, 0, horizon)],
-        );
+        let trace = Trace::new(horizon, vec![meta(0)], vec![periodic(600, 0, horizon)]);
         let p = HybridHistogram::fit(&trace, 0, horizon, Granularity::Function);
         assert_eq!(p.fallback_fraction(), 1.0);
     }

@@ -14,5 +14,5 @@ pub mod oracle;
 pub use defuse::{Defuse, Dependency};
 pub use faascache::FaasCache;
 pub use fixed::FixedKeepAlive;
-pub use oracle::Oracle;
 pub use hybrid::{Granularity, HybridHistogram};
+pub use oracle::Oracle;

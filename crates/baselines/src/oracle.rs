@@ -78,7 +78,10 @@ impl Policy for Oracle {
                 if first == start {
                     pool.load(FunctionId(i as u32), start);
                 } else {
-                    self.agenda.entry(first).or_default().push(FunctionId(i as u32));
+                    self.agenda
+                        .entry(first)
+                        .or_default()
+                        .push(FunctionId(i as u32));
                 }
             }
         }
@@ -145,15 +148,16 @@ mod tests {
         );
         let mut oracle = Oracle::frugal(&trace);
         let run = simulate(&trace, &mut oracle, SimConfig::new(0, 100));
-        assert_eq!(run.total_cold_starts(), 0, "the oracle pre-loads everything");
+        assert_eq!(
+            run.total_cold_starts(),
+            0,
+            "the oracle pre-loads everything"
+        );
     }
 
     #[test]
     fn frugal_oracle_wastes_one_slot_per_reload() {
-        let trace = trace_of(
-            vec![SparseSeries::from_pairs(vec![(10, 1), (60, 1)])],
-            100,
-        );
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(10, 1), (60, 1)])], 100);
         let mut oracle = Oracle::frugal(&trace);
         let run = simulate(&trace, &mut oracle, SimConfig::new(0, 100));
         assert_eq!(run.total_cold_starts(), 0);

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the SPES paper's evaluation.
 //!
 //! ```text
-//! repro [--fig <id>] [--functions N] [--seed S] [--out DIR] [--trace FILE]
+//! repro [--fig <id>] [--functions N] [--seed S] [--out DIR] [--trace FILE] [--quick]
 //!
 //!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
 //!                12 | 13 | 14 | 15 | overhead | all   (default: all)
@@ -9,6 +9,8 @@
 //!   --seed       workload seed (default 0xC0FFEE)
 //!   --out        directory for JSON outputs (default: results)
 //!   --trace      load a real trace (long-form CSV) instead of synthesising
+//!   --quick      CI smoke mode: a tiny trace (200 functions, 7 days,
+//!                6-day training) so every figure regenerates in seconds
 //! ```
 //!
 //! Each figure prints a text table and writes `<out>/figN.json`.
@@ -25,19 +27,21 @@ use std::path::{Path, PathBuf};
 
 struct Args {
     fig: String,
-    functions: usize,
+    functions: Option<usize>,
     seed: u64,
     out: PathBuf,
     trace: Option<PathBuf>,
+    quick: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         fig: "all".to_owned(),
-        functions: 2000,
+        functions: None,
         seed: 0xC0FFEE,
         out: PathBuf::from("results"),
         trace: None,
+        quick: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,11 +52,12 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--fig" => args.fig = value("--fig"),
             "--functions" => {
-                args.functions = value("--functions").parse().expect("invalid --functions")
+                args.functions = Some(value("--functions").parse().expect("invalid --functions"))
             }
             "--seed" => args.seed = value("--seed").parse().expect("invalid --seed"),
             "--out" => args.out = PathBuf::from(value("--out")),
             "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
+            "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!("see the module docs of repro.rs / README for usage");
                 std::process::exit(0);
@@ -79,16 +84,25 @@ fn pct(x: f64) -> String {
 fn main() {
     let args = parse_args();
     let wants = |id: &str| args.fig == "all" || args.fig == id;
+    assert!(
+        !(args.quick && args.trace.is_some()),
+        "--quick synthesises its own tiny trace and cannot be combined with --trace"
+    );
 
+    let functions = args
+        .functions
+        .unwrap_or(if args.quick { 200 } else { 2000 });
     println!(
-        "SPES reproduction harness: {} functions, seed {:#x}",
-        args.functions, args.seed
+        "SPES reproduction harness: {} functions, seed {:#x}{}",
+        functions,
+        args.seed,
+        if args.quick { " (quick mode)" } else { "" }
     );
 
     let data: SynthTrace = if let Some(path) = &args.trace {
         let file = std::fs::File::open(path).expect("open trace file");
-        let trace = spes_trace::io::read_csv(std::io::BufReader::new(file), None)
-            .expect("parse trace CSV");
+        let trace =
+            spes_trace::io::read_csv(std::io::BufReader::new(file), None).expect("parse trace CSV");
         println!(
             "loaded real trace: {} functions, {} slots",
             trace.n_functions(),
@@ -110,12 +124,27 @@ fn main() {
             .collect();
         SynthTrace { trace, specs }
     } else {
-        Experiment {
-            synth: SynthConfig {
-                n_functions: args.functions,
+        let synth = if args.quick {
+            // A 7-day trace with a 6-day training prefix keeps the full
+            // figure pipeline exercised while finishing in CI seconds.
+            // 6/7 matches scenario::default_train_end, so the synth
+            // unseen/shift boundary and the fitted training window agree.
+            SynthConfig {
+                n_functions: functions,
+                seed: args.seed,
+                days: 7,
+                train_days: 6,
+                ..SynthConfig::default()
+            }
+        } else {
+            SynthConfig {
+                n_functions: functions,
                 seed: args.seed,
                 ..SynthConfig::default()
-            },
+            }
+        };
+        Experiment {
+            synth,
             spes: SpesConfig::default(),
         }
         .generate()
@@ -197,10 +226,14 @@ fn main() {
     }
 
     // ---- main evaluation (one shared comparison run) ----
-    let needs_comparison =
-        ["table1", "8", "9", "10", "11", "12", "overhead"].iter().any(|id| wants(id));
+    let needs_comparison = ["table1", "8", "9", "10", "11", "12", "overhead"]
+        .iter()
+        .any(|id| wants(id));
     let cmp: Option<ComparisonRun> = needs_comparison.then(|| {
-        println!("\nrunning SPES + 5 baselines over the 14-day trace ...");
+        println!(
+            "\nrunning SPES + 5 baselines over the {}-day trace ...",
+            data.trace.n_slots / spes_trace::SLOTS_PER_DAY
+        );
         run_comparison(&data, &spes_cfg)
     });
 
@@ -286,9 +319,7 @@ fn main() {
                 .normalized_wmt
                 .iter()
                 .zip(&fig.emcr)
-                .map(|((name, wmt), (_, emcr))| {
-                    vec![name.clone(), format!("{wmt:.3}"), pct(*emcr)]
-                })
+                .map(|((name, wmt), (_, emcr))| vec![name.clone(), format!("{wmt:.3}"), pct(*emcr)])
                 .collect();
             println!("{}", text_table(&["policy", "WMT (SPES=1)", "EMCR"], &rows));
             save_json(&args.out, "fig11", &fig);
@@ -334,7 +365,10 @@ fn main() {
             })
             .collect();
         println!("(a) theta_prewarm sweep");
-        println!("{}", text_table(&["theta", "memory (theta=2)", "Q3-CSR"], &rows));
+        println!(
+            "{}",
+            text_table(&["theta", "memory (theta=2)", "Q3-CSR"], &rows)
+        );
         save_json(&args.out, "fig13a", &prewarm);
 
         let givenup: Vec<SweepPoint> = figures_sweep::fig13_givenup(&data, &spes_cfg);
@@ -349,7 +383,10 @@ fn main() {
             })
             .collect();
         println!("(b) give-up scaler sweep");
-        println!("{}", text_table(&["scaler", "memory (x1)", "Q3-CSR"], &rows));
+        println!(
+            "{}",
+            text_table(&["scaler", "memory (x1)", "Q3-CSR"], &rows)
+        );
         save_json(&args.out, "fig13b", &givenup);
     }
 
@@ -368,7 +405,10 @@ fn main() {
             .collect();
         println!(
             "{}",
-            text_table(&["variant", "Q3-CSR", "memory (SPES=1)", "WMT (SPES=1)"], &table_rows)
+            text_table(
+                &["variant", "Q3-CSR", "memory (SPES=1)", "WMT (SPES=1)"],
+                &table_rows
+            )
         );
     };
 

@@ -1,7 +1,7 @@
 //! Parameter sweeps and ablations: Figs. 13, 14, and 15.
 //!
 //! The sweeps run independent SPES configurations over the same trace, in
-//! parallel via crossbeam scoped threads (the trace is shared read-only).
+//! parallel via std scoped threads (the trace is shared read-only).
 
 use crate::scenario::run_spes_only;
 use serde::Serialize;
@@ -21,23 +21,22 @@ pub struct SweepPoint {
 
 /// Runs SPES once per configuration, in parallel, preserving input order.
 fn sweep(data: &SynthTrace, configs: Vec<(u32, SpesConfig)>) -> Vec<(u32, f64, f64)> {
-    let results = parking_lot::Mutex::new(vec![None; configs.len()]);
-    crossbeam::thread::scope(|scope| {
-        for (i, (param, cfg)) in configs.into_iter().enumerate() {
-            let results = &results;
-            scope.spawn(move |_| {
-                let (run, _) = run_spes_only(data, &cfg);
-                let q3 = run.csr_percentile(75.0).unwrap_or(0.0);
-                results.lock()[i] = Some((param, run.mean_loaded(), q3));
-            });
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|(param, cfg)| {
+                scope.spawn(move || {
+                    let (run, _) = run_spes_only(data, &cfg);
+                    let q3 = run.csr_percentile(75.0).unwrap_or(0.0);
+                    (param, run.mean_loaded(), q3)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
     })
-    .expect("sweep thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("sweep slot filled"))
-        .collect()
 }
 
 /// Fig. 13a: θprewarm sweep over {1, 2, 3, 5, 10}, memory normalised to
@@ -109,27 +108,26 @@ pub struct AblationRow {
 }
 
 fn ablation(data: &SynthTrace, variants: Vec<(String, SpesConfig)>) -> Vec<AblationRow> {
-    let results = parking_lot::Mutex::new(vec![None; variants.len()]);
-    crossbeam::thread::scope(|scope| {
-        for (i, (name, cfg)) in variants.into_iter().enumerate() {
-            let results = &results;
-            scope.spawn(move |_| {
-                let (run, _) = run_spes_only(data, &cfg);
-                results.lock()[i] = Some((
-                    name,
-                    run.csr_percentile(75.0).unwrap_or(0.0),
-                    run.mean_loaded(),
-                    run.total_wmt() as f64,
-                ));
-            });
-        }
-    })
-    .expect("ablation thread panicked");
-    let rows: Vec<(String, f64, f64, f64)> = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("ablation slot filled"))
-        .collect();
+    let rows: Vec<(String, f64, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = variants
+            .into_iter()
+            .map(|(name, cfg)| {
+                scope.spawn(move || {
+                    let (run, _) = run_spes_only(data, &cfg);
+                    (
+                        name,
+                        run.csr_percentile(75.0).unwrap_or(0.0),
+                        run.mean_loaded(),
+                        run.total_wmt() as f64,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ablation thread panicked"))
+            .collect()
+    });
     let (ref_mem, ref_wmt) = rows
         .first()
         .map(|&(_, _, mem, wmt)| (mem.max(f64::MIN_POSITIVE), wmt.max(f64::MIN_POSITIVE)))
@@ -222,8 +220,16 @@ mod tests {
     fn larger_prewarm_uses_more_memory() {
         let d = data();
         let points = fig13_prewarm(&d, &SpesConfig::default());
-        let mem_1 = points.iter().find(|p| p.param == 1).unwrap().normalized_memory;
-        let mem_10 = points.iter().find(|p| p.param == 10).unwrap().normalized_memory;
+        let mem_1 = points
+            .iter()
+            .find(|p| p.param == 1)
+            .unwrap()
+            .normalized_memory;
+        let mem_10 = points
+            .iter()
+            .find(|p| p.param == 10)
+            .unwrap()
+            .normalized_memory;
         assert!(mem_10 > mem_1, "{mem_10} <= {mem_1}");
     }
 
@@ -232,8 +238,16 @@ mod tests {
         let d = data();
         let points = fig13_givenup(&d, &SpesConfig::default());
         assert_eq!(points.len(), 5);
-        let mem_1 = points.iter().find(|p| p.param == 1).unwrap().normalized_memory;
-        let mem_5 = points.iter().find(|p| p.param == 5).unwrap().normalized_memory;
+        let mem_1 = points
+            .iter()
+            .find(|p| p.param == 1)
+            .unwrap()
+            .normalized_memory;
+        let mem_5 = points
+            .iter()
+            .find(|p| p.param == 5)
+            .unwrap()
+            .normalized_memory;
         assert!(mem_5 > mem_1, "{mem_5} <= {mem_1}");
     }
 

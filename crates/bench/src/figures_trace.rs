@@ -74,7 +74,10 @@ pub fn fig4(data: &SynthTrace, limit: usize) -> Vec<Fig4Row> {
         let daily: Vec<u64> = (0..days)
             .map(|d| {
                 series
-                    .events_in(d * spes_trace::SLOTS_PER_DAY, (d + 1) * spes_trace::SLOTS_PER_DAY)
+                    .events_in(
+                        d * spes_trace::SLOTS_PER_DAY,
+                        (d + 1) * spes_trace::SLOTS_PER_DAY,
+                    )
                     .iter()
                     .map(|&(_, c)| u64::from(c))
                     .sum()
@@ -351,8 +354,16 @@ pub fn empirical(data: &SynthTrace, max_functions: usize) -> Empirical {
         }
     }
 
-    let cor_candidates = if cand_n == 0 { 0.0 } else { cand_sum / cand_n as f64 };
-    let cor_negative = if neg_n == 0 { 0.0 } else { neg_sum / neg_n as f64 };
+    let cor_candidates = if cand_n == 0 {
+        0.0
+    } else {
+        cand_sum / cand_n as f64
+    };
+    let cor_negative = if neg_n == 0 {
+        0.0
+    } else {
+        neg_sum / neg_n as f64
+    };
     Empirical {
         timer_periodic_fraction: fraction(timer_periodic, timer_examined),
         timer_examined,
@@ -365,8 +376,16 @@ pub fn empirical(data: &SynthTrace, max_functions: usize) -> Empirical {
         } else {
             f64::INFINITY
         },
-        cor_same_trigger: if same_n == 0 { 0.0 } else { same_sum / same_n as f64 },
-        cor_diff_trigger: if diff_n == 0 { 0.0 } else { diff_sum / diff_n as f64 },
+        cor_same_trigger: if same_n == 0 {
+            0.0
+        } else {
+            same_sum / same_n as f64
+        },
+        cor_diff_trigger: if diff_n == 0 {
+            0.0
+        } else {
+            diff_sum / diff_n as f64
+        },
     }
 }
 

@@ -77,12 +77,14 @@ impl ComparisonRun {
     }
 }
 
-/// Runs SPES and every baseline on `data` with the paper's 12/2-day
-/// train/simulate split: policies are fitted on the first 12 days, then
-/// the full 14 days are replayed with metrics collected over the final 2
-/// days (warm state carries across the boundary, matching the paper's
-/// reported warm-function fractions). FaaSCache receives a memory budget
-/// equal to SPES's peak usage, exactly as in Section V-A1.
+/// Runs SPES and every baseline on `data` with the paper's train/simulate
+/// split: policies are fitted on the training prefix given by
+/// [`default_train_end`] (12 of 14 days on the default trace, 6/7 of
+/// shorter horizons), then the full horizon is replayed with metrics
+/// collected after the training boundary (warm state carries across it,
+/// matching the paper's reported warm-function fractions). FaaSCache
+/// receives a memory budget equal to SPES's peak usage, exactly as in
+/// Section V-A1.
 #[must_use]
 pub fn run_comparison(data: &SynthTrace, spes_cfg: &SpesConfig) -> ComparisonRun {
     run_comparison_windowed(data, spes_cfg, data.trace.n_slots)
@@ -97,7 +99,7 @@ pub fn run_comparison_windowed(
     sim_end: Slot,
 ) -> ComparisonRun {
     let trace = &data.trace;
-    let train_end = (12 * spes_trace::SLOTS_PER_DAY).min(sim_end);
+    let train_end = default_train_end(sim_end);
     let window = SimConfig::new(0, sim_end).with_metrics_start(train_end);
     let n = trace.n_functions();
 
@@ -124,12 +126,31 @@ pub fn run_comparison_windowed(
     runs.push(simulate(trace, &mut fixed, window));
 
     let mut faascache = FaasCache::new(n);
-    runs.push(simulate(trace, &mut faascache, window.with_capacity(spes_peak)));
+    runs.push(simulate(
+        trace,
+        &mut faascache,
+        window.with_capacity(spes_peak),
+    ));
 
     ComparisonRun {
         runs,
         spes_labels,
         fit_summary,
+    }
+}
+
+/// Training cutoff for a horizon of `n_slots`: the paper's 12-day prefix
+/// whenever that leaves a non-empty metrics window `[train_end, n_slots)`,
+/// otherwise 6/7 of the horizon — the same 12:2 proportion, scaled down
+/// (a bare `min(12 days, n_slots)` zeroed out every figure on sub-12-day
+/// traces).
+#[must_use]
+pub fn default_train_end(n_slots: Slot) -> Slot {
+    let twelve_days = 12 * spes_trace::SLOTS_PER_DAY;
+    if n_slots > twelve_days {
+        twelve_days
+    } else {
+        n_slots / 7 * 6
     }
 }
 
@@ -139,7 +160,7 @@ pub fn run_comparison_windowed(
 #[must_use]
 pub fn run_spes_only(data: &SynthTrace, spes_cfg: &SpesConfig) -> (RunResult, SpesPolicy) {
     let trace = &data.trace;
-    let train_end = (12 * spes_trace::SLOTS_PER_DAY).min(trace.n_slots);
+    let train_end = default_train_end(trace.n_slots);
     let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
     let run = simulate(
         trace,
@@ -180,6 +201,9 @@ mod tests {
         let cmp = run_comparison(&data, &SpesConfig::default());
         let spes_peak = cmp.run_of("spes").peak_loaded;
         let fc_peak = cmp.run_of("faascache").peak_loaded;
-        assert!(fc_peak <= spes_peak.max(1), "fc {fc_peak} > spes {spes_peak}");
+        assert!(
+            fc_peak <= spes_peak.max(1),
+            "fc {fc_peak} > spes {spes_peak}"
+        );
     }
 }

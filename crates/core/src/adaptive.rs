@@ -84,7 +84,10 @@ pub fn adjust_values(
                 AdjustOutcome::Unchanged
             }
         }
-        (FunctionType::Possible | FunctionType::NewlyPossible, PredictiveValues::Discrete(vals)) => {
+        (
+            FunctionType::Possible | FunctionType::NewlyPossible,
+            PredictiveValues::Discrete(vals),
+        ) => {
             let fresh = modes::repeated_values(online_wts);
             let mut changed = false;
             for v in fresh {
@@ -192,7 +195,13 @@ mod tests {
     fn appro_regular_replaces_modes_on_drift() {
         let mut values = PredictiveValues::Discrete(vec![3, 4, 5]);
         let online = vec![20, 21, 20, 21, 20, 21];
-        let out = adjust_values(FunctionType::ApproRegular, &mut values, &online, 1.0, &cfg());
+        let out = adjust_values(
+            FunctionType::ApproRegular,
+            &mut values,
+            &online,
+            1.0,
+            &cfg(),
+        );
         assert_eq!(out, AdjustOutcome::Updated);
         match values {
             PredictiveValues::Discrete(v) => {

@@ -147,12 +147,7 @@ mod tests {
 
     fn dense_series(end: Slot) -> SparseSeries {
         // Invoked at every slot except every 7th -> WTs of 1, P90 = 1.
-        SparseSeries::from_pairs(
-            (0..end)
-                .filter(|s| s % 7 != 0)
-                .map(|s| (s, 2))
-                .collect(),
-        )
+        SparseSeries::from_pairs((0..end).filter(|s| s % 7 != 0).map(|s| (s, 2)).collect())
     }
 
     #[test]
@@ -172,7 +167,10 @@ mod tests {
     #[test]
     fn tiny_idle_fraction_is_always_warm() {
         // 10,000 slots, idle at ~0.1%: 10 idle slots spread out.
-        let pairs: Vec<(Slot, u32)> = (0..10_000).filter(|s| s % 1000 != 0).map(|s| (s, 1)).collect();
+        let pairs: Vec<(Slot, u32)> = (0..10_000)
+            .filter(|s| s % 1000 != 0)
+            .map(|s| (s, 1))
+            .collect();
         let s = SparseSeries::from_pairs(pairs);
         let c = categorize_deterministic(&s, 0, 10_000, &cfg()).unwrap();
         assert_eq!(c.ty, FunctionType::AlwaysWarm);

@@ -117,7 +117,10 @@ pub fn link_precision(
     }
     let mut hits = 0usize;
     for &(c, _) in cand_events {
-        if !target.events_in(c + 1, c.saturating_add(hold).saturating_add(1)).is_empty() {
+        if !target
+            .events_in(c + 1, c.saturating_add(hold).saturating_add(1))
+            .is_empty()
+        {
             hits += 1;
         }
     }

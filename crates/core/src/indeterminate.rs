@@ -186,7 +186,9 @@ pub fn assign_indeterminate<'a, F>(
 where
     F: Fn(usize) -> &'a SparseSeries,
 {
-    let vstart = train_end.saturating_sub(config.validation_slots).max(train_start);
+    let vstart = train_end
+        .saturating_sub(config.validation_slots)
+        .max(train_start);
     let vend = train_end;
 
     if series.events_in(vstart, vend).is_empty() {
@@ -200,12 +202,9 @@ where
     let pulsed_keep = config.theta_givenup_pulsed;
     let d1 = score_pulsed(series, vstart, vend, pulsed_keep);
 
-    let possible_values =
-        spes_stats::modes::repeated_values(&spes_trace::Sequences::waiting_times(
-            series,
-            train_start,
-            vend,
-        ));
+    let possible_values = spes_stats::modes::repeated_values(
+        &spes_trace::Sequences::waiting_times(series, train_start, vend),
+    );
     let d3 = (!possible_values.is_empty())
         .then(|| score_possible(&possible_values, series, vstart, vend, config));
 
@@ -269,8 +268,8 @@ pub fn choose_strategy(options: &[(FunctionType, StrategyScore)], alpha: f64) ->
     // denominators are clamped to 1 (the paper does not define this case).
     let d_cs = (wm_score.cold_starts.saturating_sub(cs_score.cold_starts)) as f64
         / cs_score.cold_starts.max(1) as f64;
-    let d_wm = (cs_score.wasted.saturating_sub(wm_score.wasted)) as f64
-        / wm_score.wasted.max(1) as f64;
+    let d_wm =
+        (cs_score.wasted.saturating_sub(wm_score.wasted)) as f64 / wm_score.wasted.max(1) as f64;
     if d_cs * alpha <= d_wm {
         cs_ty
     } else {

@@ -259,10 +259,9 @@ impl SpesPolicy {
                 }
                 let lo = *vals.iter().min().expect("non-empty");
                 let hi = *vals.iter().max().expect("non-empty");
-                let narrow_possible = matches!(
-                    ty,
-                    FunctionType::Possible | FunctionType::NewlyPossible
-                ) && hi - lo <= self.config.possible_range_threshold;
+                let narrow_possible =
+                    matches!(ty, FunctionType::Possible | FunctionType::NewlyPossible)
+                        && hi - lo <= self.config.possible_range_threshold;
                 if narrow_possible {
                     // Treat as one continuous range (Section IV-D).
                     let start = now.saturating_add(lo).saturating_add(1);
@@ -560,11 +559,7 @@ impl Policy for SpesPolicy {
         // predicted slot is within reach (p - theta <= now).
         let theta = self.config.theta_prewarm;
         let reach = now.saturating_add(theta);
-        let due: Vec<Slot> = self
-            .agenda
-            .range(..=reach)
-            .map(|(&slot, _)| slot)
-            .collect();
+        let due: Vec<Slot> = self.agenda.range(..=reach).map(|(&slot, _)| slot).collect();
         for slot in due {
             let entries = self.agenda.remove(&slot).expect("agenda key present");
             for (f, hold, gen) in entries {
@@ -658,7 +653,11 @@ mod tests {
         assert!(csr <= 0.1, "csr = {csr}");
         // Pre-warm windows are short: memory should be far below
         // keep-forever levels (1440 loaded-slots/day for this function).
-        assert!(result.mean_loaded() < 0.5, "mean loaded {}", result.mean_loaded());
+        assert!(
+            result.mean_loaded() < 0.5,
+            "mean loaded {}",
+            result.mean_loaded()
+        );
     }
 
     #[test]
@@ -768,7 +767,11 @@ mod tests {
         let trace = small_trace();
         let train_end = 3 * spes_trace::SLOTS_PER_DAY;
         let mut policy = SpesPolicy::fit(&trace, 0, train_end, SpesConfig::default());
-        let result = simulate(&trace, &mut policy, SimConfig::new(train_end, trace.n_slots));
+        let result = simulate(
+            &trace,
+            &mut policy,
+            SimConfig::new(train_end, trace.n_slots),
+        );
         // The silent function is never invoked or loaded.
         assert_eq!(result.invocations[1], 0);
         assert_eq!(result.wmt[1], 0);
@@ -795,7 +798,10 @@ mod tests {
             vec![SparseSeries::from_pairs(pairs)],
         );
         let mut policy = SpesPolicy::fit(&trace, 0, train_end, SpesConfig::default());
-        assert_eq!(policy.values_of(FunctionId(0)), &PredictiveValues::Discrete(vec![29]));
+        assert_eq!(
+            policy.values_of(FunctionId(0)),
+            &PredictiveValues::Discrete(vec![29])
+        );
         let _ = simulate(&trace, &mut policy, SimConfig::new(train_end, horizon));
         assert!(policy.online_stats().adjustments > 0, "no adjustment fired");
         match policy.values_of(FunctionId(0)) {

@@ -153,8 +153,7 @@ impl Cluster {
                 .map(|(idx, _)| idx),
             PlacementStrategy::HashAffinity => {
                 // Fibonacci hashing of the function id to its home node.
-                let home =
-                    (u64::from(f.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as usize;
+                let home = (u64::from(f.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as usize;
                 if self.nodes[home].has_room() {
                     Some(home)
                 } else {

@@ -17,9 +17,9 @@
 use crate::memory::MemoryPool;
 use crate::metrics::RunResult;
 use crate::policy::Policy;
-use spes_trace::{Slot, Trace};
 #[cfg(test)]
 use spes_trace::FunctionId;
+use spes_trace::{Slot, Trace};
 use std::time::Instant;
 
 /// Configuration of one simulation run.
@@ -256,7 +256,10 @@ mod tests {
 
     #[test]
     fn keep_forever_warm_after_first() {
-        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (3, 1), (4, 1)])], 6);
+        let trace = trace_of(
+            vec![SparseSeries::from_pairs(vec![(0, 1), (3, 1), (4, 1)])],
+            6,
+        );
         let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 6));
         assert_eq!(r.cold_starts[0], 1);
         // WMT: loaded at 0, idle at slots 1, 2, 5 -> 3.
@@ -266,7 +269,10 @@ mod tests {
 
     #[test]
     fn no_keep_alive_every_active_slot_is_cold() {
-        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 2), (1, 2), (5, 1)])], 6);
+        let trace = trace_of(
+            vec![SparseSeries::from_pairs(vec![(0, 2), (1, 2), (5, 1)])],
+            6,
+        );
         let r = simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 6));
         // 3 active slots, each cold (instance dropped immediately).
         assert_eq!(r.cold_starts[0], 3);
@@ -289,7 +295,10 @@ mod tests {
 
     #[test]
     fn warm_when_preloaded_by_keepalive() {
-        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (1, 1), (2, 1)])], 4);
+        let trace = trace_of(
+            vec![SparseSeries::from_pairs(vec![(0, 1), (1, 1), (2, 1)])],
+            4,
+        );
         let r = simulate(&trace, &mut TinyKeepAlive::new(1, 3), SimConfig::new(0, 4));
         assert_eq!(r.cold_starts[0], 1);
         assert_eq!(r.invocations[0], 3);

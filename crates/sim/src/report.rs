@@ -23,11 +23,7 @@ impl NormalizedComparison {
     ///
     /// # Panics
     /// Panics if `reference` is not among the runs.
-    pub fn build<F: Fn(&RunResult) -> f64>(
-        runs: &[RunResult],
-        reference: &str,
-        metric: F,
-    ) -> Self {
+    pub fn build<F: Fn(&RunResult) -> f64>(runs: &[RunResult], reference: &str, metric: F) -> Self {
         let ref_value = runs
             .iter()
             .find(|r| r.policy_name == reference)
@@ -183,7 +179,12 @@ mod tests {
 
     #[test]
     fn per_category_aggregates() {
-        let r = run("spes", vec![10, 5, 0, 2], vec![1, 5, 0, 1], vec![10, 0, 3, 4]);
+        let r = run(
+            "spes",
+            vec![10, 5, 0, 2],
+            vec![1, 5, 0, 1],
+            vec![10, 0, 3, 4],
+        );
         let labels = ["regular", "dense", "regular", "dense"];
         let stats = per_category_stats(&r, |f| Some(labels[f]));
         // Function 2 is never invoked -> excluded.

@@ -60,7 +60,9 @@ pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[u32], cdf: F) -> Option<f64> {
         let ecdf_at = seen as f64 / n;
         let f_at = cdf(f64::from(v)).clamp(0.0, 1.0);
         let f_before = cdf(f64::from(v) - 1.0).clamp(0.0, 1.0);
-        d = d.max((f_at - ecdf_at).abs()).max((f_before - ecdf_before).abs());
+        d = d
+            .max((f_at - ecdf_at).abs())
+            .max((f_before - ecdf_before).abs());
         i = j;
     }
     Some(d)
@@ -247,7 +249,15 @@ mod tests {
         // A hand-rolled sample matching Poisson(2) frequencies closely:
         // pmf(0) ~ .135, pmf(1) ~ .271, pmf(2) ~ .271, pmf(3) ~ .180 ...
         let mut sample = Vec::new();
-        for (value, reps) in [(0u32, 14), (1, 27), (2, 27), (3, 18), (4, 9), (5, 4), (6, 1)] {
+        for (value, reps) in [
+            (0u32, 14),
+            (1, 27),
+            (2, 27),
+            (3, 18),
+            (4, 9),
+            (5, 4),
+            (6, 1),
+        ] {
             sample.extend(std::iter::repeat_n(value, reps));
         }
         let out = ks_test_poisson(&sample).unwrap();

@@ -190,7 +190,8 @@ mod tests {
 
     #[test]
     fn read_simple_literal() {
-        let csv = "user,app,func,trigger,slot,count\n0,0,0,http,3,2\n0,0,0,http,5,1\n1,1,1,timer,-,0\n";
+        let csv =
+            "user,app,func,trigger,slot,count\n0,0,0,http,3,2\n0,0,0,http,5,1\n1,1,1,timer,-,0\n";
         let t = read_csv(csv.as_bytes(), None).unwrap();
         assert_eq!(t.n_functions(), 2);
         assert_eq!(t.n_slots, 6);

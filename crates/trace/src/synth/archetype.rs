@@ -102,7 +102,12 @@ impl Archetype {
 ///
 /// # Panics
 /// Panics if called with [`Archetype::Chained`].
-pub fn generate<R: RngExt>(archetype: &Archetype, start: Slot, end: Slot, rng: &mut R) -> SparseSeries {
+pub fn generate<R: RngExt>(
+    archetype: &Archetype,
+    start: Slot,
+    end: Slot,
+    rng: &mut R,
+) -> SparseSeries {
     let mut pairs: Vec<(Slot, u32)> = Vec::new();
     if end <= start {
         return SparseSeries::new();
@@ -318,7 +323,12 @@ mod tests {
 
     #[test]
     fn pulsed_bursts_are_short() {
-        let s = generate(&Archetype::Pulsed { mean_gap: 100.0 }, 0, 20_000, &mut rng());
+        let s = generate(
+            &Archetype::Pulsed { mean_gap: 100.0 },
+            0,
+            20_000,
+            &mut rng(),
+        );
         let seq = Sequences::extract(&s, 0, 20_000);
         assert!(!seq.at.is_empty());
         for &at in &seq.at {

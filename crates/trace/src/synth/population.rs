@@ -412,7 +412,11 @@ pub fn build_population<R: RngExt>(
             // Low-activity apps skew strongly single-function (an
             // infrequent standalone endpoint); production apps carry the
             // multi-function tail.
-            let single_prob = if app_tier == AppTier::Rare { 0.80 } else { 0.44 };
+            let single_prob = if app_tier == AppTier::Rare {
+                0.80
+            } else {
+                0.44
+            };
             remaining_in_app = if rng.random::<f64>() < single_prob {
                 1
             } else {
@@ -455,12 +459,12 @@ pub fn build_population<R: RngExt>(
                     // minutes (function chaining / fan-out, Section
                     // III-B2), which is what makes same-app co-occurrence
                     // ~4.6x the background level.
-                    Some(parent_id) if rng.random::<f64>() < 0.50 => Archetype::Chained {
+                    Some(parent_id) if rng.random::<f64>() < 0.55 => Archetype::Chained {
                         parent: parent_id,
-                        // Half the chains complete within the same minute
+                        // Most chains complete within the same minute
                         // (lag 0), matching the sub-minute workflow hops
                         // behind the paper's same-slot co-occurrence.
-                        lag: if rng.random_bool(0.65) {
+                        lag: if rng.random_bool(0.8) {
                             0
                         } else {
                             rng.random_range(1..=2)
@@ -576,7 +580,7 @@ fn sample_rare_app_archetype<R: RngExt>(
     match same_app_parent {
         Some(parent) if x < 0.30 => Archetype::Chained {
             parent,
-            lag: if rng.random_bool(0.65) {
+            lag: if rng.random_bool(0.8) {
                 0
             } else {
                 rng.random_range(1..=3)
@@ -723,7 +727,10 @@ mod tests {
             .count();
         let frac = periodic as f64 / timers.len() as f64;
         // Paper: 68.12% of timer functions are (quasi-)periodic.
-        assert!((0.50..=0.85).contains(&frac), "periodic timer fraction {frac}");
+        assert!(
+            (0.50..=0.85).contains(&frac),
+            "periodic timer fraction {frac}"
+        );
     }
 
     #[test]
@@ -731,7 +738,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let p: f64 = 0.3;
         let n = 50_000;
-        let total: u64 = (0..n).map(|_| u64::from(sample_geometric(&mut rng, p))).sum();
+        let total: u64 = (0..n)
+            .map(|_| u64::from(sample_geometric(&mut rng, p)))
+            .sum();
         let mean = total as f64 / n as f64;
         let expected = (1.0 - p) / p;
         assert!((mean - expected).abs() < 0.1, "mean {mean} vs {expected}");

@@ -41,7 +41,11 @@ fn main() {
 
     // FaaSCache runs against SPES's peak memory, as in the paper.
     let mut faascache = FaasCache::new(trace.n_functions());
-    runs.push(simulate(trace, &mut faascache, window.with_capacity(spes_peak)));
+    runs.push(simulate(
+        trace,
+        &mut faascache,
+        window.with_capacity(spes_peak),
+    ));
 
     let memory = NormalizedComparison::build(&runs, "spes", RunResult::mean_loaded);
     let wmt = NormalizedComparison::build(&runs, "spes", |r| r.total_wmt() as f64);

@@ -47,7 +47,10 @@ fn main() {
     let fixed_run = simulate(trace, &mut fixed, window);
 
     // 4. Headline metrics.
-    println!("\n{:<18} {:>9} {:>11} {:>10}", "policy", "Q3-CSR", "wasted-mem", "mean-loaded");
+    println!(
+        "\n{:<18} {:>9} {:>11} {:>10}",
+        "policy", "Q3-CSR", "wasted-mem", "mean-loaded"
+    );
     for run in [&spes_run, &fixed_run] {
         println!(
             "{:<18} {:>9.3} {:>11} {:>10.1}",

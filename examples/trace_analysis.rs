@@ -29,7 +29,11 @@ fn main() {
         buckets[((total as f64).log10().floor() as usize).min(7)] += 1;
     }
     for (decade, count) in buckets.iter().enumerate().filter(|&(_, &c)| c > 0) {
-        println!("  1e{decade}..1e{}: {count:>5} {}", decade + 1, "#".repeat(count / 8 + 1));
+        println!(
+            "  1e{decade}..1e{}: {count:>5} {}",
+            decade + 1,
+            "#".repeat(count / 8 + 1)
+        );
     }
 
     // --- Fig. 5: trigger mix. ---

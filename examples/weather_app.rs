@@ -17,9 +17,7 @@
 use spes::baselines::{Granularity, HybridHistogram};
 use spes::core::{SpesConfig, SpesPolicy};
 use spes::sim::{simulate, SimConfig};
-use spes::trace::{
-    AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY,
-};
+use spes::trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY};
 
 fn main() {
     let days = 14;
@@ -31,7 +29,13 @@ fn main() {
     let mut gateway = Vec::new();
     for day in 0..days {
         let day0 = day * SLOTS_PER_DAY;
-        for burst in [8 * 60, 10 * 60 + 17, 13 * 60 + 5, 16 * 60 + 40, 20 * 60 + 22] {
+        for burst in [
+            8 * 60,
+            10 * 60 + 17,
+            13 * 60 + 5,
+            16 * 60 + 40,
+            20 * 60 + 22,
+        ] {
             for i in 0..4 {
                 gateway.push((day0 + burst + i, 3 + (i % 2)));
             }
@@ -40,20 +44,17 @@ fn main() {
     let gateway = SparseSeries::from_pairs(gateway);
 
     // get-weather fires one minute after every gateway burst slot.
-    let get_weather = SparseSeries::from_pairs(
-        gateway
-            .events()
-            .iter()
-            .map(|&(s, c)| (s + 1, c))
-            .collect(),
-    );
+    let get_weather =
+        SparseSeries::from_pairs(gateway.events().iter().map(|&(s, c)| (s + 1, c)).collect());
 
     // refresh-cache: every 30 minutes, around the clock.
     let refresh = SparseSeries::from_pairs((0..horizon).step_by(30).map(|s| (s, 1)).collect());
 
     // nightly-report: daily at 03:15 — a 1440-minute waiting time.
     let nightly = SparseSeries::from_pairs(
-        (0..days).map(|d| (d * SLOTS_PER_DAY + 3 * 60 + 15, 1)).collect(),
+        (0..days)
+            .map(|d| (d * SLOTS_PER_DAY + 3 * 60 + 15, 1))
+            .collect(),
     );
 
     let meta = |trigger| FunctionMeta {
@@ -61,7 +62,12 @@ fn main() {
         user: UserId(1),
         trigger,
     };
-    let names = ["api-gateway", "get-weather", "refresh-cache", "nightly-report"];
+    let names = [
+        "api-gateway",
+        "get-weather",
+        "refresh-cache",
+        "nightly-report",
+    ];
     let trace = Trace::new(
         horizon,
         vec![
@@ -100,8 +106,11 @@ fn main() {
     for (f, name) in names.iter().enumerate() {
         println!(
             "{:<15} {:>12} {:>12} {:>12} {:>12}",
-            name, spes_run.cold_starts[f], spes_run.wmt[f],
-            hybrid_run.cold_starts[f], hybrid_run.wmt[f],
+            name,
+            spes_run.cold_starts[f],
+            spes_run.wmt[f],
+            hybrid_run.cold_starts[f],
+            hybrid_run.wmt[f],
         );
     }
     println!(

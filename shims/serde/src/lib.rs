@@ -1,0 +1,170 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member provides the subset SPES uses: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` plus a JSON value model that the `serde_json`
+//! shim renders. Serialization follows serde_json's conventions
+//! (externally tagged enums, newtype structs collapse to their inner
+//! value, non-finite floats become `null`).
+//!
+//! `Deserialize` is derivable but carries no behaviour yet: nothing in
+//! the workspace parses JSON back. The derive keeps seed type
+//! declarations source-compatible with real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree produced by [`Serialize::to_value`].
+///
+/// Numbers are kept pre-rendered so `u64` survives without `f64`
+/// precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// A number, already rendered in JSON syntax.
+    Number(String),
+    /// JSON string (unescaped; escaping happens at render time).
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`; no parsing support
+/// is implemented because nothing in the workspace reads JSON back.
+pub trait Deserialize: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(self.to_string())
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if self.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats,
+                    // matching serde_json's distinction from integers.
+                    Value::Number(format!("{self:?}"))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(3u32.to_value(), Value::Number("3".into()));
+        assert_eq!(2.5f64.to_value(), Value::Number("2.5".into()));
+        assert_eq!(2.0f64.to_value(), Value::Number("2.0".into()));
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+    }
+
+    #[test]
+    fn composites() {
+        assert_eq!(
+            vec![(1u32, 2u32)].to_value(),
+            Value::Array(vec![Value::Array(vec![
+                Value::Number("1".into()),
+                Value::Number("2".into())
+            ])])
+        );
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Some(1u32).to_value(), Value::Number("1".into()));
+    }
+}

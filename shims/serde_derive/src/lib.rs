@@ -1,0 +1,283 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Hand-rolled derives built directly on `proc_macro` (the sandbox has no
+//! syn/quote). Supported input shapes — the ones the SPES workspace
+//! actually declares:
+//!
+//! - non-generic structs with named fields,
+//! - non-generic tuple structs (newtypes collapse to the inner value),
+//! - non-generic enums with unit and tuple variants (externally tagged).
+//!
+//! Anything fancier (generics, struct variants, serde attributes) is
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's JSON-value flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if serialize {
+        gen_serialize(&parsed)
+    } else {
+        format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+    };
+    code.parse().expect("derive shim generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Enum: `(variant name, tuple arity)`; arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                return Err(format!("serde shim: unexpected item keyword `{s}`"));
+            }
+            other => return Err(format!("serde shim: unexpected token {other:?}")),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected item name, got {other:?}")),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde shim: generic type `{name}` is not supported"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let shape = if kind == "struct" {
+                Shape::Struct(parse_named_fields(g.stream())?)
+            } else {
+                Shape::Enum(parse_variants(g.stream())?)
+            };
+            Ok(Item { name, shape })
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Ok(Item {
+                name,
+                shape: Shape::TupleStruct(count_top_level_fields(g.stream())),
+            })
+        }
+        other => Err(format!(
+            "serde shim: unsupported {kind} body for `{name}`: {other:?}"
+        )),
+    }
+}
+
+/// Extracts field names from the token stream of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let field = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde shim: unexpected field token {other:?}")),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim: expected `:` after field `{field}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts comma-separated fields of a tuple-struct / tuple-variant body.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    fields + usize::from(saw_token)
+}
+
+/// Extracts `(name, tuple arity)` for each enum variant.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => return Err(format!("serde shim: unexpected variant token {other:?}")),
+            }
+        };
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_top_level_fields(g.stream());
+                    tokens.next();
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "serde shim: struct variant `{name}` is not supported"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        // Skip an optional discriminant and the trailing comma.
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(0) => format!("::serde::Value::String(String::from({name:?}))"),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from({v:?}))"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![\
+                         (::std::string::String::from({v:?}), \
+                          ::serde::Serialize::to_value(f0))])"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Value::Array(vec![{}]))])",
+                            binds.join(", "),
+                            vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}

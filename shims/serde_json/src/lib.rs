@@ -1,0 +1,164 @@
+//! Offline shim for the `serde_json` crate: renders the `serde` shim's
+//! [`Value`] tree as JSON text. Only the write path exists — nothing in
+//! the workspace parses JSON back.
+
+pub use serde::Value;
+use std::fmt::Write as _;
+
+/// Serialization error. The shim's write path is infallible, but the
+/// `Result` return keeps call sites source-compatible with serde_json.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+/// Never fails in this shim; the `Result` mirrors serde_json's API.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON with two-space indentation.
+///
+/// # Errors
+/// Never fails in this shim; the `Result` mirrors serde_json's API.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(n),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        values: Vec<(u32, f64)>,
+        flag: bool,
+    }
+
+    #[derive(Serialize)]
+    enum Tag {
+        Unit,
+        One(u32),
+        Two(u32, u32),
+    }
+
+    #[derive(Serialize)]
+    struct Wrap(u32);
+
+    #[test]
+    fn compact_and_pretty() {
+        let d = Demo {
+            name: "a\"b".into(),
+            values: vec![(1, 0.5)],
+            flag: true,
+        };
+        assert_eq!(
+            to_string(&d).unwrap(),
+            r#"{"name":"a\"b","values":[[1,0.5]],"flag":true}"#
+        );
+        let pretty = to_string_pretty(&d).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"a\\\"b\""), "{pretty}");
+    }
+
+    #[test]
+    fn enums_and_newtypes() {
+        assert_eq!(to_string(&Tag::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_string(&Tag::One(3)).unwrap(), r#"{"One":3}"#);
+        assert_eq!(to_string(&Tag::Two(3, 4)).unwrap(), r#"{"Two":[3,4]}"#);
+        assert_eq!(to_string(&Wrap(9)).unwrap(), "9");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let v: Vec<u32> = vec![];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}

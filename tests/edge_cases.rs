@@ -5,9 +5,7 @@
 use spes::baselines::{FixedKeepAlive, Oracle};
 use spes::core::{SpesConfig, SpesPolicy};
 use spes::sim::{simulate, KeepForever, SimConfig};
-use spes::trace::{
-    AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY,
-};
+use spes::trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY};
 
 fn meta() -> FunctionMeta {
     FunctionMeta {

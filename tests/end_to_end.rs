@@ -34,8 +34,18 @@ fn accounting_invariants_hold_for_all_policies() {
     let mut policies: Vec<Box<dyn Policy>> = vec![
         Box::new(SpesPolicy::fit(trace, 0, train_end, SpesConfig::default())),
         Box::new(Defuse::paper_default(trace, 0, train_end)),
-        Box::new(HybridHistogram::fit(trace, 0, train_end, Granularity::Function)),
-        Box::new(HybridHistogram::fit(trace, 0, train_end, Granularity::Application)),
+        Box::new(HybridHistogram::fit(
+            trace,
+            0,
+            train_end,
+            Granularity::Function,
+        )),
+        Box::new(HybridHistogram::fit(
+            trace,
+            0,
+            train_end,
+            Granularity::Application,
+        )),
         Box::new(FixedKeepAlive::paper_default(trace.n_functions())),
     ];
     for policy in &mut policies {
@@ -67,8 +77,7 @@ fn accounting_invariants_hold_for_all_policies() {
 fn end_to_end_determinism() {
     let run = |seed| {
         let data = workload(150, seed);
-        let mut spes =
-            SpesPolicy::fit(&data.trace, 0, 12 * SLOTS_PER_DAY, SpesConfig::default());
+        let mut spes = SpesPolicy::fit(&data.trace, 0, 12 * SLOTS_PER_DAY, SpesConfig::default());
         run_policy(&data, &mut spes)
     };
     let a = run(5);

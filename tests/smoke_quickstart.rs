@@ -1,0 +1,54 @@
+//! CI smoke test: the quickstart path end to end, exercising the full
+//! crate graph (trace synthesis -> SPES fit -> simulation -> metrics)
+//! rather than any single crate's units.
+
+use spes::core::{SpesConfig, SpesPolicy};
+use spes::sim::{simulate, SimConfig};
+use spes::trace::{synth, SLOTS_PER_DAY};
+
+#[test]
+fn quickstart_path_produces_sane_metrics() {
+    // Small but non-trivial: enough functions that every archetype is
+    // represented, small enough to stay fast in debug CI.
+    let data = synth::small_test_trace(300, 0xC1);
+    let trace = &data.trace;
+    let train_end = 12 * SLOTS_PER_DAY;
+    let horizon = trace.n_slots;
+    assert!(
+        train_end < horizon,
+        "test presumes the default 14-day trace"
+    );
+
+    let mut policy = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
+    let result = simulate(trace, &mut policy, SimConfig::new(train_end, horizon));
+
+    // Aggregate metrics must be finite and within their definitions.
+    let mean_loaded = result.mean_loaded();
+    assert!(
+        mean_loaded.is_finite() && mean_loaded >= 0.0,
+        "mean loaded {mean_loaded}"
+    );
+    let emcr = result.emcr();
+    assert!((0.0..=1.0).contains(&emcr), "EMCR {emcr}");
+    assert!(result.peak_loaded <= trace.n_functions());
+    assert!(result.loaded_integral >= result.total_wmt());
+
+    // Per-function CSR is a rate in [0, 1] wherever defined.
+    let mut invoked = 0usize;
+    for f in 0..trace.n_functions() {
+        if let Some(csr) = result.csr_of(f) {
+            invoked += 1;
+            assert!(csr.is_finite(), "function {f} CSR not finite");
+            assert!((0.0..=1.0).contains(&csr), "function {f} CSR {csr}");
+            assert!(result.cold_starts[f] <= result.invocations[f]);
+        }
+    }
+    assert!(
+        invoked > 100,
+        "only {invoked} functions invoked in simulation"
+    );
+
+    // The quartile the paper reports on must exist and be a valid rate.
+    let q3 = result.csr_percentile(75.0).expect("Q3-CSR defined");
+    assert!((0.0..=1.0).contains(&q3), "Q3-CSR {q3}");
+}
