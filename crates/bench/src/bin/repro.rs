@@ -1,16 +1,21 @@
 //! Regenerates every table and figure of the SPES paper's evaluation.
 //!
 //! ```text
-//! repro [--fig <id>] [--functions N] [--seed S] [--out DIR] [--trace FILE] [--quick]
+//! repro [--fig <id>] [--scenario NAME] [--functions N] [--seed S]
+//!       [--out DIR] [--trace FILE] [--quick]
 //!
 //!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
 //!                12 | 13 | 14 | 15 | overhead | all   (default: all)
+//!   --scenario   named workload from the scenario registry
+//!                (paper-default | quick | chain-heavy | bursty | diurnal |
+//!                unseen-heavy | shift-heavy; default: paper-default)
 //!   --functions  population size of the synthetic trace (default 2000)
 //!   --seed       workload seed (default 0xC0FFEE)
 //!   --out        directory for JSON outputs (default: results)
 //!   --trace      load a real trace (long-form CSV) instead of synthesising
-//!   --quick      CI smoke mode: a tiny trace (200 functions, 7 days,
-//!                6-day training) so every figure regenerates in seconds
+//!   --quick      CI smoke mode: shrink the selected scenario to a tiny
+//!                trace (<=200 functions, 7 days, 6-day training) so every
+//!                figure regenerates in seconds; composes with --scenario
 //! ```
 //!
 //! Each figure prints a text table and writes `<out>/figN.json`.
@@ -21,12 +26,13 @@ use spes_bench::figures_trace;
 use spes_bench::scenario::{run_comparison, ComparisonRun, Experiment};
 use spes_core::SpesConfig;
 use spes_sim::text_table;
-use spes_trace::{SynthConfig, SynthTrace};
+use spes_trace::{synth, SynthTrace};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 struct Args {
     fig: String,
+    scenario: String,
     functions: Option<usize>,
     seed: u64,
     out: PathBuf,
@@ -37,6 +43,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         fig: "all".to_owned(),
+        scenario: "paper-default".to_owned(),
         functions: None,
         seed: 0xC0FFEE,
         out: PathBuf::from("results"),
@@ -51,6 +58,7 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--fig" => args.fig = value("--fig"),
+            "--scenario" => args.scenario = value("--scenario"),
             "--functions" => {
                 args.functions = Some(value("--functions").parse().expect("invalid --functions"))
             }
@@ -60,6 +68,10 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!("see the module docs of repro.rs / README for usage");
+                println!("\nregistered scenarios:");
+                for s in synth::SCENARIOS {
+                    println!("  {:<14} {}", s.name, s.summary);
+                }
                 std::process::exit(0);
             }
             other => panic!("unknown flag {other}"),
@@ -88,15 +100,9 @@ fn main() {
         !(args.quick && args.trace.is_some()),
         "--quick synthesises its own tiny trace and cannot be combined with --trace"
     );
-
-    let functions = args
-        .functions
-        .unwrap_or(if args.quick { 200 } else { 2000 });
-    println!(
-        "SPES reproduction harness: {} functions, seed {:#x}{}",
-        functions,
-        args.seed,
-        if args.quick { " (quick mode)" } else { "" }
+    assert!(
+        !(args.trace.is_some() && args.scenario != "paper-default"),
+        "--scenario selects a synthetic workload and cannot be combined with --trace"
     );
 
     let data: SynthTrace = if let Some(path) = &args.trace {
@@ -108,43 +114,38 @@ fn main() {
             trace.n_functions(),
             trace.n_slots
         );
-        // Real traces carry no ground-truth specs; build placeholders.
-        let specs = trace
-            .metas
-            .iter()
-            .map(|m| spes_trace::FunctionSpec {
-                meta: *m,
-                segments: vec![spes_trace::synth::Segment {
-                    start: 0,
-                    end: trace.n_slots,
-                    archetype: spes_trace::Archetype::Silent,
-                }],
-                unseen: false,
-            })
-            .collect();
-        SynthTrace { trace, specs }
+        // Real traces carry no generator metadata: placeholder specs plus
+        // the scaled fallback training boundary.
+        SynthTrace::from_external(trace)
     } else {
-        let synth = if args.quick {
-            // A 7-day trace with a 6-day training prefix keeps the full
-            // figure pipeline exercised while finishing in CI seconds.
-            // 6/7 matches scenario::default_train_end, so the synth
-            // unseen/shift boundary and the fitted training window agree.
-            SynthConfig {
-                n_functions: functions,
-                seed: args.seed,
-                days: 7,
-                train_days: 6,
-                ..SynthConfig::default()
-            }
-        } else {
-            SynthConfig {
-                n_functions: functions,
-                seed: args.seed,
-                ..SynthConfig::default()
-            }
-        };
+        let mut synth_cfg = synth::scenario_config(&args.scenario).unwrap_or_else(|| {
+            panic!(
+                "unknown scenario {:?}; registered: {}",
+                args.scenario,
+                synth::scenario_names().join(", ")
+            )
+        });
+        if args.quick {
+            // Shrinking the scenario keeps the full figure pipeline (and
+            // the scenario's behavioural knobs) exercised while finishing
+            // in CI seconds. The trace carries its own 6-day training
+            // boundary, so the runners fit/measure on the right window by
+            // construction.
+            synth_cfg = synth_cfg.quick();
+        }
+        if let Some(n) = args.functions {
+            synth_cfg.n_functions = n;
+        }
+        synth_cfg.seed = args.seed;
+        println!(
+            "SPES reproduction harness: scenario {}, {} functions, seed {:#x}{}",
+            args.scenario,
+            synth_cfg.n_functions,
+            synth_cfg.seed,
+            if args.quick { " (quick mode)" } else { "" }
+        );
         Experiment {
-            synth,
+            synth: synth_cfg,
             spes: SpesConfig::default(),
         }
         .generate()

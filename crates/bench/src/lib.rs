@@ -9,6 +9,8 @@
 pub mod figures_main;
 pub mod figures_sweep;
 pub mod figures_trace;
+pub mod matrix;
 pub mod scenario;
 
+pub use matrix::{run_matrix, run_named_matrix, MatrixCell, MatrixOutcome, PolicyAggregate};
 pub use scenario::{run_comparison, run_spes_only, ComparisonRun, Experiment, POLICY_ORDER};

@@ -1,0 +1,228 @@
+//! Seed × scenario comparison matrix.
+//!
+//! Runs the full six-policy comparison over every (scenario, seed) cell
+//! in parallel (std scoped threads, one per cell, like the Fig. 13-15
+//! sweeps) and aggregates per-policy means and standard deviations of
+//! the headline metrics. This is the substrate for multi-seed regression
+//! tests and robustness sweeps: a claim that holds on one seed of one
+//! workload is an anecdote; the matrix makes it a distribution.
+
+use crate::scenario::{run_comparison, ComparisonRun, POLICY_ORDER};
+use serde::Serialize;
+use spes_core::SpesConfig;
+use spes_trace::{synth, SynthConfig};
+
+/// One cell of the matrix: a scenario config run under one seed.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Scenario name (registry key or caller-chosen label).
+    pub scenario: String,
+    /// Workload seed of this cell.
+    pub seed: u64,
+    /// The full six-policy comparison on this cell's trace.
+    pub comparison: ComparisonRun,
+}
+
+/// Per-policy aggregate over all matrix cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyAggregate {
+    /// Policy name, as in [`POLICY_ORDER`].
+    pub policy: String,
+    /// Number of cells aggregated.
+    pub cells: usize,
+    /// Mean 75th-percentile cold-start rate across cells.
+    pub mean_q3_csr: f64,
+    /// Standard deviation of the Q3-CSR across cells.
+    pub std_q3_csr: f64,
+    /// Mean of the per-cell mean loaded-instance count (memory usage).
+    pub mean_memory: f64,
+    /// Standard deviation of the memory usage across cells.
+    pub std_memory: f64,
+    /// Mean total wasted memory time across cells.
+    pub mean_wmt: f64,
+    /// Standard deviation of the total WMT across cells.
+    pub std_wmt: f64,
+}
+
+/// The matrix outcome: every cell plus per-policy aggregates.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// All cells, ordered scenario-major then seed.
+    pub cells: Vec<MatrixCell>,
+    /// Per-policy aggregates, in [`POLICY_ORDER`] order.
+    pub aggregates: Vec<PolicyAggregate>,
+}
+
+impl MatrixOutcome {
+    /// The aggregate of one policy by name.
+    ///
+    /// # Panics
+    /// Panics if the policy is not part of the comparison.
+    #[must_use]
+    pub fn aggregate_of(&self, policy: &str) -> &PolicyAggregate {
+        self.aggregates
+            .iter()
+            .find(|a| a.policy == policy)
+            .unwrap_or_else(|| panic!("no aggregate for policy {policy}"))
+    }
+
+    /// Cells of one scenario, in seed order.
+    #[must_use]
+    pub fn cells_of(&self, scenario: &str) -> Vec<&MatrixCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.scenario == scenario)
+            .collect()
+    }
+}
+
+/// Runs the comparison over the cross product of `scenarios` × `seeds`,
+/// one cell per thread. Each cell generates its own trace from the
+/// scenario config with the cell's seed; the trace-carried training
+/// boundary drives fitting and measurement as in [`run_comparison`].
+#[must_use]
+pub fn run_matrix(
+    scenarios: &[(String, SynthConfig)],
+    seeds: &[u64],
+    spes_cfg: &SpesConfig,
+) -> MatrixOutcome {
+    let cells: Vec<MatrixCell> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .flat_map(|(name, cfg)| seeds.iter().map(move |&seed| (name, cfg, seed)))
+            .map(|(name, cfg, seed)| {
+                scope.spawn(move || {
+                    let cell_cfg = SynthConfig {
+                        seed,
+                        ..cfg.clone()
+                    };
+                    let data = synth::generate(&cell_cfg);
+                    MatrixCell {
+                        scenario: name.clone(),
+                        seed,
+                        comparison: run_comparison(&data, spes_cfg),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matrix cell panicked"))
+            .collect()
+    });
+    let aggregates = aggregate(&cells);
+    MatrixOutcome { cells, aggregates }
+}
+
+/// Convenience: [`run_matrix`] over registered scenario names, with the
+/// population size overridden per cell (test-friendly sizing).
+///
+/// # Panics
+/// Panics if any name is not in the scenario registry.
+#[must_use]
+pub fn run_named_matrix(
+    names: &[&str],
+    n_functions: usize,
+    seeds: &[u64],
+    spes_cfg: &SpesConfig,
+) -> MatrixOutcome {
+    let scenarios: Vec<(String, SynthConfig)> = names
+        .iter()
+        .map(|&name| {
+            let mut cfg =
+                synth::scenario_config(name).unwrap_or_else(|| panic!("unknown scenario {name}"));
+            cfg.n_functions = n_functions;
+            (name.to_owned(), cfg)
+        })
+        .collect();
+    run_matrix(&scenarios, seeds, spes_cfg)
+}
+
+fn aggregate(cells: &[MatrixCell]) -> Vec<PolicyAggregate> {
+    POLICY_ORDER
+        .iter()
+        .map(|&policy| {
+            // A cell with no invoked functions has no CSR distribution;
+            // skip it rather than record a spuriously perfect 0.0.
+            let q3: Vec<f64> = cells
+                .iter()
+                .filter_map(|c| c.comparison.run_of(policy).csr_percentile(75.0))
+                .collect();
+            let memory: Vec<f64> = cells
+                .iter()
+                .map(|c| c.comparison.run_of(policy).mean_loaded())
+                .collect();
+            let wmt: Vec<f64> = cells
+                .iter()
+                .map(|c| c.comparison.run_of(policy).total_wmt() as f64)
+                .collect();
+            let (mean_q3_csr, std_q3_csr) = mean_std(&q3);
+            let (mean_memory, std_memory) = mean_std(&memory);
+            let (mean_wmt, std_wmt) = mean_std(&wmt);
+            PolicyAggregate {
+                policy: policy.to_owned(),
+                cells: cells.len(),
+                mean_q3_csr,
+                std_q3_csr,
+                mean_memory,
+                std_memory,
+                mean_wmt,
+                std_wmt,
+            }
+        })
+        .collect()
+}
+
+/// Mean and (population) standard deviation; `(0, 0)` for empty input.
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert!((m - 3.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m1, s1) = mean_std(&[5.0]);
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn small_matrix_runs_and_aggregates() {
+        let out = run_named_matrix(
+            &["quick", "chain-heavy"],
+            60,
+            &[1, 2],
+            &SpesConfig::default(),
+        );
+        assert_eq!(out.cells.len(), 4);
+        assert_eq!(out.aggregates.len(), POLICY_ORDER.len());
+        assert_eq!(out.cells_of("quick").len(), 2);
+        let spes = out.aggregate_of("spes");
+        assert_eq!(spes.cells, 4);
+        assert!(spes.mean_q3_csr.is_finite());
+        assert!(spes.std_q3_csr >= 0.0);
+        // Cells are scenario-major and seed-ordered.
+        assert_eq!(out.cells[0].scenario, "quick");
+        assert_eq!(out.cells[0].seed, 1);
+        assert_eq!(out.cells[3].scenario, "chain-heavy");
+        assert_eq!(out.cells[3].seed, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn named_matrix_rejects_unknown_scenarios() {
+        let _ = run_named_matrix(&["nope"], 10, &[1], &SpesConfig::default());
+    }
+}

@@ -29,13 +29,30 @@ impl Experiment {
         }
     }
 
+    /// An experiment on a registered workload scenario, scaled to `n`
+    /// functions with the given seed; `None` for unknown scenario names
+    /// (see [`spes_trace::synth::scenarios`] for the registry).
+    #[must_use]
+    pub fn scenario(name: &str, n: usize, seed: u64) -> Option<Self> {
+        let mut synth = synth::scenario_config(name)?;
+        synth.n_functions = n;
+        synth.seed = seed;
+        Some(Self {
+            synth,
+            spes: SpesConfig::default(),
+        })
+    }
+
     /// Generates the workload trace.
     #[must_use]
     pub fn generate(&self) -> SynthTrace {
         synth::generate(&self.synth)
     }
 
-    /// Training window end (12 of 14 days by default, as in the paper).
+    /// Training-window end of the generating config. [`Experiment::generate`]
+    /// stamps the same boundary into the trace ([`SynthTrace::train_end`]),
+    /// which is what the runners fit and measure on — the two cannot
+    /// disagree.
     #[must_use]
     pub fn train_end(&self) -> Slot {
         self.synth.train_end()
@@ -78,29 +95,20 @@ impl ComparisonRun {
 }
 
 /// Runs SPES and every baseline on `data` with the paper's train/simulate
-/// split: policies are fitted on the training prefix given by
-/// [`default_train_end`] (12 of 14 days on the default trace, 6/7 of
-/// shorter horizons), then the full horizon is replayed with metrics
-/// collected after the training boundary (warm state carries across it,
-/// matching the paper's reported warm-function fractions). FaaSCache
+/// split: policies are fitted on the trace's own training prefix
+/// (`[0, data.train_end)` — the boundary the generating config placed its
+/// unseen and shift behaviour around), then the full horizon is replayed
+/// with metrics collected after that boundary (warm state carries across
+/// it, matching the paper's reported warm-function fractions). Because
+/// the boundary travels with the trace, a non-default split fits and
+/// measures correctly with no convention to keep in sync. FaaSCache
 /// receives a memory budget equal to SPES's peak usage, exactly as in
 /// Section V-A1.
 #[must_use]
 pub fn run_comparison(data: &SynthTrace, spes_cfg: &SpesConfig) -> ComparisonRun {
-    run_comparison_windowed(data, spes_cfg, data.trace.n_slots)
-}
-
-/// As [`run_comparison`], but simulating only up to `sim_end` (used by
-/// quick integration tests).
-#[must_use]
-pub fn run_comparison_windowed(
-    data: &SynthTrace,
-    spes_cfg: &SpesConfig,
-    sim_end: Slot,
-) -> ComparisonRun {
     let trace = &data.trace;
-    let train_end = default_train_end(sim_end);
-    let window = SimConfig::new(0, sim_end).with_metrics_start(train_end);
+    let train_end = data.train_end;
+    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
     let n = trace.n_functions();
 
     let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
@@ -139,28 +147,13 @@ pub fn run_comparison_windowed(
     }
 }
 
-/// Training cutoff for a horizon of `n_slots`: the paper's 12-day prefix
-/// whenever that leaves a non-empty metrics window `[train_end, n_slots)`,
-/// otherwise 6/7 of the horizon — the same 12:2 proportion, scaled down
-/// (a bare `min(12 days, n_slots)` zeroed out every figure on sub-12-day
-/// traces).
-#[must_use]
-pub fn default_train_end(n_slots: Slot) -> Slot {
-    let twelve_days = 12 * spes_trace::SLOTS_PER_DAY;
-    if n_slots > twelve_days {
-        twelve_days
-    } else {
-        n_slots / 7 * 6
-    }
-}
-
 /// Runs only SPES with the given config (used by the Fig. 13-15 sweeps);
 /// returns the run plus the fitted policy for label access. Uses the same
-/// warm-up protocol as [`run_comparison`].
+/// trace-carried boundary and warm-up protocol as [`run_comparison`].
 #[must_use]
 pub fn run_spes_only(data: &SynthTrace, spes_cfg: &SpesConfig) -> (RunResult, SpesPolicy) {
     let trace = &data.trace;
-    let train_end = default_train_end(trace.n_slots);
+    let train_end = data.train_end;
     let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
     let run = simulate(
         trace,
@@ -193,6 +186,34 @@ mod tests {
         for run in &cmp.runs {
             assert_eq!(run.total_invocations(), total, "{}", run.policy_name);
         }
+    }
+
+    #[test]
+    fn comparison_measures_on_the_trace_boundary() {
+        // A non-default 10-day/8-day split: the runners must fit and
+        // measure on the trace's own boundary, not a convention.
+        let data = synth::generate(&SynthConfig {
+            n_functions: 100,
+            days: 10,
+            train_days: 8,
+            seed: 21,
+            ..SynthConfig::default()
+        });
+        assert_eq!(data.train_end, 8 * spes_trace::SLOTS_PER_DAY);
+        let cmp = run_comparison(&data, &SpesConfig::default());
+        for run in &cmp.runs {
+            assert_eq!(run.start, data.train_end, "{}", run.policy_name);
+            assert_eq!(run.end, data.trace.n_slots, "{}", run.policy_name);
+        }
+    }
+
+    #[test]
+    fn scenario_experiment_resolves_registry_names() {
+        let exp = Experiment::scenario("chain-heavy", 80, 3).unwrap();
+        assert_eq!(exp.synth.n_functions, 80);
+        assert_eq!(exp.synth.seed, 3);
+        assert!(exp.synth.chain_prob > SynthConfig::default().chain_prob);
+        assert!(Experiment::scenario("no-such", 80, 3).is_none());
     }
 
     #[test]

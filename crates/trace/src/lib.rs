@@ -16,4 +16,7 @@ pub use model::{
     AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY,
 };
 pub use series::Sequences;
-pub use synth::{Archetype, FunctionSpec, SynthConfig, SynthTrace};
+pub use synth::{
+    scenario_config, scenario_names, Archetype, FunctionSpec, Scenario, SynthConfig, SynthTrace,
+    SCENARIOS,
+};

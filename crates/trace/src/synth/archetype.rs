@@ -7,7 +7,7 @@
 //! bursty temporal-locality functions, chained workflow functions, and the
 //! long tail of rarely invoked functions.
 
-use crate::model::{FunctionId, Slot, SparseSeries};
+use crate::model::{FunctionId, Slot, SparseSeries, SLOTS_PER_DAY};
 use rand::RngExt;
 use rand_distr::{Distribution, Exp, Poisson};
 
@@ -48,6 +48,19 @@ pub enum Archetype {
         /// Mean idle gap between flurries, in slots.
         mean_gap: f64,
     },
+    /// Day-shaped load: Poisson invocations inside a recurring daily
+    /// window, silent the rest of the day (the Fig. 1 web-facing
+    /// pattern; the overnight gap is what indeterminate handling and
+    /// give-up thresholds have to absorb).
+    Diurnal {
+        /// First active minute of the day (0..1440); the window may wrap
+        /// past midnight.
+        start_min: u32,
+        /// Length of the daily active window, in slots.
+        active_mins: u32,
+        /// Mean invocations per active slot.
+        rate: f64,
+    },
     /// Invoked a fixed lag after a parent function (chained workflows,
     /// fan-out targets); generated in a second pass from the parent series.
     Chained {
@@ -82,6 +95,7 @@ impl Archetype {
             Archetype::Dense { .. } => "dense",
             Archetype::Successive { .. } => "successive",
             Archetype::Pulsed { .. } => "pulsed",
+            Archetype::Diurnal { .. } => "diurnal",
             Archetype::Chained { .. } => "chained",
             Archetype::Rare { .. } => "rare",
             Archetype::Silent => "silent",
@@ -193,6 +207,26 @@ pub fn generate<R: RngExt>(
                     pairs.push((s, 1 + rng.random_range(0..3)));
                 }
                 slot += len + 1 + gap_dist.sample(rng) as Slot;
+            }
+        }
+        Archetype::Diurnal {
+            start_min,
+            active_mins,
+            rate,
+        } => {
+            let poisson = Poisson::new(rate.max(1e-6)).expect("valid poisson rate");
+            let active = (*active_mins).min(SLOTS_PER_DAY);
+            for slot in start..end {
+                let minute_of_day = slot % SLOTS_PER_DAY;
+                let offset =
+                    (minute_of_day + SLOTS_PER_DAY - start_min % SLOTS_PER_DAY) % SLOTS_PER_DAY;
+                if offset >= active {
+                    continue;
+                }
+                let count = poisson.sample(rng) as u32;
+                if count > 0 {
+                    pairs.push((slot, count));
+                }
             }
         }
         Archetype::Chained { .. } => {
@@ -348,6 +382,42 @@ mod tests {
         let wts = Sequences::waiting_times(&s, 0, 20_160);
         // Constant gap -> all WTs equal.
         assert!(wts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn diurnal_respects_daily_window() {
+        let arch = Archetype::Diurnal {
+            start_min: 8 * 60,
+            active_mins: 10 * 60,
+            rate: 1.5,
+        };
+        let s = generate(&arch, 0, 7 * SLOTS_PER_DAY, &mut rng());
+        assert!(!s.is_empty());
+        for &(slot, _) in s.events() {
+            let minute = slot % SLOTS_PER_DAY;
+            assert!(
+                (8 * 60..18 * 60).contains(&minute),
+                "invocation outside the active window at minute {minute}"
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_window_wraps_past_midnight() {
+        let arch = Archetype::Diurnal {
+            start_min: 22 * 60,
+            active_mins: 4 * 60,
+            rate: 2.0,
+        };
+        let s = generate(&arch, 0, 7 * SLOTS_PER_DAY, &mut rng());
+        assert!(!s.is_empty());
+        for &(slot, _) in s.events() {
+            let minute = slot % SLOTS_PER_DAY;
+            assert!(
+                !(2 * 60..22 * 60).contains(&minute),
+                "invocation outside the wrapped window at minute {minute}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,11 @@
 
 pub mod archetype;
 pub mod population;
+pub mod scenarios;
 
 pub use archetype::Archetype;
 pub use population::{FunctionSpec, Segment};
+pub use scenarios::{scenario_config, scenario_names, Scenario, SCENARIOS};
 
 use crate::model::{Slot, SparseSeries, Trace, SLOTS_PER_DAY};
 use rand::rngs::SmallRng;
@@ -34,6 +36,18 @@ pub struct SynthConfig {
     pub unseen_fraction: f64,
     /// Fraction of functions undergoing a concept shift (Fig. 4).
     pub shift_fraction: f64,
+    /// Probability that a multi-function-app member chains off a sibling
+    /// (intra-app workflows, Section III-B2). The Azure-matching default
+    /// is 0.55; `chain-heavy` raises it.
+    pub chain_prob: f64,
+    /// Probability of converting a spaced-out archetype draw into a
+    /// temporal-locality burst pattern (Fig. 6 pushed to the extreme).
+    /// 0.0 (the default) consumes no RNG draws, keeping default traces
+    /// bit-identical across configs that leave it off.
+    pub burst_bias: f64,
+    /// Fraction of functions with a day-shaped load (active window +
+    /// overnight silence). 0.0 (the default) consumes no RNG draws.
+    pub diurnal_fraction: f64,
 }
 
 impl Default for SynthConfig {
@@ -46,6 +60,9 @@ impl Default for SynthConfig {
             silent_fraction: 0.02,
             unseen_fraction: 0.009,
             shift_fraction: 0.06,
+            chain_prob: 0.55,
+            burst_bias: 0.0,
+            diurnal_fraction: 0.0,
         }
     }
 }
@@ -62,9 +79,25 @@ impl SynthConfig {
     pub fn train_end(&self) -> Slot {
         self.train_days * SLOTS_PER_DAY
     }
+
+    /// CI-sized variant of this config: at most 200 functions over a
+    /// 7-day horizon with a 6-day training prefix (the same 6:1
+    /// train/eval proportion as the paper's 12:2), preserving every
+    /// behavioural knob. Used by `repro --quick` and the test matrix.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.n_functions = self.n_functions.min(200);
+        self.days = self.days.min(7);
+        self.train_days = self
+            .train_days
+            .min(6)
+            .min(self.days.saturating_sub(1).max(1));
+        self
+    }
 }
 
-/// A generated trace together with its ground-truth function specs.
+/// A generated trace together with its ground-truth function specs and
+/// the training boundary it was generated around.
 #[derive(Debug, Clone)]
 pub struct SynthTrace {
     /// The invocation trace.
@@ -72,6 +105,70 @@ pub struct SynthTrace {
     /// Per-function ground truth (archetypes, shifts, unseen flags),
     /// aligned with `trace` function ids.
     pub specs: Vec<FunctionSpec>,
+    /// End of the generating config's training window, in slots. Unseen
+    /// and shift behaviour is placed relative to this boundary, and the
+    /// experiment runners fit on `[0, train_end)` and measure on
+    /// `[train_end, n_slots)` — carrying it here makes the generator and
+    /// the runners agree by construction instead of by convention.
+    pub train_end: Slot,
+}
+
+impl SynthTrace {
+    /// Wraps a trace that carries no generator metadata (e.g. one loaded
+    /// from a real-trace CSV) with placeholder specs and the scaled
+    /// [`fallback_train_end`] boundary.
+    #[must_use]
+    pub fn from_external(trace: Trace) -> Self {
+        let train_end = fallback_train_end(trace.n_slots);
+        Self::from_external_with_boundary(trace, train_end)
+    }
+
+    /// As [`SynthTrace::from_external`], but with an explicit training
+    /// boundary (e.g. from a flag accompanying the trace file).
+    ///
+    /// # Panics
+    /// Panics if `train_end` is outside `(0, trace.n_slots)`.
+    #[must_use]
+    pub fn from_external_with_boundary(trace: Trace, train_end: Slot) -> Self {
+        assert!(
+            train_end > 0 && train_end < trace.n_slots,
+            "training boundary {train_end} outside the trace horizon {}",
+            trace.n_slots
+        );
+        let specs = trace
+            .metas
+            .iter()
+            .map(|m| FunctionSpec {
+                meta: *m,
+                segments: vec![Segment {
+                    start: 0,
+                    end: trace.n_slots,
+                    archetype: Archetype::Silent,
+                }],
+                unseen: false,
+            })
+            .collect();
+        Self {
+            trace,
+            specs,
+            train_end,
+        }
+    }
+}
+
+/// Training cutoff for an externally loaded trace of `n_slots` with no
+/// metadata of its own: the paper's 12-day prefix whenever that leaves a
+/// non-empty metrics window, otherwise 6/7 of the horizon (the same 12:2
+/// proportion, scaled down). Synthetic traces never need this — they
+/// carry their generating config's boundary in [`SynthTrace::train_end`].
+#[must_use]
+pub fn fallback_train_end(n_slots: Slot) -> Slot {
+    let twelve_days = 12 * SLOTS_PER_DAY;
+    if n_slots > twelve_days {
+        twelve_days
+    } else {
+        n_slots / 7 * 6
+    }
 }
 
 /// Generates a synthetic trace.
@@ -86,15 +183,7 @@ pub fn generate(config: &SynthConfig) -> SynthTrace {
     let train_end = config.train_end();
 
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let specs = population::build_population(
-        config.n_functions,
-        horizon,
-        train_end,
-        config.silent_fraction,
-        config.unseen_fraction,
-        config.shift_fraction,
-        &mut rng,
-    );
+    let specs = population::build_population(config, &mut rng);
 
     // Pass 1: all non-chained functions, each from a per-function RNG so
     // that the output is independent of generation order.
@@ -134,6 +223,7 @@ pub fn generate(config: &SynthConfig) -> SynthTrace {
     SynthTrace {
         trace: Trace::new(horizon, metas, series),
         specs,
+        train_end,
     }
 }
 
@@ -341,6 +431,76 @@ mod tests {
         assert!(s.iter().all(|&x| x < 100));
         // k > n clamps.
         assert_eq!(sample_distinct(3, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn trace_carries_its_config_boundary() {
+        for (days, train_days) in [(14, 12), (10, 8), (7, 6), (5, 2)] {
+            let cfg = SynthConfig {
+                n_functions: 50,
+                days,
+                train_days,
+                ..SynthConfig::default()
+            };
+            let out = generate(&cfg);
+            assert_eq!(out.train_end, train_days * SLOTS_PER_DAY);
+            assert_eq!(out.train_end, cfg.train_end());
+        }
+    }
+
+    #[test]
+    fn quick_variant_shrinks_but_keeps_knobs() {
+        let q = SynthConfig {
+            chain_prob: 0.9,
+            diurnal_fraction: 0.3,
+            ..SynthConfig::default()
+        }
+        .quick();
+        assert_eq!(q.n_functions, 200);
+        assert_eq!(q.days, 7);
+        assert_eq!(q.train_days, 6);
+        assert_eq!(q.chain_prob, 0.9);
+        assert_eq!(q.diurnal_fraction, 0.3);
+        // Already-small configs are left alone (modulo the boundary).
+        let small = SynthConfig {
+            n_functions: 60,
+            days: 5,
+            train_days: 4,
+            ..SynthConfig::default()
+        }
+        .quick();
+        assert_eq!(small.n_functions, 60);
+        assert_eq!(small.days, 5);
+        assert_eq!(small.train_days, 4);
+    }
+
+    #[test]
+    fn fallback_boundary_scales_with_horizon() {
+        assert_eq!(fallback_train_end(14 * SLOTS_PER_DAY), 12 * SLOTS_PER_DAY);
+        assert_eq!(fallback_train_end(7 * SLOTS_PER_DAY), 6 * SLOTS_PER_DAY);
+        // Sub-12-day horizons leave a non-empty metrics window.
+        for days in 1..=12 {
+            let n_slots = days * SLOTS_PER_DAY;
+            let t = fallback_train_end(n_slots);
+            assert!(t < n_slots, "{days} days: train {t} >= horizon {n_slots}");
+        }
+    }
+
+    #[test]
+    fn external_trace_gets_fallback_boundary() {
+        let data = small_test_trace(40, 1);
+        let n_slots = data.trace.n_slots;
+        let wrapped = SynthTrace::from_external(data.trace);
+        assert_eq!(wrapped.train_end, fallback_train_end(n_slots));
+        assert_eq!(wrapped.specs.len(), wrapped.trace.n_functions());
+    }
+
+    #[test]
+    #[should_panic(expected = "training boundary")]
+    fn external_trace_rejects_bad_boundary() {
+        let data = small_test_trace(10, 2);
+        let n_slots = data.trace.n_slots;
+        let _ = SynthTrace::from_external_with_boundary(data.trace, n_slots);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::model::{AppId, FunctionId, FunctionMeta, Slot, TriggerType, UserId};
 use crate::synth::archetype::Archetype;
+use crate::synth::SynthConfig;
 use rand::RngExt;
 use rand_distr::{Distribution, LogNormal};
 
@@ -360,6 +361,17 @@ pub fn shifted_archetype<R: RngExt>(original: &Archetype, rng: &mut R) -> Archet
             lag: lag + 1,
             prob: *prob * 0.8,
         },
+        Archetype::Diurnal {
+            start_min,
+            active_mins,
+            rate,
+        } => Archetype::Diurnal {
+            // The active window migrates to the opposite half of the day
+            // (e.g. a workload moving between timezones).
+            start_min: (start_min + 720) % 1440,
+            active_mins: *active_mins,
+            rate: rate * (0.5 + rng.random::<f64>()),
+        },
         Archetype::Rare { gap, jitter, count } => Archetype::Rare {
             gap: (gap / 2).max(100),
             jitter: *jitter,
@@ -374,19 +386,18 @@ pub fn shifted_archetype<R: RngExt>(original: &Archetype, rng: &mut R) -> Archet
 }
 
 /// Builds the app/user/trigger skeleton and archetype assignment for
-/// `n_functions` functions. `horizon` is the trace length in slots,
-/// `train_end` the end of the training window (unseen functions start
-/// after it).
-#[allow(clippy::too_many_arguments)]
-pub fn build_population<R: RngExt>(
-    n_functions: usize,
-    horizon: Slot,
-    train_end: Slot,
-    silent_fraction: f64,
-    unseen_fraction: f64,
-    shift_fraction: f64,
-    rng: &mut R,
-) -> Vec<FunctionSpec> {
+/// `config.n_functions` functions, honouring every workload knob of the
+/// config (fractions, chaining strength, burst bias, diurnal share).
+/// Unseen functions start after `config.train_end()`.
+///
+/// The scenario knobs that default to "off" (`burst_bias`,
+/// `diurnal_fraction`) consume RNG draws only when enabled, so the
+/// default configuration generates bit-identical traces with or without
+/// them.
+pub fn build_population<R: RngExt>(config: &SynthConfig, rng: &mut R) -> Vec<FunctionSpec> {
+    let n_functions = config.n_functions;
+    let horizon = config.horizon();
+    let train_end = config.train_end();
     let mut specs: Vec<FunctionSpec> = Vec::with_capacity(n_functions);
     let mut app_id = 0u32;
     let mut user_id = 0u32;
@@ -436,8 +447,8 @@ pub fn build_population<R: RngExt>(
             trigger,
         };
 
-        let unseen = rng.random::<f64>() < unseen_fraction;
-        let silent = !unseen && rng.random::<f64>() < silent_fraction;
+        let unseen = rng.random::<f64>() < config.unseen_fraction;
+        let silent = !unseen && rng.random::<f64>() < config.silent_fraction;
 
         let start = if unseen {
             // Unseen functions first appear in the simulation window.
@@ -449,31 +460,48 @@ pub fn build_population<R: RngExt>(
         let parent = app_parents.last().copied().filter(|p| p.0 != i as u32);
         let archetype = if silent {
             Archetype::Silent
+        } else if config.diurnal_fraction > 0.0 && rng.random::<f64>() < config.diurnal_fraction {
+            sample_diurnal(rng)
         } else {
             match app_tier {
                 AppTier::Rare => sample_rare_app_archetype(parent, rng),
                 AppTier::Busy => busy_tiered(sample_archetype(trigger, parent, rng), rng),
                 AppTier::Moderate => match parent {
-                    // Intra-app workflows: a fifth of multi-function app
-                    // members fire off a sibling within a couple of
-                    // minutes (function chaining / fan-out, Section
-                    // III-B2), which is what makes same-app co-occurrence
-                    // ~4.6x the background level.
-                    Some(parent_id) if rng.random::<f64>() < 0.55 => Archetype::Chained {
-                        parent: parent_id,
-                        // Most chains complete within the same minute
-                        // (lag 0), matching the sub-minute workflow hops
-                        // behind the paper's same-slot co-occurrence.
-                        lag: if rng.random_bool(0.8) {
-                            0
-                        } else {
-                            rng.random_range(1..=2)
-                        },
-                        prob: 0.8 + rng.random::<f64>() * 0.19,
-                    },
+                    // Intra-app workflows: multi-function app members fire
+                    // off a sibling within a couple of minutes (function
+                    // chaining / fan-out, Section III-B2), which is what
+                    // makes same-app co-occurrence ~4.6x the background
+                    // level. The share is a scenario knob.
+                    Some(parent_id) if rng.random::<f64>() < config.chain_prob => {
+                        Archetype::Chained {
+                            parent: parent_id,
+                            // Most chains complete within the same minute
+                            // (lag 0), matching the sub-minute workflow
+                            // hops behind the paper's same-slot
+                            // co-occurrence.
+                            lag: if rng.random_bool(0.8) {
+                                0
+                            } else {
+                                rng.random_range(1..=2)
+                            },
+                            prob: 0.8 + rng.random::<f64>() * 0.19,
+                        }
+                    }
                     _ => sample_archetype(trigger, parent, rng),
                 },
             }
+        };
+        // Burst bias: scenario-controlled conversion of low-activity
+        // draws into temporal-locality bursts (Fig. 6 pushed to the
+        // extreme); off by default.
+        let archetype = if config.burst_bias > 0.0
+            && !silent
+            && !archetype.is_chained()
+            && rng.random::<f64>() < config.burst_bias
+        {
+            burstified(archetype, rng)
+        } else {
+            archetype
         };
 
         // Workflow stages usually share the trigger class of their
@@ -497,7 +525,7 @@ pub fn build_population<R: RngExt>(
         }
 
         let mut segments = Vec::with_capacity(2);
-        let shifts = !silent && !unseen && rng.random::<f64>() < shift_fraction;
+        let shifts = !silent && !unseen && rng.random::<f64>() < config.shift_fraction;
         if shifts && horizon > 4 {
             // Shift point in the middle 30-90% of the horizon, so both
             // behaviours are observable.
@@ -552,6 +580,35 @@ fn sample_app_tier<R: RngExt>(rng: &mut R) -> AppTier {
         AppTier::Moderate
     } else {
         AppTier::Rare
+    }
+}
+
+/// Draws a diurnal archetype: a 6-12 hour daily active window whose
+/// phase is uniform over the day (workloads serve users in every
+/// timezone), with a moderate Poisson rate. The defining property is the
+/// recurring 12-18 hour silent gap, not where it falls.
+fn sample_diurnal<R: RngExt>(rng: &mut R) -> Archetype {
+    Archetype::Diurnal {
+        start_min: rng.random_range(0..1440),
+        active_mins: 360 + rng.random_range(0..=360),
+        rate: 0.1 + rng.random::<f64>() * 1.4,
+    }
+}
+
+/// Burst-bias post-processing: spaced-out draws become bursty
+/// temporal-locality patterns; already-active ones are left alone.
+fn burstified<R: RngExt>(archetype: Archetype, rng: &mut R) -> Archetype {
+    match archetype {
+        Archetype::Rare { .. } | Archetype::Regular { .. } | Archetype::ApproRegular { .. } => {
+            if rng.random_bool(0.6) {
+                successive(rng)
+            } else {
+                Archetype::Pulsed {
+                    mean_gap: 100.0 + rng.random::<f64>() * 800.0,
+                }
+            }
+        }
+        other => other,
     }
 }
 
@@ -634,10 +691,22 @@ mod tests {
         }
     }
 
+    /// A default-shaped config (14-day horizon, 12-day training window)
+    /// with the given population size and fractions.
+    fn cfg(n: usize, silent: f64, unseen: f64, shift: f64) -> SynthConfig {
+        SynthConfig {
+            n_functions: n,
+            silent_fraction: silent,
+            unseen_fraction: unseen,
+            shift_fraction: shift,
+            ..SynthConfig::default()
+        }
+    }
+
     #[test]
     fn population_structure_ratios() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let specs = build_population(20_000, 20_160, 17_280, 0.02, 0.01, 0.05, &mut rng);
+        let specs = build_population(&cfg(20_000, 0.02, 0.01, 0.05), &mut rng);
         assert_eq!(specs.len(), 20_000);
 
         let apps: std::collections::HashSet<_> = specs.iter().map(|s| s.meta.app).collect();
@@ -659,7 +728,7 @@ mod tests {
     fn unseen_functions_start_after_train_end() {
         let mut rng = SmallRng::seed_from_u64(3);
         let train_end = 17_280;
-        let specs = build_population(5_000, 20_160, train_end, 0.0, 0.05, 0.0, &mut rng);
+        let specs = build_population(&cfg(5_000, 0.0, 0.05, 0.0), &mut rng);
         let unseen: Vec<_> = specs.iter().filter(|s| s.unseen).collect();
         assert!(!unseen.is_empty());
         for s in unseen {
@@ -670,7 +739,7 @@ mod tests {
     #[test]
     fn shifted_functions_have_two_segments() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let specs = build_population(5_000, 20_160, 17_280, 0.0, 0.0, 0.3, &mut rng);
+        let specs = build_population(&cfg(5_000, 0.0, 0.0, 0.3), &mut rng);
         let shifted = specs.iter().filter(|s| s.segments.len() == 2).count();
         assert!(
             (0.2..=0.4).contains(&(shifted as f64 / specs.len() as f64)),
@@ -686,7 +755,7 @@ mod tests {
     #[test]
     fn chained_parents_are_same_app_and_earlier() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let specs = build_population(10_000, 20_160, 17_280, 0.0, 0.0, 0.0, &mut rng);
+        let specs = build_population(&cfg(10_000, 0.0, 0.0, 0.0), &mut rng);
         let mut found = 0;
         for (i, s) in specs.iter().enumerate() {
             if let Archetype::Chained { parent, .. } = s.primary_archetype() {
@@ -702,7 +771,7 @@ mod tests {
     #[test]
     fn timer_functions_skew_periodic() {
         let mut rng = SmallRng::seed_from_u64(6);
-        let specs = build_population(20_000, 20_160, 17_280, 0.0, 0.0, 0.0, &mut rng);
+        let specs = build_population(&cfg(20_000, 0.0, 0.0, 0.0), &mut rng);
         let timers: Vec<_> = specs
             .iter()
             .filter(|s| s.meta.trigger == TriggerType::Timer)
@@ -730,6 +799,85 @@ mod tests {
         assert!(
             (0.50..=0.85).contains(&frac),
             "periodic timer fraction {frac}"
+        );
+    }
+
+    fn primary_label_counts(specs: &[FunctionSpec]) -> HashMap<&'static str, usize> {
+        let mut counts = HashMap::new();
+        for s in specs {
+            *counts.entry(s.primary_archetype().label()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn chain_prob_knob_scales_chained_share() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let weak = build_population(
+            &SynthConfig {
+                chain_prob: 0.1,
+                ..cfg(10_000, 0.0, 0.0, 0.0)
+            },
+            &mut rng,
+        );
+        let mut rng = SmallRng::seed_from_u64(9);
+        let strong = build_population(
+            &SynthConfig {
+                chain_prob: 0.9,
+                ..cfg(10_000, 0.0, 0.0, 0.0)
+            },
+            &mut rng,
+        );
+        let chained = |specs: &[FunctionSpec]| specs.iter().filter(|s| s.is_chained()).count();
+        assert!(
+            chained(&strong) > 2 * chained(&weak),
+            "strong {} vs weak {}",
+            chained(&strong),
+            chained(&weak)
+        );
+    }
+
+    #[test]
+    fn diurnal_fraction_produces_diurnal_functions() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let specs = build_population(
+            &SynthConfig {
+                diurnal_fraction: 0.4,
+                ..cfg(5_000, 0.0, 0.0, 0.0)
+            },
+            &mut rng,
+        );
+        let counts = primary_label_counts(&specs);
+        let diurnal = counts.get("diurnal").copied().unwrap_or(0);
+        let frac = diurnal as f64 / specs.len() as f64;
+        assert!((0.3..=0.5).contains(&frac), "diurnal fraction {frac}");
+    }
+
+    #[test]
+    fn burst_bias_grows_bursty_share() {
+        let base_counts = {
+            let mut rng = SmallRng::seed_from_u64(11);
+            primary_label_counts(&build_population(&cfg(10_000, 0.0, 0.0, 0.0), &mut rng))
+        };
+        let biased_counts = {
+            let mut rng = SmallRng::seed_from_u64(11);
+            primary_label_counts(&build_population(
+                &SynthConfig {
+                    burst_bias: 0.6,
+                    ..cfg(10_000, 0.0, 0.0, 0.0)
+                },
+                &mut rng,
+            ))
+        };
+        let bursty = |counts: &HashMap<&str, usize>| {
+            counts.get("successive").copied().unwrap_or(0)
+                + counts.get("pulsed").copied().unwrap_or(0)
+        };
+        assert!(
+            bursty(&biased_counts) > bursty(&base_counts) * 3 / 2,
+            "biased {} vs base {}",
+            bursty(&biased_counts),
+            bursty(&base_counts)
         );
     }
 

@@ -1,0 +1,164 @@
+//! Named workload scenarios: documented [`SynthConfig`] presets.
+//!
+//! Every experiment used to run one hard-coded Azure-like workload; the
+//! registry opens a family of named variants so sweeps, ablations, and
+//! regression tests can exercise the paper's mechanisms (categorisation,
+//! adaptive adjusting, indeterminate handling, online correlation) under
+//! workloads that stress each of them. Each scenario is the
+//! `paper-default` config plus a small, documented knob delta.
+//!
+//! Scenarios deliberately do **not** fix the seed or population size —
+//! callers override `seed`/`n_functions` per run (that is what the
+//! multi-seed matrix does), while the behavioural knobs stay the
+//! scenario's.
+
+use super::SynthConfig;
+
+/// One named workload preset.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Registry key, as accepted by `repro --scenario <name>`.
+    pub name: &'static str,
+    /// One-line description of the knob delta vs `paper-default`.
+    pub summary: &'static str,
+    /// Builds the preset config.
+    pub config: fn() -> SynthConfig,
+}
+
+/// The scenario registry, in presentation order.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "paper-default",
+        summary: "the paper's Azure-like workload: 14-day horizon, 12-day training window",
+        config: SynthConfig::default,
+    },
+    Scenario {
+        name: "quick",
+        summary: "paper-default shrunk for CI: <=200 functions, 7-day horizon, 6-day training",
+        config: || SynthConfig::default().quick(),
+    },
+    Scenario {
+        name: "chain-heavy",
+        summary: "intra-app chaining probability raised 0.55 -> 0.85 (workflow/fan-out stress)",
+        config: || SynthConfig {
+            chain_prob: 0.85,
+            ..SynthConfig::default()
+        },
+    },
+    Scenario {
+        name: "bursty",
+        summary: "60% of spaced-out draws become successive/pulsed bursts (temporal locality)",
+        config: || SynthConfig {
+            burst_bias: 0.6,
+            ..SynthConfig::default()
+        },
+    },
+    Scenario {
+        name: "diurnal",
+        summary: "35% of functions get a day-shaped active window with overnight silence",
+        config: || SynthConfig {
+            diurnal_fraction: 0.35,
+            ..SynthConfig::default()
+        },
+    },
+    Scenario {
+        name: "unseen-heavy",
+        summary: "unseen-function fraction raised 0.9% -> 8% (online-correlation stress)",
+        config: || SynthConfig {
+            unseen_fraction: 0.08,
+            ..SynthConfig::default()
+        },
+    },
+    Scenario {
+        name: "shift-heavy",
+        summary: "concept-shift fraction raised 6% -> 30% (forgetting/adjusting stress)",
+        config: || SynthConfig {
+            shift_fraction: 0.30,
+            ..SynthConfig::default()
+        },
+    },
+];
+
+/// The preset config of a named scenario, or `None` for unknown names.
+#[must_use]
+pub fn scenario_config(name: &str) -> Option<SynthConfig> {
+    SCENARIOS
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| (s.config)())
+}
+
+/// All registered scenario names, in presentation order.
+#[must_use]
+pub fn scenario_names() -> Vec<&'static str> {
+    SCENARIOS.iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+    use crate::SLOTS_PER_DAY;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = scenario_names();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate scenario names");
+        for name in names {
+            assert!(scenario_config(name).is_some(), "{name} not resolvable");
+        }
+        assert!(scenario_config("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn paper_default_is_the_default_config() {
+        assert_eq!(
+            scenario_config("paper-default").unwrap(),
+            SynthConfig::default()
+        );
+    }
+
+    #[test]
+    fn quick_scenario_is_ci_sized() {
+        let q = scenario_config("quick").unwrap();
+        assert!(q.n_functions <= 200);
+        assert_eq!(q.days, 7);
+        assert_eq!(q.train_days, 6);
+    }
+
+    #[test]
+    fn every_scenario_generates_with_a_consistent_boundary() {
+        for scenario in SCENARIOS {
+            let cfg = SynthConfig {
+                n_functions: 60,
+                ..(scenario.config)()
+            };
+            let out = generate(&cfg);
+            assert_eq!(
+                out.train_end,
+                cfg.train_days * SLOTS_PER_DAY,
+                "{}: boundary mismatch",
+                scenario.name
+            );
+            assert!(
+                out.train_end < out.trace.n_slots,
+                "{}: empty metrics window",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_differ_from_paper_default() {
+        let base = SynthConfig::default();
+        for scenario in SCENARIOS.iter().filter(|s| s.name != "paper-default") {
+            assert_ne!(
+                (scenario.config)(),
+                base,
+                "{} does not change any knob",
+                scenario.name
+            );
+        }
+    }
+}

@@ -1,6 +1,10 @@
 //! Head-to-head comparison of SPES and all five baselines on one
 //! workload — a miniature of the paper's Figs. 8, 9, and 11.
 //!
+//! The workload comes from the named scenario registry; swap
+//! "chain-heavy" for any other registered name (`spes::scenario_names()`)
+//! to compare the policies under a different workload shape.
+//!
 //! ```sh
 //! cargo run --release --example policy_comparison
 //! ```
@@ -8,17 +12,19 @@
 use spes::baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
 use spes::core::{SpesConfig, SpesPolicy};
 use spes::sim::{simulate, NormalizedComparison, RunResult, SimConfig};
-use spes::trace::{synth, SynthConfig, SLOTS_PER_DAY};
+use spes::trace::{synth, SynthConfig};
 
 fn main() {
     let config = SynthConfig {
         n_functions: 800,
         seed: 2024,
-        ..SynthConfig::default()
+        ..spes::scenario_config("chain-heavy").expect("registered scenario")
     };
     let data = synth::generate(&config);
     let trace = &data.trace;
-    let train_end = 12 * SLOTS_PER_DAY;
+    // The trace carries its own training boundary: fit on [0, train_end),
+    // measure on [train_end, n_slots).
+    let train_end = data.train_end;
     let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
 
     let mut runs: Vec<RunResult> = Vec::new();

@@ -30,8 +30,9 @@ fn main() {
             .sum::<u64>()
     );
 
-    // 2. Fit SPES on the first 12 days.
-    let train_end = config.train_end();
+    // 2. Fit SPES on the trace's own training window (the first 12 days;
+    // the generated trace carries the boundary it was built around).
+    let train_end = data.train_end;
     let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
     println!("\nSPES categorisation:");
     for (ty, count) in &spes.fit_stats().per_type {

@@ -5,7 +5,10 @@
 //! and the `prop_assert*` / `prop_assume!` macros. Inputs are drawn from
 //! a deterministic RNG seeded from the test name, so failures reproduce
 //! exactly on re-run. Unlike real proptest there is **no shrinking**: a
-//! failing case reports the case number and message only.
+//! failing case reports the case number plus the Debug rendering of every
+//! generated input (unshrunk), which keeps matrix-test failures
+//! diagnosable offline. As in upstream proptest, generated values must
+//! implement `Debug`.
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SampleUniform, SeedableRng, StandardUniform};
@@ -264,7 +267,21 @@ macro_rules! proptest {
             let config: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
             for case in 0..config.cases {
-                $(let $param = $crate::Strategy::sample(&($strat), &mut rng);)*
+                // Debug-render each input as it is drawn so a failure can
+                // report the exact generated values (no shrinking).
+                let mut __case_inputs = ::std::string::String::new();
+                $(
+                    let __value = $crate::Strategy::sample(&($strat), &mut rng);
+                    if !__case_inputs.is_empty() {
+                        __case_inputs.push_str(", ");
+                    }
+                    __case_inputs.push_str(&::std::format!(
+                        "{} = {:?}",
+                        stringify!($param),
+                        &__value
+                    ));
+                    let $param = __value;
+                )*
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
                     $body
                     ::std::result::Result::Ok(())
@@ -273,7 +290,11 @@ macro_rules! proptest {
                     ::std::result::Result::Ok(()) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!("[{}] case {case}/{} failed: {msg}", stringify!($name), config.cases)
+                        panic!(
+                            "[{}] case {case}/{} failed: {msg}\n  inputs: {__case_inputs}",
+                            stringify!($name),
+                            config.cases
+                        )
                     }
                 }
             }
@@ -402,5 +423,27 @@ mod tests {
             }
         }
         inner();
+    }
+
+    #[test]
+    fn failures_report_generated_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(pair in (10u32..20, 30u64..40), flag in any::<bool>()) {
+                prop_assert!(false, "forced failure");
+            }
+        }
+        let panic = std::panic::catch_unwind(inner).expect_err("inner must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        // The Debug-rendered tuple and the bool both appear, labelled by
+        // their binding patterns.
+        assert!(msg.contains("inputs: pair = ("), "missing inputs: {msg}");
+        assert!(
+            msg.contains("flag = true") || msg.contains("flag = false"),
+            "missing flag value: {msg}"
+        );
     }
 }

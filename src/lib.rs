@@ -9,3 +9,9 @@ pub use spes_core as core;
 pub use spes_sim as sim;
 pub use spes_stats as stats;
 pub use spes_trace as trace;
+
+// Workload scenarios are the entry point for most experiments; surface
+// the registry at the facade root alongside the crates.
+pub use spes_trace::{
+    scenario_config, scenario_names, Scenario, SynthConfig, SynthTrace, SCENARIOS,
+};
