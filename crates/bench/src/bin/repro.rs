@@ -1,14 +1,18 @@
 //! Regenerates every table and figure of the SPES paper's evaluation.
 //!
 //! ```text
-//! repro [--fig <id>] [--scenario NAME] [--functions N] [--seed S]
-//!       [--out DIR] [--trace FILE] [--quick]
+//! repro [--fig <id>] [--scenario NAME] [--policies a,b,c] [--functions N]
+//!       [--seed S] [--out DIR] [--trace FILE] [--quick] [--list-policies]
 //!
 //!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
 //!                12 | 13 | 14 | 15 | overhead | all   (default: all)
 //!   --scenario   named workload from the scenario registry
 //!                (paper-default | quick | chain-heavy | bursty | diurnal |
 //!                unseen-heavy | shift-heavy; default: paper-default)
+//!   --policies   comma-separated policy names from the policy registry
+//!                (default: the paper's six-way comparison suite); any
+//!                registered subset works, e.g. spes,defuse,oracle
+//!   --list-policies  print the policy registry and exit
 //!   --functions  population size of the synthetic trace (default 2000)
 //!   --seed       workload seed (default 0xC0FFEE)
 //!   --out        directory for JSON outputs (default: results)
@@ -16,23 +20,31 @@
 //!   --quick      CI smoke mode: shrink the selected scenario to a tiny
 //!                trace (<=200 functions, 7 days, 6-day training) so every
 //!                figure regenerates in seconds; composes with --scenario
+//!                and --policies
 //! ```
 //!
 //! Each figure prints a text table and writes `<out>/figN.json`.
+//! Unknown scenario or policy names exit with an error instead of
+//! panicking. Figures that describe SPES's fit (table1, 10, 12) are
+//! skipped with a note when `--policies` leaves SPES out.
 
 use spes_bench::figures_main::{self, Fig8};
 use spes_bench::figures_sweep::{self, AblationRow, SweepPoint};
 use spes_bench::figures_trace;
-use spes_bench::scenario::{run_comparison, ComparisonRun, Experiment};
+use spes_bench::policies;
+use spes_bench::scenario::{run_suite_comparison, ComparisonRun, Experiment};
 use spes_core::SpesConfig;
 use spes_sim::text_table;
 use spes_trace::{synth, SynthTrace};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
 struct Args {
     fig: String,
     scenario: String,
+    policies: Option<Vec<String>>,
+    list_policies: bool,
     functions: Option<usize>,
     seed: u64,
     out: PathBuf,
@@ -40,10 +52,12 @@ struct Args {
     quick: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         fig: "all".to_owned(),
         scenario: "paper-default".to_owned(),
+        policies: None,
+        list_policies: false,
         functions: None,
         seed: 0xC0FFEE,
         out: PathBuf::from("results"),
@@ -52,19 +66,34 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
-            "--fig" => args.fig = value("--fig"),
-            "--scenario" => args.scenario = value("--scenario"),
-            "--functions" => {
-                args.functions = Some(value("--functions").parse().expect("invalid --functions"))
+            "--fig" => args.fig = value("--fig")?,
+            "--scenario" => args.scenario = value("--scenario")?,
+            "--policies" => {
+                args.policies = Some(
+                    value("--policies")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
             }
-            "--seed" => args.seed = value("--seed").parse().expect("invalid --seed"),
-            "--out" => args.out = PathBuf::from(value("--out")),
-            "--trace" => args.trace = Some(PathBuf::from(value("--trace"))),
+            "--list-policies" => args.list_policies = true,
+            "--functions" => {
+                args.functions = Some(
+                    value("--functions")?
+                        .parse()
+                        .map_err(|e| format!("invalid --functions: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--quick" => args.quick = true,
             "--help" | "-h" => {
                 println!("see the module docs of repro.rs / README for usage");
@@ -72,12 +101,22 @@ fn parse_args() -> Args {
                 for s in synth::SCENARIOS {
                     println!("  {:<14} {}", s.name, s.summary);
                 }
+                println!("\nregistered policies (see also --list-policies):");
+                print_policy_registry();
                 std::process::exit(0);
             }
-            other => panic!("unknown flag {other}"),
+            other => return Err(format!("unknown flag {other}")),
         }
     }
-    args
+    Ok(args)
+}
+
+fn print_policy_registry() {
+    for p in policies::REGISTRY {
+        let marker = if p.in_default_suite { "*" } else { " " };
+        println!("  {marker} {:<19} {}", p.name, p.summary);
+    }
+    println!("  (* = in the default comparison suite)");
 }
 
 fn save_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
@@ -93,22 +132,61 @@ fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
-fn main() {
-    let args = parse_args();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.list_policies {
+        println!("registered policies:");
+        print_policy_registry();
+        return Ok(());
+    }
     let wants = |id: &str| args.fig == "all" || args.fig == id;
-    assert!(
-        !(args.quick && args.trace.is_some()),
-        "--quick synthesises its own tiny trace and cannot be combined with --trace"
-    );
-    assert!(
-        !(args.trace.is_some() && args.scenario != "paper-default"),
-        "--scenario selects a synthetic workload and cannot be combined with --trace"
-    );
+    if args.quick && args.trace.is_some() {
+        return Err(
+            "--quick synthesises its own tiny trace and cannot be combined with --trace".to_owned(),
+        );
+    }
+    if args.trace.is_some() && args.scenario != "paper-default" {
+        return Err(
+            "--scenario selects a synthetic workload and cannot be combined with --trace"
+                .to_owned(),
+        );
+    }
+
+    // Resolve the policy suite up front so unknown names fail before any
+    // trace is generated.
+    let spes_cfg = SpesConfig::default();
+    let policy_names: Vec<&str> = match &args.policies {
+        Some(names) => names.iter().map(String::as_str).collect(),
+        None => policies::REGISTRY
+            .iter()
+            .filter(|p| p.in_default_suite)
+            .map(|p| p.name)
+            .collect(),
+    };
+    if policy_names.is_empty() {
+        return Err(format!(
+            "--policies selected no policies; registered: {}",
+            policies::policy_names().join(", ")
+        ));
+    }
+    let suite = policies::suite_of(&policy_names, &spes_cfg).map_err(|e| e.to_string())?;
+    spes_sim::validate_suite(&suite).map_err(|e| e.to_string())?;
 
     let data: SynthTrace = if let Some(path) = &args.trace {
-        let file = std::fs::File::open(path).expect("open trace file");
-        let trace =
-            spes_trace::io::read_csv(std::io::BufReader::new(file), None).expect("parse trace CSV");
+        let file = std::fs::File::open(path).map_err(|e| format!("open trace file: {e}"))?;
+        let trace = spes_trace::io::read_csv(std::io::BufReader::new(file), None)
+            .map_err(|e| format!("parse trace CSV: {e:?}"))?;
         println!(
             "loaded real trace: {} functions, {} slots",
             trace.n_functions(),
@@ -118,13 +196,13 @@ fn main() {
         // the scaled fallback training boundary.
         SynthTrace::from_external(trace)
     } else {
-        let mut synth_cfg = synth::scenario_config(&args.scenario).unwrap_or_else(|| {
-            panic!(
+        let mut synth_cfg = synth::scenario_config(&args.scenario).ok_or_else(|| {
+            format!(
                 "unknown scenario {:?}; registered: {}",
                 args.scenario,
                 synth::scenario_names().join(", ")
             )
-        });
+        })?;
         if args.quick {
             // Shrinking the scenario keeps the full figure pipeline (and
             // the scenario's behavioural knobs) exercised while finishing
@@ -146,11 +224,10 @@ fn main() {
         );
         Experiment {
             synth: synth_cfg,
-            spes: SpesConfig::default(),
+            spes: spes_cfg.clone(),
         }
         .generate()
     };
-    let spes_cfg = SpesConfig::default();
 
     // ---- trace-characterisation figures ----
     if wants("3") {
@@ -226,33 +303,44 @@ fn main() {
         save_json(&args.out, "empirical", &e);
     }
 
-    // ---- main evaluation (one shared comparison run) ----
+    // ---- main evaluation (one shared suite run) ----
     let needs_comparison = ["table1", "8", "9", "10", "11", "12", "overhead"]
         .iter()
         .any(|id| wants(id));
-    let cmp: Option<ComparisonRun> = needs_comparison.then(|| {
+    let cmp: Option<ComparisonRun> = if needs_comparison {
         println!(
-            "\nrunning SPES + 5 baselines over the {}-day trace ...",
+            "\nrunning the policy suite [{}] over the {}-day trace ...",
+            policy_names.join(", "),
             data.trace.n_slots / spes_trace::SLOTS_PER_DAY
         );
-        run_comparison(&data, &spes_cfg)
-    });
+        Some(run_suite_comparison(&data, &suite).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+
+    let skip_spes_figure = |name: &str| {
+        println!("\n== {name} skipped: the selected suite does not include spes ==");
+    };
 
     if let Some(cmp) = &cmp {
         if wants("table1") {
-            let census = figures_main::table1(cmp);
-            println!("\n== Table I census: functions per SPES type ==");
-            let rows: Vec<Vec<String>> = census
-                .rows
-                .iter()
-                .map(|(t, c)| vec![t.clone(), c.to_string()])
-                .collect();
-            println!("{}", text_table(&["type", "functions"], &rows));
-            println!(
-                "recovered by forgetting: {}; unseen in training: {}",
-                census.recovered_by_forgetting, census.unseen
-            );
-            save_json(&args.out, "table1", &census);
+            match figures_main::table1(cmp) {
+                None => skip_spes_figure("Table I"),
+                Some(census) => {
+                    println!("\n== Table I census: functions per SPES type ==");
+                    let rows: Vec<Vec<String>> = census
+                        .rows
+                        .iter()
+                        .map(|(t, c)| vec![t.clone(), c.to_string()])
+                        .collect();
+                    println!("{}", text_table(&["type", "functions"], &rows));
+                    println!(
+                        "recovered by forgetting: {}; unseen in training: {}",
+                        census.recovered_by_forgetting, census.unseen
+                    );
+                    save_json(&args.out, "table1", &census);
+                }
+            }
         }
 
         if wants("8") {
@@ -296,21 +384,25 @@ fn main() {
                 .collect();
             println!(
                 "{}",
-                text_table(&["policy", "memory (SPES=1)", "always-cold"], &rows)
+                text_table(&["policy", "memory (ref=1)", "always-cold"], &rows)
             );
             save_json(&args.out, "fig9", &fig);
         }
 
         if wants("10") {
-            let fig = figures_main::fig10(cmp);
-            println!("\n== Fig. 10: mean CSR per SPES function type ==");
-            let rows: Vec<Vec<String>> = fig
-                .rows
-                .iter()
-                .map(|(t, csr, n)| vec![t.clone(), format!("{csr:.3}"), n.to_string()])
-                .collect();
-            println!("{}", text_table(&["type", "mean CSR", "functions"], &rows));
-            save_json(&args.out, "fig10", &fig);
+            match figures_main::fig10(cmp) {
+                None => skip_spes_figure("Fig. 10"),
+                Some(fig) => {
+                    println!("\n== Fig. 10: mean CSR per SPES function type ==");
+                    let rows: Vec<Vec<String>> = fig
+                        .rows
+                        .iter()
+                        .map(|(t, csr, n)| vec![t.clone(), format!("{csr:.3}"), n.to_string()])
+                        .collect();
+                    println!("{}", text_table(&["type", "mean CSR", "functions"], &rows));
+                    save_json(&args.out, "fig10", &fig);
+                }
+            }
         }
 
         if wants("11") {
@@ -322,20 +414,24 @@ fn main() {
                 .zip(&fig.emcr)
                 .map(|((name, wmt), (_, emcr))| vec![name.clone(), format!("{wmt:.3}"), pct(*emcr)])
                 .collect();
-            println!("{}", text_table(&["policy", "WMT (SPES=1)", "EMCR"], &rows));
+            println!("{}", text_table(&["policy", "WMT (ref=1)", "EMCR"], &rows));
             save_json(&args.out, "fig11", &fig);
         }
 
         if wants("12") {
-            let fig = figures_main::fig12(cmp);
-            println!("\n== Fig. 12: WMT / invocations ratio per SPES type ==");
-            let rows: Vec<Vec<String>> = fig
-                .rows
-                .iter()
-                .map(|(t, r)| vec![t.clone(), format!("{r:.2}")])
-                .collect();
-            println!("{}", text_table(&["type", "WMT ratio"], &rows));
-            save_json(&args.out, "fig12", &fig);
+            match figures_main::fig12(cmp) {
+                None => skip_spes_figure("Fig. 12"),
+                Some(fig) => {
+                    println!("\n== Fig. 12: WMT / invocations ratio per SPES type ==");
+                    let rows: Vec<Vec<String>> = fig
+                        .rows
+                        .iter()
+                        .map(|(t, r)| vec![t.clone(), format!("{r:.2}")])
+                        .collect();
+                    println!("{}", text_table(&["type", "WMT ratio"], &rows));
+                    save_json(&args.out, "fig12", &fig);
+                }
+            }
         }
 
         if wants("overhead") {
@@ -351,7 +447,7 @@ fn main() {
         }
     }
 
-    // ---- sweeps and ablations ----
+    // ---- sweeps and ablations (always SPES-parameterised) ----
     if wants("13") {
         println!("\n== Fig. 13: resource/latency trade-off sweeps ==");
         let prewarm: Vec<SweepPoint> = figures_sweep::fig13_prewarm(&data, &spes_cfg);
@@ -426,4 +522,5 @@ fn main() {
     }
 
     println!("\ndone.");
+    Ok(())
 }

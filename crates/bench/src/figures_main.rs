@@ -16,21 +16,22 @@ pub struct Table1Census {
     pub unseen: usize,
 }
 
-/// Builds the census from a comparison run.
+/// Builds the census from a comparison run; `None` when the suite did
+/// not include SPES (the census describes SPES's offline fit).
 #[must_use]
-pub fn table1(cmp: &ComparisonRun) -> Table1Census {
-    let mut rows: Vec<(String, usize)> = cmp
-        .fit_summary
+pub fn table1(cmp: &ComparisonRun) -> Option<Table1Census> {
+    let fit = cmp.fit_summary.as_ref()?;
+    let mut rows: Vec<(String, usize)> = fit
         .per_type
         .iter()
         .map(|(&k, &v)| (k.to_owned(), v))
         .collect();
     rows.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
-    Table1Census {
+    Some(Table1Census {
         rows,
-        recovered_by_forgetting: cmp.fit_summary.recovered_by_forgetting,
-        unseen: cmp.fit_summary.unseen,
-    }
+        recovered_by_forgetting: fit.recovered_by_forgetting,
+        unseen: fit.unseen,
+    })
 }
 
 /// Fig. 8: the CDF of function-wise cold-start rates per policy, plus the
@@ -74,12 +75,22 @@ pub fn fig8(cmp: &ComparisonRun) -> Fig8 {
         .iter()
         .find(|(n, _)| n == "spes")
         .map_or(0.0, |&(_, v)| v);
+    // "Best baseline" means the paper's comparison set: bounds (the
+    // oracle, the trivial brackets, any unregistered custom policy) must
+    // not distort the headline number, so only default-suite members
+    // count.
+    let is_baseline = |name: &str| {
+        name != "spes"
+            && crate::policies::REGISTRY
+                .iter()
+                .any(|p| p.in_default_suite && p.name == name)
+    };
     let best_baseline_q3 = q3_csr
         .iter()
-        .filter(|(n, _)| n != "spes")
+        .filter(|(n, _)| is_baseline(n))
         .map(|&(_, v)| v)
         .fold(f64::INFINITY, f64::min);
-    let q3_improvement_pct = if best_baseline_q3 > 0.0 {
+    let q3_improvement_pct = if best_baseline_q3.is_finite() && best_baseline_q3 > 0.0 {
         (best_baseline_q3 - spes_q3) / best_baseline_q3 * 100.0
     } else {
         0.0
@@ -103,10 +114,20 @@ pub struct Fig9 {
     pub always_cold_pct: Vec<(String, f64)>,
 }
 
+/// Reference policy for normalised figures: SPES when present (the
+/// paper's convention), otherwise the suite's first policy.
+fn reference_policy(cmp: &ComparisonRun) -> &str {
+    if cmp.try_run_of("spes").is_some() {
+        "spes"
+    } else {
+        &cmp.runs[0].policy_name
+    }
+}
+
 /// Builds Fig. 9.
 #[must_use]
 pub fn fig9(cmp: &ComparisonRun) -> Fig9 {
-    let memory = NormalizedComparison::build(&cmp.runs, "spes", |r| r.mean_loaded());
+    let memory = NormalizedComparison::build(&cmp.runs, reference_policy(cmp), |r| r.mean_loaded());
     Fig9 {
         normalized_memory: memory
             .rows
@@ -128,16 +149,17 @@ pub struct Fig10 {
     pub rows: Vec<(String, f64, usize)>,
 }
 
-/// Builds Fig. 10 from the SPES run and its category labels.
+/// Builds Fig. 10 from the SPES run and its category labels; `None`
+/// when the suite did not include SPES.
 #[must_use]
-pub fn fig10(cmp: &ComparisonRun) -> Fig10 {
-    let spes_run = cmp.run_of("spes");
+pub fn fig10(cmp: &ComparisonRun) -> Option<Fig10> {
+    let spes_run = cmp.try_run_of("spes")?;
     let stats = per_category_stats(spes_run, |f| Some(cmp.spes_labels[f]));
     let rows = stats
         .into_iter()
         .map(|(label, s)| (label.to_owned(), s.mean_csr, s.functions))
         .collect();
-    Fig10 { rows }
+    Some(Fig10 { rows })
 }
 
 /// Fig. 11: normalised wasted memory time (a) and EMCR (b).
@@ -152,7 +174,8 @@ pub struct Fig11 {
 /// Builds Fig. 11.
 #[must_use]
 pub fn fig11(cmp: &ComparisonRun) -> Fig11 {
-    let wmt = NormalizedComparison::build(&cmp.runs, "spes", |r| r.total_wmt() as f64);
+    let wmt =
+        NormalizedComparison::build(&cmp.runs, reference_policy(cmp), |r| r.total_wmt() as f64);
     Fig11 {
         normalized_wmt: wmt
             .rows
@@ -174,16 +197,16 @@ pub struct Fig12 {
     pub rows: Vec<(String, f64)>,
 }
 
-/// Builds Fig. 12.
+/// Builds Fig. 12; `None` when the suite did not include SPES.
 #[must_use]
-pub fn fig12(cmp: &ComparisonRun) -> Fig12 {
-    let spes_run = cmp.run_of("spes");
+pub fn fig12(cmp: &ComparisonRun) -> Option<Fig12> {
+    let spes_run = cmp.try_run_of("spes")?;
     let stats = per_category_stats(spes_run, |f| Some(cmp.spes_labels[f]));
     let rows = stats
         .into_iter()
         .map(|(label, s)| (label.to_owned(), s.mean_wmt_ratio))
         .collect();
-    Fig12 { rows }
+    Some(Fig12 { rows })
 }
 
 /// RQ2: per-minute scheduling overhead of every policy.
@@ -219,9 +242,31 @@ mod tests {
     #[test]
     fn table1_counts_all_functions() {
         let cmp = comparison();
-        let t = table1(&cmp);
+        let t = table1(&cmp).expect("default suite includes spes");
         let total: usize = t.rows.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 250);
+    }
+
+    #[test]
+    fn spes_figures_degrade_gracefully_without_spes() {
+        let data = Experiment::sized(60, 41).generate();
+        let suite = crate::policies::suite_of(
+            &["fixed-keep-alive", "no-keep-alive"],
+            &SpesConfig::default(),
+        )
+        .unwrap();
+        let cmp = crate::scenario::run_suite_comparison(&data, &suite).unwrap();
+        assert!(table1(&cmp).is_none());
+        assert!(fig10(&cmp).is_none());
+        assert!(fig12(&cmp).is_none());
+        // Normalised figures fall back to the first suite member.
+        let f9 = fig9(&cmp);
+        let reference = f9
+            .normalized_memory
+            .iter()
+            .find(|(n, _)| n == "fixed-keep-alive")
+            .unwrap();
+        assert!((reference.1 - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -267,12 +312,12 @@ mod tests {
     #[test]
     fn fig10_and_12_cover_types() {
         let cmp = comparison();
-        let f10 = fig10(&cmp);
+        let f10 = fig10(&cmp).expect("default suite includes spes");
         assert!(!f10.rows.is_empty());
         for (_, csr, _) in &f10.rows {
             assert!((0.0..=1.0).contains(csr));
         }
-        let f12 = fig12(&cmp);
+        let f12 = fig12(&cmp).expect("default suite includes spes");
         assert!(!f12.rows.is_empty());
         for (_, ratio) in &f12.rows {
             assert!(*ratio >= 0.0);

@@ -10,7 +10,13 @@ pub mod figures_main;
 pub mod figures_sweep;
 pub mod figures_trace;
 pub mod matrix;
+pub mod policies;
 pub mod scenario;
 
 pub use matrix::{run_matrix, run_named_matrix, MatrixCell, MatrixOutcome, PolicyAggregate};
-pub use scenario::{run_comparison, run_spes_only, ComparisonRun, Experiment, POLICY_ORDER};
+pub use policies::{
+    default_suite, policy_names, spec_of, suite_of, RegisteredPolicy, UnknownPolicy, REGISTRY,
+};
+pub use scenario::{
+    run_comparison, run_spes_only, run_suite_comparison, ComparisonRun, Experiment, POLICY_ORDER,
+};

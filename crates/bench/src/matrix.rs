@@ -1,15 +1,18 @@
-//! Seed × scenario comparison matrix.
+//! Seed × scenario × policy-suite comparison matrix.
 //!
-//! Runs the full six-policy comparison over every (scenario, seed) cell
-//! in parallel (std scoped threads, one per cell, like the Fig. 13-15
+//! Runs an arbitrary policy suite over every (scenario, seed) cell in
+//! parallel (std scoped threads, one per cell, like the Fig. 13-15
 //! sweeps) and aggregates per-policy means and standard deviations of
 //! the headline metrics. This is the substrate for multi-seed regression
 //! tests and robustness sweeps: a claim that holds on one seed of one
-//! workload is an anecdote; the matrix makes it a distribution.
+//! workload is an anecdote; the matrix makes it a distribution. Since
+//! the policy-registry redesign the policy axis is open too: any
+//! suite — the paper's default six, a two-policy duel, or everything
+//! including the oracle — runs through the same cells.
 
-use crate::scenario::{run_comparison, ComparisonRun, POLICY_ORDER};
+use crate::scenario::{run_suite_comparison, ComparisonRun};
 use serde::Serialize;
-use spes_core::SpesConfig;
+use spes_sim::suite::{validate_suite, PolicySpec, SuiteError};
 use spes_trace::{synth, SynthConfig};
 
 /// One cell of the matrix: a scenario config run under one seed.
@@ -19,14 +22,14 @@ pub struct MatrixCell {
     pub scenario: String,
     /// Workload seed of this cell.
     pub seed: u64,
-    /// The full six-policy comparison on this cell's trace.
+    /// The full suite comparison on this cell's trace.
     pub comparison: ComparisonRun,
 }
 
 /// Per-policy aggregate over all matrix cells.
 #[derive(Debug, Clone, Serialize)]
 pub struct PolicyAggregate {
-    /// Policy name, as in [`POLICY_ORDER`].
+    /// Policy name, as in the suite.
     pub policy: String,
     /// Number of cells aggregated.
     pub cells: usize,
@@ -49,20 +52,24 @@ pub struct PolicyAggregate {
 pub struct MatrixOutcome {
     /// All cells, ordered scenario-major then seed.
     pub cells: Vec<MatrixCell>,
-    /// Per-policy aggregates, in [`POLICY_ORDER`] order.
+    /// Per-policy aggregates, in suite order.
     pub aggregates: Vec<PolicyAggregate>,
 }
 
 impl MatrixOutcome {
+    /// The aggregate of one policy by name, if present.
+    #[must_use]
+    pub fn try_aggregate_of(&self, policy: &str) -> Option<&PolicyAggregate> {
+        self.aggregates.iter().find(|a| a.policy == policy)
+    }
+
     /// The aggregate of one policy by name.
     ///
     /// # Panics
-    /// Panics if the policy is not part of the comparison.
+    /// Panics if the policy is not part of the suite.
     #[must_use]
     pub fn aggregate_of(&self, policy: &str) -> &PolicyAggregate {
-        self.aggregates
-            .iter()
-            .find(|a| a.policy == policy)
+        self.try_aggregate_of(policy)
             .unwrap_or_else(|| panic!("no aggregate for policy {policy}"))
     }
 
@@ -76,16 +83,18 @@ impl MatrixOutcome {
     }
 }
 
-/// Runs the comparison over the cross product of `scenarios` × `seeds`,
-/// one cell per thread. Each cell generates its own trace from the
-/// scenario config with the cell's seed; the trace-carried training
-/// boundary drives fitting and measurement as in [`run_comparison`].
-#[must_use]
+/// Runs `suite` over the cross product of `scenarios` × `seeds`, one
+/// cell per thread. Each cell generates its own trace from the scenario
+/// config with the cell's seed; the trace-carried training boundary
+/// drives fitting and measurement as in
+/// [`crate::scenario::run_suite_comparison`]. The suite is validated
+/// once up front, so an invalid suite fails before any cell runs.
 pub fn run_matrix(
     scenarios: &[(String, SynthConfig)],
     seeds: &[u64],
-    spes_cfg: &SpesConfig,
-) -> MatrixOutcome {
+    suite: &[PolicySpec],
+) -> Result<MatrixOutcome, SuiteError> {
+    validate_suite(suite)?;
     let cells: Vec<MatrixCell> = std::thread::scope(|scope| {
         let handles: Vec<_> = scenarios
             .iter()
@@ -100,7 +109,8 @@ pub fn run_matrix(
                     MatrixCell {
                         scenario: name.clone(),
                         seed,
-                        comparison: run_comparison(&data, spes_cfg),
+                        comparison: run_suite_comparison(&data, suite)
+                            .expect("suite validated before fan-out"),
                     }
                 })
             })
@@ -110,8 +120,8 @@ pub fn run_matrix(
             .map(|h| h.join().expect("matrix cell panicked"))
             .collect()
     });
-    let aggregates = aggregate(&cells);
-    MatrixOutcome { cells, aggregates }
+    let aggregates = aggregate(&cells, suite);
+    Ok(MatrixOutcome { cells, aggregates })
 }
 
 /// Convenience: [`run_matrix`] over registered scenario names, with the
@@ -119,13 +129,12 @@ pub fn run_matrix(
 ///
 /// # Panics
 /// Panics if any name is not in the scenario registry.
-#[must_use]
 pub fn run_named_matrix(
     names: &[&str],
     n_functions: usize,
     seeds: &[u64],
-    spes_cfg: &SpesConfig,
-) -> MatrixOutcome {
+    suite: &[PolicySpec],
+) -> Result<MatrixOutcome, SuiteError> {
     let scenarios: Vec<(String, SynthConfig)> = names
         .iter()
         .map(|&name| {
@@ -135,13 +144,14 @@ pub fn run_named_matrix(
             (name.to_owned(), cfg)
         })
         .collect();
-    run_matrix(&scenarios, seeds, spes_cfg)
+    run_matrix(&scenarios, seeds, suite)
 }
 
-fn aggregate(cells: &[MatrixCell]) -> Vec<PolicyAggregate> {
-    POLICY_ORDER
+fn aggregate(cells: &[MatrixCell], suite: &[PolicySpec]) -> Vec<PolicyAggregate> {
+    suite
         .iter()
-        .map(|&policy| {
+        .map(|spec| {
+            let policy = spec.name();
             // A cell with no invoked functions has no CSR distribution;
             // skip it rather than record a spuriously perfect 0.0.
             let q3: Vec<f64> = cells
@@ -187,6 +197,9 @@ fn mean_std(values: &[f64]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policies;
+    use crate::scenario::POLICY_ORDER;
+    use spes_core::SpesConfig;
 
     #[test]
     fn mean_std_basics() {
@@ -200,12 +213,8 @@ mod tests {
 
     #[test]
     fn small_matrix_runs_and_aggregates() {
-        let out = run_named_matrix(
-            &["quick", "chain-heavy"],
-            60,
-            &[1, 2],
-            &SpesConfig::default(),
-        );
+        let suite = policies::default_suite(&SpesConfig::default());
+        let out = run_named_matrix(&["quick", "chain-heavy"], 60, &[1, 2], &suite).unwrap();
         assert_eq!(out.cells.len(), 4);
         assert_eq!(out.aggregates.len(), POLICY_ORDER.len());
         assert_eq!(out.cells_of("quick").len(), 2);
@@ -221,8 +230,30 @@ mod tests {
     }
 
     #[test]
+    fn custom_suite_matrix_aggregates_in_suite_order() {
+        let suite =
+            policies::suite_of(&["oracle", "fixed-keep-alive"], &SpesConfig::default()).unwrap();
+        let out = run_named_matrix(&["quick"], 50, &[3], &suite).unwrap();
+        let names: Vec<&str> = out.aggregates.iter().map(|a| a.policy.as_str()).collect();
+        assert_eq!(names, ["oracle", "fixed-keep-alive"]);
+        assert!(out.try_aggregate_of("spes").is_none());
+        // The clairvoyant oracle never cold-starts, on any cell.
+        assert_eq!(out.aggregate_of("oracle").mean_q3_csr, 0.0);
+    }
+
+    #[test]
+    fn invalid_suites_fail_before_fanning_out() {
+        let suite = policies::suite_of(&["faascache"], &SpesConfig::default()).unwrap();
+        assert!(matches!(
+            run_named_matrix(&["quick"], 20, &[1], &suite),
+            Err(SuiteError::UnknownCapacityRef { .. })
+        ));
+    }
+
+    #[test]
     #[should_panic(expected = "unknown scenario")]
     fn named_matrix_rejects_unknown_scenarios() {
-        let _ = run_named_matrix(&["nope"], 10, &[1], &SpesConfig::default());
+        let suite = policies::default_suite(&SpesConfig::default());
+        let _ = run_named_matrix(&["nope"], 10, &[1], &suite);
     }
 }

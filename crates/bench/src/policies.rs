@@ -1,0 +1,182 @@
+//! The name-keyed policy registry.
+//!
+//! Mirrors the scenario registry (`spes_trace::synth::scenarios`) on the
+//! policy axis: every provisioning policy the workspace knows how to run
+//! is registered here under a stable name, with a one-line summary for
+//! `repro --list-policies` and a flag saying whether it belongs to the
+//! paper's six-way comparison. Adding a policy to every scenario of the
+//! matrix is now a one-entry change in this file (plus the factory next
+//! to the policy itself).
+//!
+//! The default suite reproduces the paper's Section V comparison
+//! (SPES + five baselines, in [`crate::scenario::POLICY_ORDER`]).
+//! Outside it are the clairvoyant `oracle` upper bound and the trivial
+//! `no-keep-alive` / `keep-forever` brackets — runnable by name, excluded
+//! from paper-facing defaults.
+
+use spes_baselines::{
+    DefuseFactory, FaasCacheFactory, FixedKeepAliveFactory, Granularity, HybridFactory,
+    OracleFactory,
+};
+use spes_core::{SpesConfig, SpesFactory};
+use spes_sim::suite::{KeepForeverFactory, NoKeepAliveFactory, PolicySpec};
+
+/// One registry row: the policy's name, a one-line summary, and whether
+/// it is part of the paper's default comparison suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisteredPolicy {
+    /// Registry key (also the policy's report name).
+    pub name: &'static str,
+    /// One-line description for `repro --list-policies`.
+    pub summary: &'static str,
+    /// Whether the policy is in [`default_suite`].
+    pub in_default_suite: bool,
+}
+
+/// Every registered policy, default-suite members first, in
+/// [`crate::scenario::POLICY_ORDER`] order.
+pub const REGISTRY: [RegisteredPolicy; 9] = [
+    RegisteredPolicy {
+        name: "spes",
+        summary: "the paper's pattern-based pre-warm/evict scheduler",
+        in_default_suite: true,
+    },
+    RegisteredPolicy {
+        name: "defuse",
+        summary: "dependency-guided keep-alive (Defuse)",
+        in_default_suite: true,
+    },
+    RegisteredPolicy {
+        name: "hybrid-function",
+        summary: "Shahrad et al. histogram policy, per function",
+        in_default_suite: true,
+    },
+    RegisteredPolicy {
+        name: "hybrid-application",
+        summary: "Shahrad et al. histogram policy, per application",
+        in_default_suite: true,
+    },
+    RegisteredPolicy {
+        name: "fixed-keep-alive",
+        summary: "industry-standard fixed 10-minute keep-alive",
+        in_default_suite: true,
+    },
+    RegisteredPolicy {
+        name: "faascache",
+        summary: "greedy-dual caching under SPES's peak-memory budget",
+        in_default_suite: true,
+    },
+    RegisteredPolicy {
+        name: "oracle",
+        summary: "clairvoyant upper bound (reads the future; not a baseline)",
+        in_default_suite: false,
+    },
+    RegisteredPolicy {
+        name: "no-keep-alive",
+        summary: "always-evict lower bound: every re-invocation is cold",
+        in_default_suite: false,
+    },
+    RegisteredPolicy {
+        name: "keep-forever",
+        summary: "never-evict upper bracket: maximal memory, no re-colds",
+        in_default_suite: false,
+    },
+];
+
+/// Names of every registered policy, registry order.
+#[must_use]
+pub fn policy_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|p| p.name).collect()
+}
+
+/// The spec of one registered policy by name; `None` for unknown names.
+/// `spes_cfg` parameterises SPES itself (the baselines ignore it).
+#[must_use]
+pub fn spec_of(name: &str, spes_cfg: &SpesConfig) -> Option<PolicySpec> {
+    Some(match name {
+        "spes" => PolicySpec::new(SpesFactory::new(spes_cfg.clone())),
+        "defuse" => PolicySpec::new(DefuseFactory),
+        "hybrid-function" => PolicySpec::new(HybridFactory {
+            granularity: Granularity::Function,
+        }),
+        "hybrid-application" => PolicySpec::new(HybridFactory {
+            granularity: Granularity::Application,
+        }),
+        "fixed-keep-alive" => PolicySpec::new(FixedKeepAliveFactory::default()),
+        "faascache" => PolicySpec::new(FaasCacheFactory),
+        "oracle" => PolicySpec::new(OracleFactory::default()),
+        "no-keep-alive" => PolicySpec::new(NoKeepAliveFactory),
+        "keep-forever" => PolicySpec::new(KeepForeverFactory),
+        _ => return None,
+    })
+}
+
+/// An unknown policy name, with the registered alternatives for the
+/// error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy(pub String);
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown policy {:?}; registered: {}",
+            self.0,
+            policy_names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// Builds a suite from registry names, preserving order. FaaSCache keeps
+/// its `PeakOf("spes")` capacity rule, so a suite selecting `faascache`
+/// without `spes` is rejected later by suite validation — exactly the
+/// paper's coupling made explicit.
+pub fn suite_of(names: &[&str], spes_cfg: &SpesConfig) -> Result<Vec<PolicySpec>, UnknownPolicy> {
+    names
+        .iter()
+        .map(|&name| spec_of(name, spes_cfg).ok_or_else(|| UnknownPolicy(name.to_owned())))
+        .collect()
+}
+
+/// The paper's six-way comparison suite, in
+/// [`crate::scenario::POLICY_ORDER`] order.
+#[must_use]
+pub fn default_suite(spes_cfg: &SpesConfig) -> Vec<PolicySpec> {
+    REGISTRY
+        .iter()
+        .filter(|p| p.in_default_suite)
+        .map(|p| spec_of(p.name, spes_cfg).expect("registry entry has a spec"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registry_row_resolves_to_a_spec_with_its_name() {
+        let cfg = SpesConfig::default();
+        for row in REGISTRY {
+            let spec = spec_of(row.name, &cfg).expect(row.name);
+            assert_eq!(spec.name(), row.name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_context() {
+        let cfg = SpesConfig::default();
+        assert!(spec_of("lru", &cfg).is_none());
+        let err = suite_of(&["spes", "lru"], &cfg).unwrap_err();
+        assert_eq!(err, UnknownPolicy("lru".to_owned()));
+        assert!(err.to_string().contains("keep-forever"), "{err}");
+    }
+
+    #[test]
+    fn default_suite_is_the_paper_comparison() {
+        let suite = default_suite(&SpesConfig::default());
+        let names: Vec<&str> = suite.iter().map(PolicySpec::name).collect();
+        assert_eq!(names, crate::scenario::POLICY_ORDER);
+    }
+}

@@ -1,10 +1,17 @@
-//! Shared experiment setup: the standard workload, the six policies, and
-//! the full-comparison runner used by most figures.
+//! Shared experiment setup: the standard workload, policy suites, and
+//! the comparison runner used by most figures.
+//!
+//! Since the policy-registry redesign this module is a thin layer over
+//! [`spes_sim::suite::run_suite`]: the paper's six-way comparison is just
+//! the [`crate::policies::default_suite`], and any other registered
+//! subset (including the `oracle` upper bound) runs through the same
+//! machinery via [`run_suite_comparison`].
 
-use spes_baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
+use crate::policies;
 use spes_core::{SpesConfig, SpesPolicy};
-use spes_sim::{simulate, RunResult, SimConfig};
-use spes_trace::{synth, Slot, SynthConfig, SynthTrace};
+use spes_sim::suite::{run_suite, PolicySpec, SuiteError, SuiteOutcome};
+use spes_sim::RunResult;
+use spes_trace::{synth, FunctionId, Slot, SynthConfig, SynthTrace};
 
 /// Experiment-wide settings (trace scale, seed, SPES config).
 #[derive(Debug, Clone, Default)]
@@ -59,18 +66,23 @@ impl Experiment {
     }
 }
 
-/// The result of running SPES plus all five baselines on one trace.
+/// The result of running a policy suite on one trace.
 #[derive(Debug)]
 pub struct ComparisonRun {
-    /// Per-policy results, in [`POLICY_ORDER`] order.
+    /// Per-policy results, in suite order ([`POLICY_ORDER`] for the
+    /// default suite).
     pub runs: Vec<RunResult>,
-    /// SPES per-function category labels (for Figs. 10 and 12).
+    /// SPES per-function category labels, as they stood after the run
+    /// (for Figs. 10 and 12). Empty when the suite does not include
+    /// `spes`.
     pub spes_labels: Vec<&'static str>,
-    /// Offline fit summary of the SPES run.
-    pub fit_summary: spes_core::FitStats,
+    /// Offline fit summary of the SPES run; `None` when the suite does
+    /// not include `spes`.
+    pub fit_summary: Option<spes_core::FitStats>,
 }
 
-/// Canonical policy order used in every comparison table.
+/// Canonical policy order of the paper's comparison tables — the names
+/// of the default suite ([`crate::policies::default_suite`]).
 pub const POLICY_ORDER: [&str; 6] = [
     "spes",
     "defuse",
@@ -81,86 +93,93 @@ pub const POLICY_ORDER: [&str; 6] = [
 ];
 
 impl ComparisonRun {
+    /// The run of one policy by name, if it was part of the suite.
+    #[must_use]
+    pub fn try_run_of(&self, name: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|r| r.policy_name == name)
+    }
+
     /// The run of one policy by name.
     ///
     /// # Panics
-    /// Panics if the policy is not part of the comparison.
+    /// Panics if the policy is not part of the comparison; use
+    /// [`ComparisonRun::try_run_of`] for a fallible lookup.
     #[must_use]
     pub fn run_of(&self, name: &str) -> &RunResult {
-        self.runs
-            .iter()
-            .find(|r| r.policy_name == name)
+        self.try_run_of(name)
             .unwrap_or_else(|| panic!("no run for policy {name}"))
+    }
+
+    fn from_suite(outcome: SuiteOutcome, n_functions: usize) -> Self {
+        let (spes_labels, fit_summary) =
+            outcome
+                .entries
+                .iter()
+                .find(|e| e.name == "spes")
+                .map_or((Vec::new(), None), |entry| {
+                    let labels = (0..n_functions)
+                        .map(|i| {
+                            entry
+                                .policy
+                                .category_of(FunctionId(i as u32))
+                                .unwrap_or("unknown")
+                        })
+                        .collect();
+                    let fit = entry
+                        .policy
+                        .as_any()
+                        .and_then(|any| any.downcast_ref::<SpesPolicy>())
+                        .map(|spes| spes.fit_stats().clone());
+                    (labels, fit)
+                });
+        Self {
+            runs: outcome.into_runs(),
+            spes_labels,
+            fit_summary,
+        }
     }
 }
 
-/// Runs SPES and every baseline on `data` with the paper's train/simulate
-/// split: policies are fitted on the trace's own training prefix
-/// (`[0, data.train_end)` — the boundary the generating config placed its
-/// unseen and shift behaviour around), then the full horizon is replayed
-/// with metrics collected after that boundary (warm state carries across
-/// it, matching the paper's reported warm-function fractions). Because
-/// the boundary travels with the trace, a non-default split fits and
-/// measures correctly with no convention to keep in sync. FaaSCache
-/// receives a memory budget equal to SPES's peak usage, exactly as in
-/// Section V-A1.
+/// Runs an arbitrary policy suite on `data` with the paper's
+/// train/simulate split: policies are fitted on the trace's own training
+/// prefix (`[0, data.train_end)`), then the full horizon is replayed
+/// with metrics collected after that boundary (warm state carries
+/// across it, matching the paper's reported warm-function fractions).
+/// Capacity couplings such as FaaSCache's "budget = SPES's peak memory"
+/// (Section V-A1) are declared on the specs and resolved by the suite
+/// runner's second phase.
+pub fn run_suite_comparison(
+    data: &SynthTrace,
+    specs: &[PolicySpec],
+) -> Result<ComparisonRun, SuiteError> {
+    let outcome = run_suite(data, specs)?;
+    Ok(ComparisonRun::from_suite(outcome, data.trace.n_functions()))
+}
+
+/// Runs the paper's default suite — SPES and every baseline, in
+/// [`POLICY_ORDER`] — on `data`. Thin wrapper over
+/// [`run_suite_comparison`] with [`crate::policies::default_suite`].
 #[must_use]
 pub fn run_comparison(data: &SynthTrace, spes_cfg: &SpesConfig) -> ComparisonRun {
-    let trace = &data.trace;
-    let train_end = data.train_end;
-    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
-    let n = trace.n_functions();
-
-    let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
-    let spes_run = simulate(trace, &mut spes, window);
-    let spes_labels: Vec<&'static str> = (0..n)
-        .map(|i| spes.type_of(spes_trace::FunctionId(i as u32)).label())
-        .collect();
-    let fit_summary = spes.fit_stats().clone();
-    let spes_peak = spes_run.peak_loaded.max(1);
-
-    let mut runs = vec![spes_run];
-
-    let mut defuse = Defuse::paper_default(trace, 0, train_end);
-    runs.push(simulate(trace, &mut defuse, window));
-
-    let mut hf = HybridHistogram::fit(trace, 0, train_end, Granularity::Function);
-    runs.push(simulate(trace, &mut hf, window));
-
-    let mut ha = HybridHistogram::fit(trace, 0, train_end, Granularity::Application);
-    runs.push(simulate(trace, &mut ha, window));
-
-    let mut fixed = FixedKeepAlive::paper_default(n);
-    runs.push(simulate(trace, &mut fixed, window));
-
-    let mut faascache = FaasCache::new(n);
-    runs.push(simulate(
-        trace,
-        &mut faascache,
-        window.with_capacity(spes_peak),
-    ));
-
-    ComparisonRun {
-        runs,
-        spes_labels,
-        fit_summary,
-    }
+    run_suite_comparison(data, &policies::default_suite(spes_cfg))
+        .expect("the default suite is statically valid")
 }
 
 /// Runs only SPES with the given config (used by the Fig. 13-15 sweeps);
-/// returns the run plus the fitted policy for label access. Uses the same
-/// trace-carried boundary and warm-up protocol as [`run_comparison`].
+/// returns the run plus the fitted policy for label access. Same suite
+/// machinery, single-spec suite.
 #[must_use]
 pub fn run_spes_only(data: &SynthTrace, spes_cfg: &SpesConfig) -> (RunResult, SpesPolicy) {
-    let trace = &data.trace;
-    let train_end = data.train_end;
-    let mut spes = SpesPolicy::fit(trace, 0, train_end, spes_cfg.clone());
-    let run = simulate(
-        trace,
-        &mut spes,
-        SimConfig::new(0, trace.n_slots).with_metrics_start(train_end),
-    );
-    (run, spes)
+    let suite = [policies::spec_of("spes", spes_cfg).expect("spes is registered")];
+    let outcome = run_suite(data, &suite).expect("a single-spec suite is valid");
+    let entry = outcome.entries.into_iter().next().expect("one entry");
+    let spes = entry
+        .policy
+        .as_any()
+        .and_then(|any| any.downcast_ref::<SpesPolicy>())
+        .expect("the spes factory builds a SpesPolicy")
+        .clone();
+    (entry.run, spes)
 }
 
 #[cfg(test)]
@@ -176,6 +195,24 @@ mod tests {
             assert_eq!(cmp.run_of(name).policy_name, name);
         }
         assert_eq!(cmp.spes_labels.len(), 120);
+        assert!(cmp.fit_summary.is_some());
+    }
+
+    #[test]
+    fn try_run_of_is_total() {
+        let data = Experiment::sized(60, 7).generate();
+        let cmp = run_comparison(&data, &SpesConfig::default());
+        assert!(cmp.try_run_of("spes").is_some());
+        assert!(cmp.try_run_of("oracle").is_none());
+        assert!(cmp.try_run_of("no-such-policy").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no run for policy oracle")]
+    fn run_of_still_panics_on_missing_policies() {
+        let data = Experiment::sized(60, 7).generate();
+        let cmp = run_comparison(&data, &SpesConfig::default());
+        let _ = cmp.run_of("oracle");
     }
 
     #[test]
@@ -226,5 +263,26 @@ mod tests {
             fc_peak <= spes_peak.max(1),
             "fc {fc_peak} > spes {spes_peak}"
         );
+    }
+
+    #[test]
+    fn custom_suites_run_without_spes() {
+        let data = Experiment::sized(60, 7).generate();
+        let suite =
+            policies::suite_of(&["defuse", "fixed-keep-alive"], &SpesConfig::default()).unwrap();
+        let cmp = run_suite_comparison(&data, &suite).unwrap();
+        assert_eq!(cmp.runs.len(), 2);
+        assert!(cmp.spes_labels.is_empty());
+        assert!(cmp.fit_summary.is_none());
+    }
+
+    #[test]
+    fn faascache_without_spes_is_a_suite_error() {
+        let data = Experiment::sized(40, 7).generate();
+        let suite = policies::suite_of(&["faascache"], &SpesConfig::default()).unwrap();
+        assert!(matches!(
+            run_suite_comparison(&data, &suite),
+            Err(SuiteError::UnknownCapacityRef { .. })
+        ));
     }
 }

@@ -1,0 +1,71 @@
+//! Wires the multi-node cluster substrate to the policy-suite API: a
+//! registered suite policy drives a 4-node hash-affinity fleet end to
+//! end, so `spes_sim::cluster` is exercised by the same registry that
+//! feeds the figures.
+
+use spes_bench::policies;
+use spes_core::SpesConfig;
+use spes_sim::{run_on_cluster, PlacementStrategy};
+use spes_trace::synth;
+
+fn quick_trace(n_functions: usize, seed: u64) -> spes_trace::SynthTrace {
+    let mut cfg = synth::scenario_config("quick").expect("registered scenario");
+    cfg.n_functions = n_functions;
+    cfg.seed = seed;
+    synth::generate(&cfg)
+}
+
+#[test]
+fn suite_policy_drives_a_four_node_hash_affinity_cluster() {
+    let data = quick_trace(120, 17);
+    let spec = policies::spec_of("fixed-keep-alive", &SpesConfig::default()).unwrap();
+    let report = run_on_cluster(&data, &spec, 4, 40, PlacementStrategy::HashAffinity);
+
+    assert!(report.placements > 0, "no instances were ever placed");
+    assert_eq!(
+        report.rejections, 0,
+        "a 4x40 fleet must hold a 120-function keep-alive working set"
+    );
+    // Keep-alive evicts and re-loads constantly; hash affinity exists so
+    // those re-loads find their home node again.
+    let reloads = report.affinity_hits + report.affinity_misses;
+    assert!(reloads > 0, "the workload never re-loaded a function");
+    assert!(
+        report.affinity_hits * 10 >= reloads * 9,
+        "hash affinity should keep re-loads home on an uncontended fleet: \
+         {} hits of {reloads} re-loads",
+        report.affinity_hits
+    );
+    assert!(report.mean_loaded > 0.0);
+    assert!((0.0..=1.0).contains(&report.mean_imbalance));
+    assert!(report.peak_loaded <= 4 * 40);
+}
+
+#[test]
+fn spes_runs_on_the_cluster_with_fewer_placements_than_no_keep_alive() {
+    let data = quick_trace(80, 23);
+    let cfg = SpesConfig::default();
+    let strategies = PlacementStrategy::HashAffinity;
+    let spes = run_on_cluster(
+        &data,
+        &policies::spec_of("spes", &cfg).unwrap(),
+        4,
+        80,
+        strategies,
+    );
+    let churn = run_on_cluster(
+        &data,
+        &policies::spec_of("no-keep-alive", &cfg).unwrap(),
+        4,
+        80,
+        strategies,
+    );
+    // Always-evict re-places an instance for every active slot; a real
+    // policy keeps instances around and placements drop accordingly.
+    assert!(
+        spes.placements < churn.placements,
+        "spes {} placements >= no-keep-alive {}",
+        spes.placements,
+        churn.placements
+    );
+}

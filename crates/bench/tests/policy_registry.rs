@@ -1,0 +1,143 @@
+//! Registry-level guarantees: unique names, every registered policy runs
+//! green, unknown names are rejected, and the suite-based comparison
+//! runner reproduces the pre-registry `run_comparison` results exactly.
+
+use spes_bench::policies;
+use spes_bench::scenario::{run_comparison, run_suite_comparison, Experiment, POLICY_ORDER};
+use spes_core::SpesConfig;
+use spes_sim::suite::run_suite;
+
+#[test]
+fn registry_names_are_unique() {
+    let names = policies::policy_names();
+    for (i, name) in names.iter().enumerate() {
+        assert!(
+            !names[..i].contains(name),
+            "duplicate registry name {name:?}"
+        );
+    }
+}
+
+/// Every registered policy — including the oracle and the trivial
+/// bounds — builds and completes a run on the quick scenario. The
+/// default-suite members carry FaaSCache's capacity dependency, so the
+/// whole registry is a valid suite in one go.
+#[test]
+fn every_registered_policy_runs_green_on_the_quick_scenario() {
+    let names = policies::policy_names();
+    let suite = policies::suite_of(&names, &SpesConfig::default()).unwrap();
+    let data = Experiment::scenario("quick", 80, 4).unwrap().generate();
+    let out = run_suite(&data, &suite).unwrap();
+    assert_eq!(out.entries.len(), names.len());
+
+    let total = out.entries[0].run.total_invocations();
+    assert!(total > 0, "quick scenario generated no invocations");
+    for entry in &out.entries {
+        assert_eq!(
+            entry.run.total_invocations(),
+            total,
+            "{} saw a different workload",
+            entry.name
+        );
+    }
+    // The brackets bracket: the clairvoyant oracle and the keep-forever
+    // bound never cold-start more than the always-evict bound.
+    assert_eq!(out.run_of("oracle").total_cold_starts(), 0);
+    assert!(
+        out.run_of("keep-forever").total_cold_starts()
+            <= out.run_of("no-keep-alive").total_cold_starts()
+    );
+}
+
+#[test]
+fn unknown_policy_names_are_rejected() {
+    let cfg = SpesConfig::default();
+    assert!(policies::spec_of("nope", &cfg).is_none());
+    let err = policies::suite_of(&["spes", "nope"], &cfg).unwrap_err();
+    assert_eq!(err, policies::UnknownPolicy("nope".to_owned()));
+}
+
+/// The pinned pre-registry result: `run_comparison` on
+/// `Experiment::sized(120, 7)` produced exactly these per-policy metrics
+/// before the suite refactor. The registry redesign must not move a
+/// single count — the comparison is the paper's headline artefact.
+const PINNED: [(&str, u64, u64, u64, usize, u64, f64); 6] = [
+    // (policy, invocations, cold starts, WMT, peak loaded,
+    //  loaded-slot integral, Q3-CSR)
+    ("spes", 90_796, 604, 25_026, 29, 47_440, 0.25),
+    (
+        "defuse",
+        90_796,
+        193,
+        49_679,
+        41,
+        72_093,
+        0.285_714_285_714_285_7,
+    ),
+    ("hybrid-function", 90_796, 299, 39_286, 33, 61_700, 0.45),
+    (
+        "hybrid-application",
+        90_796,
+        251,
+        184_460,
+        85,
+        206_874,
+        0.310_344_827_586_206_9,
+    ),
+    ("fixed-keep-alive", 90_796, 2_111, 41_218, 35, 63_632, 1.0),
+    ("faascache", 90_796, 1_388, 61_513, 29, 83_520, 1.0),
+];
+
+#[test]
+fn default_suite_matches_the_pinned_pre_registry_comparison() {
+    let data = Experiment::sized(120, 7).generate();
+    let cmp = run_comparison(&data, &SpesConfig::default());
+    assert_eq!(cmp.runs.len(), PINNED.len());
+    for (i, &(name, invocations, cold, wmt, peak, integral, q3)) in PINNED.iter().enumerate() {
+        assert_eq!(POLICY_ORDER[i], name, "pin order drifted");
+        let run = &cmp.runs[i];
+        assert_eq!(run.policy_name, name, "suite order drifted");
+        assert_eq!(run.total_invocations(), invocations, "{name} invocations");
+        assert_eq!(run.total_cold_starts(), cold, "{name} cold starts");
+        assert_eq!(run.total_wmt(), wmt, "{name} WMT");
+        assert_eq!(run.peak_loaded, peak, "{name} peak loaded");
+        assert_eq!(run.loaded_integral, integral, "{name} loaded integral");
+        let got = run.csr_percentile(75.0).expect("invoked functions");
+        assert!(
+            (got - q3).abs() < 1e-12,
+            "{name} Q3-CSR {got} != pinned {q3}"
+        );
+    }
+}
+
+/// The explicit-suite path produces bit-identical runs to the default
+/// wrapper, including FaaSCache's resolved SPES-peak budget.
+#[test]
+fn explicit_suite_selection_matches_the_default_wrapper() {
+    let data = Experiment::sized(120, 7).generate();
+    let cfg = SpesConfig::default();
+    let via_wrapper = run_comparison(&data, &cfg);
+    let suite = policies::suite_of(&POLICY_ORDER, &cfg).unwrap();
+    let via_suite = run_suite_comparison(&data, &suite).unwrap();
+    for (a, b) in via_wrapper.runs.iter().zip(&via_suite.runs) {
+        assert_eq!(a.policy_name, b.policy_name);
+        assert_eq!(a.total_cold_starts(), b.total_cold_starts());
+        assert_eq!(a.total_wmt(), b.total_wmt());
+        assert_eq!(a.loaded_integral, b.loaded_integral);
+    }
+}
+
+/// `--policies spes,defuse,oracle`-style subsets run through the same
+/// machinery and keep the oracle's zero-cold-start guarantee.
+#[test]
+fn arbitrary_subsets_including_the_oracle_run() {
+    let data = Experiment::scenario("quick", 60, 7).unwrap().generate();
+    let suite = policies::suite_of(&["spes", "defuse", "oracle"], &SpesConfig::default()).unwrap();
+    let cmp = run_suite_comparison(&data, &suite).unwrap();
+    let names: Vec<&str> = cmp.runs.iter().map(|r| r.policy_name.as_str()).collect();
+    assert_eq!(names, ["spes", "defuse", "oracle"]);
+    assert_eq!(cmp.run_of("oracle").total_cold_starts(), 0);
+    // SPES details are still available because spes is in the suite.
+    assert!(cmp.fit_summary.is_some());
+    assert_eq!(cmp.spes_labels.len(), 60);
+}

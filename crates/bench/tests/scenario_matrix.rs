@@ -5,6 +5,7 @@
 //! slowest single cell.
 
 use spes_bench::matrix::{run_matrix, MatrixOutcome};
+use spes_bench::policies;
 use spes_bench::scenario::POLICY_ORDER;
 use spes_core::SpesConfig;
 use spes_trace::{synth, SynthConfig};
@@ -37,7 +38,8 @@ fn matrix() -> &'static MatrixOutcome {
                 (name.to_owned(), cfg)
             })
             .collect();
-        run_matrix(&scenarios, &SEEDS, &SpesConfig::default())
+        let suite = policies::default_suite(&SpesConfig::default());
+        run_matrix(&scenarios, &SEEDS, &suite).expect("the default suite is valid")
     })
 }
 

@@ -599,6 +599,43 @@ impl Policy for SpesPolicy {
     fn category_of(&self, f: FunctionId) -> Option<&'static str> {
         Some(self.types[f.index()].label())
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        // Suite harnesses downcast the boxed policy back to `SpesPolicy`
+        // for fit-report access ([`SpesPolicy::fit_stats`]).
+        Some(self)
+    }
+}
+
+/// Builds a [`SpesPolicy`] fitted on the suite's training window — the
+/// [`spes_sim::suite::PolicyFactory`] for the paper's own scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct SpesFactory {
+    /// Configuration of the built policy.
+    pub config: SpesConfig,
+}
+
+impl SpesFactory {
+    /// Factory with an explicit configuration.
+    #[must_use]
+    pub fn new(config: SpesConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl spes_sim::suite::PolicyFactory for SpesFactory {
+    fn name(&self) -> &'static str {
+        "spes"
+    }
+
+    fn build(&self, ctx: &spes_sim::suite::FitContext) -> Box<dyn Policy> {
+        Box::new(SpesPolicy::fit(
+            ctx.trace,
+            ctx.train_start,
+            ctx.train_end,
+            self.config.clone(),
+        ))
+    }
 }
 
 #[cfg(test)]

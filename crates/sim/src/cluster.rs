@@ -11,7 +11,9 @@
 //! hash-affinity placement real FaaS schedulers use so that re-loads find
 //! their previous node).
 
-use spes_trace::{FunctionId, Slot};
+use crate::memory::MemoryPool;
+use crate::suite::{FitContext, PolicySpec};
+use spes_trace::{FunctionId, Slot, SynthTrace};
 
 /// How new instances are assigned to nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,9 +205,147 @@ impl Cluster {
     }
 }
 
+/// Fleet-level outcome of replaying one suite policy over a [`Cluster`]
+/// (see [`run_on_cluster`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Instance placements applied to the fleet.
+    pub placements: u64,
+    /// Placements refused because every node was full. These are the
+    /// fleet's capacity misses: the single-node simulation would have
+    /// kept these instances loaded.
+    pub rejections: u64,
+    /// Re-loads that landed on the function's previous node (warm page
+    /// cache / image locality in a real platform). Hash-affinity
+    /// placement exists to maximise this.
+    pub affinity_hits: u64,
+    /// Re-loads that landed on a different node than last time.
+    pub affinity_misses: u64,
+    /// Mean loaded instances across the fleet, over the measured window.
+    pub mean_loaded: f64,
+    /// Mean max-minus-min node load factor over the measured window
+    /// (0 = perfectly balanced fleet).
+    pub mean_imbalance: f64,
+    /// Peak loaded instances across the fleet.
+    pub peak_loaded: usize,
+}
+
+/// Replays one suite policy over a fleet of worker nodes.
+///
+/// The policy is built from the trace's own training window, exactly as
+/// [`crate::suite::run_suite`] would build it, and driven slot by slot
+/// against an unbounded logical [`MemoryPool`] (the policy's view stays
+/// the paper's single-node abstraction). After every slot the pool's
+/// loaded set is mirrored onto the cluster: newly loaded functions are
+/// placed by `strategy`, evicted ones leave their node. The report
+/// aggregates what the single-node simulation cannot see — placements,
+/// fleet-full rejections, and whether re-loads find their previous node.
+///
+/// Capacity rules on the spec are ignored: here the nodes *are* the
+/// capacity. Fleet statistics are collected over the full horizon.
+#[must_use]
+pub fn run_on_cluster(
+    data: &SynthTrace,
+    spec: &PolicySpec,
+    n_nodes: usize,
+    node_capacity: usize,
+    strategy: PlacementStrategy,
+) -> ClusterReport {
+    let trace = &data.trace;
+    let n = trace.n_functions();
+    let ctx = FitContext {
+        trace,
+        train_start: 0,
+        train_end: data.train_end,
+        prior: &[],
+    };
+    let mut policy = spec.build(&ctx);
+    let mut pool = MemoryPool::unbounded(n);
+    let mut cluster = Cluster::new(n_nodes, node_capacity, n, strategy);
+    let buckets = trace.bucket_by_slot(0, trace.n_slots);
+
+    let mut last_node: Vec<Option<usize>> = vec![None; n];
+    let mut report = ClusterReport {
+        placements: 0,
+        rejections: 0,
+        affinity_hits: 0,
+        affinity_misses: 0,
+        mean_loaded: 0.0,
+        mean_imbalance: 0.0,
+        peak_loaded: 0,
+    };
+    let mut loaded_sum = 0u64;
+    let mut imbalance_sum = 0.0f64;
+
+    // Mirrors the policy's logical loaded set onto the fleet: evictions
+    // first (freeing room), then placements.
+    let mut mirror =
+        |cluster: &mut Cluster, pool: &MemoryPool, t: Slot, report: &mut ClusterReport| {
+            for f in cluster_only(cluster, pool) {
+                cluster.evict(f);
+            }
+            for f in pool_only(cluster, pool) {
+                if let Some(node) = cluster.load(f, t) {
+                    report.placements += 1;
+                    match last_node[f.index()] {
+                        Some(prev) if prev == node => report.affinity_hits += 1,
+                        Some(_) => report.affinity_misses += 1,
+                        None => {}
+                    }
+                    last_node[f.index()] = Some(node);
+                }
+            }
+        };
+
+    policy.on_start(0, &mut pool);
+    for t in 0..trace.n_slots {
+        let invoked = &buckets[t as usize];
+        for &(f, _) in invoked {
+            pool.load(f, t);
+        }
+        // Served instances occupy a node for the duration of the slot
+        // even if the policy evicts them right after — mirror before and
+        // after the decision hook so both the placement and the eviction
+        // are visible to the fleet.
+        mirror(&mut cluster, &pool, t, &mut report);
+        policy.on_slot(t, invoked, &mut pool);
+        mirror(&mut cluster, &pool, t, &mut report);
+
+        let loaded = cluster.loaded_count();
+        loaded_sum += loaded as u64;
+        imbalance_sum += cluster.imbalance();
+        report.peak_loaded = report.peak_loaded.max(loaded);
+    }
+
+    report.rejections = cluster.rejections();
+    let slots = trace.n_slots.max(1) as f64;
+    report.mean_loaded = loaded_sum as f64 / slots;
+    report.mean_imbalance = imbalance_sum / slots;
+    report
+}
+
+/// Functions loaded in the cluster but no longer in the pool.
+fn cluster_only(cluster: &Cluster, pool: &MemoryPool) -> Vec<FunctionId> {
+    (0..pool.n_functions() as u32)
+        .map(FunctionId)
+        .filter(|&f| cluster.contains(f) && !pool.contains(f))
+        .collect()
+}
+
+/// Functions loaded in the pool but not yet placed in the cluster.
+fn pool_only(cluster: &Cluster, pool: &MemoryPool) -> Vec<FunctionId> {
+    pool.loaded()
+        .iter()
+        .copied()
+        .filter(|&f| !cluster.contains(f))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::suite::KeepForeverFactory;
+    use spes_trace::{synth, SynthConfig};
 
     fn f(i: u32) -> FunctionId {
         FunctionId(i)
@@ -283,5 +423,42 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = Cluster::new(0, 1, 1, PlacementStrategy::RoundRobin);
+    }
+
+    #[test]
+    fn replay_mirrors_the_policy_onto_the_fleet() {
+        let data = synth::generate(&SynthConfig {
+            n_functions: 40,
+            days: 4,
+            train_days: 3,
+            seed: 9,
+            ..SynthConfig::default()
+        });
+        let spec = PolicySpec::new(KeepForeverFactory);
+        // A fleet big enough to never fill: every placement succeeds and,
+        // with keep-forever, nothing is ever re-placed.
+        let report = run_on_cluster(&data, &spec, 4, 40, PlacementStrategy::LeastLoaded);
+        assert!(report.placements > 0);
+        assert_eq!(report.rejections, 0);
+        assert_eq!(report.affinity_hits + report.affinity_misses, 0);
+        assert!(report.peak_loaded as u64 >= report.placements / 2);
+        assert!(report.mean_loaded > 0.0);
+        assert!((0.0..=1.0).contains(&report.mean_imbalance));
+    }
+
+    #[test]
+    fn tight_fleet_records_rejections() {
+        let data = synth::generate(&SynthConfig {
+            n_functions: 60,
+            days: 4,
+            train_days: 3,
+            seed: 13,
+            ..SynthConfig::default()
+        });
+        let spec = PolicySpec::new(KeepForeverFactory);
+        // 2 nodes x 3 slots cannot hold 60 keep-forever functions.
+        let report = run_on_cluster(&data, &spec, 2, 3, PlacementStrategy::RoundRobin);
+        assert!(report.rejections > 0);
+        assert!(report.peak_loaded <= 6);
     }
 }

@@ -7,7 +7,9 @@
 //! additionally models multi-node placement). Policies implement
 //! [`Policy`] and are driven by [`engine::simulate`], which produces a
 //! [`RunResult`] with every metric the paper reports (CSR, WMT, EMCR,
-//! memory usage, always-cold fraction, scheduling overhead).
+//! memory usage, always-cold fraction, scheduling overhead). The
+//! [`suite`] module adds declarative policy construction: factories,
+//! capacity rules, and a two-phase suite runner over whole policy lists.
 
 pub mod cluster;
 pub mod engine;
@@ -15,10 +17,15 @@ pub mod memory;
 pub mod metrics;
 pub mod policy;
 pub mod report;
+pub mod suite;
 
-pub use cluster::{Cluster, PlacementStrategy};
+pub use cluster::{run_on_cluster, Cluster, ClusterReport, PlacementStrategy};
 pub use engine::{simulate, SimConfig};
 pub use memory::MemoryPool;
 pub use metrics::RunResult;
 pub use policy::{KeepForever, NoKeepAlive, Policy};
 pub use report::{per_category_stats, text_table, CategoryStats, NormalizedComparison};
+pub use suite::{
+    run_suite, validate_suite, CapacityRule, FitContext, KeepForeverFactory, NoKeepAliveFactory,
+    PolicyFactory, PolicySpec, SuiteEntry, SuiteError, SuiteOutcome,
+};

@@ -41,6 +41,14 @@ pub trait Policy {
     fn category_of(&self, _f: FunctionId) -> Option<&'static str> {
         None
     }
+
+    /// Type-erased view of the concrete policy, for harnesses that need
+    /// to recover policy-specific state from a suite-built
+    /// `Box<dyn Policy>` after its run (e.g. SPES's offline fit report).
+    /// Policies opt in by returning `Some(self)`; the default opts out.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// The trivial always-evict policy: nothing is ever kept warm. Every

@@ -1,0 +1,521 @@
+//! First-class policy suites: declarative construction and a two-phase
+//! suite runner.
+//!
+//! Every policy used to have its own ad-hoc constructor signature, so the
+//! comparison harness could only ever run one hard-coded list. This module
+//! makes policy construction a value: a [`PolicyFactory`] knows how to
+//! build a fitted [`Policy`] from a [`FitContext`] (the trace, its
+//! training boundary, and the runs completed so far), and a [`PolicySpec`]
+//! is a named, shareable handle on a factory plus a declarative
+//! [`CapacityRule`]. [`run_suite`] executes any list of specs on a trace
+//! under the paper's train/simulate protocol:
+//!
+//! 1. **Phase one** builds and runs every spec whose capacity is
+//!    self-contained ([`CapacityRule::Unlimited`] or
+//!    [`CapacityRule::Fixed`]).
+//! 2. **Phase two** builds and runs the specs whose capacity references a
+//!    phase-one run ([`CapacityRule::PeakOf`] — e.g. FaaSCache's
+//!    "budget = SPES's peak memory" from Section V-A1, previously
+//!    imperative plumbing inside the comparison runner).
+//!
+//! Results come back in spec order regardless of execution phase, so a
+//! suite's output order is exactly its declaration order.
+
+use crate::engine::{simulate, SimConfig};
+use crate::metrics::RunResult;
+use crate::policy::{KeepForever, NoKeepAlive, Policy};
+use spes_trace::{Slot, SynthTrace, Trace};
+use std::sync::Arc;
+
+/// How a policy's memory capacity is determined when its suite runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapacityRule {
+    /// No capacity limit (the paper's default assumption).
+    Unlimited,
+    /// A fixed instance budget.
+    Fixed(usize),
+    /// The peak loaded-instance count of another suite member's run
+    /// (clamped to at least 1). The referenced policy must be in the same
+    /// suite and must not itself use [`CapacityRule::PeakOf`].
+    PeakOf(String),
+}
+
+impl CapacityRule {
+    /// Convenience constructor for [`CapacityRule::PeakOf`].
+    #[must_use]
+    pub fn peak_of(reference: impl Into<String>) -> Self {
+        Self::PeakOf(reference.into())
+    }
+
+    /// Whether this rule can be resolved without any prior run.
+    #[must_use]
+    pub fn is_self_contained(&self) -> bool {
+        !matches!(self, Self::PeakOf(_))
+    }
+}
+
+/// Everything a [`PolicyFactory`] may consult when building a policy: the
+/// trace, the training window carried by the trace itself, and the runs
+/// already completed in this suite (phase-two factories may read their
+/// capacity donors' results; clairvoyant policies may read the full
+/// trace — that asymmetry is the point of the oracle).
+#[derive(Debug)]
+pub struct FitContext<'a> {
+    /// The workload trace.
+    pub trace: &'a Trace,
+    /// First training slot (inclusive).
+    pub train_start: Slot,
+    /// End of the training window (exclusive) — the boundary the trace
+    /// itself carries; metrics are collected from here on.
+    pub train_end: Slot,
+    /// Suite runs completed before this build (phase-one results when
+    /// building a phase-two policy; empty during phase one).
+    pub prior: &'a [SuiteEntry],
+}
+
+impl<'a> FitContext<'a> {
+    /// Number of functions in the trace.
+    #[must_use]
+    pub fn n_functions(&self) -> usize {
+        self.trace.n_functions()
+    }
+
+    /// The completed run of a prior suite member, if any.
+    #[must_use]
+    pub fn prior_run(&self, name: &str) -> Option<&RunResult> {
+        self.prior.iter().find(|e| e.name == name).map(|e| &e.run)
+    }
+}
+
+/// Builds a fitted [`Policy`] from a [`FitContext`]. Implementations live
+/// next to their policies (`spes_core` for SPES, `spes_baselines` for the
+/// paper's baselines and the oracle, this crate for the trivial bounds);
+/// the name-keyed registry assembling them lives in `spes_bench`.
+pub trait PolicyFactory: Send + Sync {
+    /// Registry key and report name of the built policy. Must match
+    /// `Policy::name` of the built instance.
+    fn name(&self) -> &'static str;
+
+    /// Builds a policy fitted for `ctx`.
+    fn build(&self, ctx: &FitContext) -> Box<dyn Policy>;
+
+    /// Declarative capacity requirement of the built policy's run.
+    fn capacity_rule(&self) -> CapacityRule {
+        CapacityRule::Unlimited
+    }
+}
+
+/// A named, cloneable suite member: a shared factory plus its (possibly
+/// overridden) capacity rule.
+#[derive(Clone)]
+pub struct PolicySpec {
+    factory: Arc<dyn PolicyFactory>,
+    capacity: CapacityRule,
+}
+
+impl std::fmt::Debug for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicySpec")
+            .field("name", &self.name())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl PolicySpec {
+    /// Wraps a factory, taking its default capacity rule.
+    pub fn new(factory: impl PolicyFactory + 'static) -> Self {
+        let capacity = factory.capacity_rule();
+        Self {
+            factory: Arc::new(factory),
+            capacity,
+        }
+    }
+
+    /// Overrides the capacity rule (e.g. run a normally-unlimited policy
+    /// under a fixed budget).
+    #[must_use]
+    pub fn with_capacity(mut self, rule: CapacityRule) -> Self {
+        self.capacity = rule;
+        self
+    }
+
+    /// The spec's registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.factory.name()
+    }
+
+    /// The spec's effective capacity rule.
+    #[must_use]
+    pub fn capacity(&self) -> &CapacityRule {
+        &self.capacity
+    }
+
+    /// Builds the policy for `ctx` (delegates to the factory).
+    #[must_use]
+    pub fn build(&self, ctx: &FitContext) -> Box<dyn Policy> {
+        self.factory.build(ctx)
+    }
+}
+
+/// One completed suite member: its name, run, resolved capacity, and the
+/// policy instance as it stood after the simulation (post-run state such
+/// as online re-categorisations is visible through [`Policy::category_of`]
+/// and [`Policy::as_any`]).
+pub struct SuiteEntry {
+    /// Spec / policy name.
+    pub name: String,
+    /// The simulation result.
+    pub run: RunResult,
+    /// The capacity the run executed under (`None` = unlimited).
+    pub resolved_capacity: Option<usize>,
+    /// The policy after the run.
+    pub policy: Box<dyn Policy>,
+}
+
+impl std::fmt::Debug for SuiteEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteEntry")
+            .field("name", &self.name)
+            .field("resolved_capacity", &self.resolved_capacity)
+            .finish()
+    }
+}
+
+/// The outcome of [`run_suite`]: one entry per spec, in spec order.
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// Completed members, in the order their specs were given.
+    pub entries: Vec<SuiteEntry>,
+}
+
+impl SuiteOutcome {
+    /// The run of one policy by name, if present.
+    #[must_use]
+    pub fn try_run_of(&self, name: &str) -> Option<&RunResult> {
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.run)
+    }
+
+    /// The run of one policy by name.
+    ///
+    /// # Panics
+    /// Panics if the policy is not part of the suite.
+    #[must_use]
+    pub fn run_of(&self, name: &str) -> &RunResult {
+        self.try_run_of(name)
+            .unwrap_or_else(|| panic!("no run for policy {name}"))
+    }
+
+    /// Extracts the runs, in spec order, dropping the policy instances.
+    #[must_use]
+    pub fn into_runs(self) -> Vec<RunResult> {
+        self.entries.into_iter().map(|e| e.run).collect()
+    }
+}
+
+/// Why a suite could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteError {
+    /// Two specs share a name; results are name-keyed, so names must be
+    /// unique.
+    DuplicateName(String),
+    /// A [`CapacityRule::PeakOf`] references a policy absent from the
+    /// suite.
+    UnknownCapacityRef {
+        /// The spec with the dangling reference.
+        policy: String,
+        /// The missing reference.
+        reference: String,
+    },
+    /// A [`CapacityRule::PeakOf`] references a policy that is itself
+    /// capacity-dependent (only one resolution phase is supported).
+    UnresolvableCapacityRef {
+        /// The spec with the chained reference.
+        policy: String,
+        /// The capacity-dependent reference.
+        reference: String,
+    },
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateName(name) => write!(f, "duplicate policy name {name:?} in suite"),
+            Self::UnknownCapacityRef { policy, reference } => write!(
+                f,
+                "policy {policy:?} takes its capacity from {reference:?}, \
+                 which is not in the suite"
+            ),
+            Self::UnresolvableCapacityRef { policy, reference } => write!(
+                f,
+                "policy {policy:?} takes its capacity from {reference:?}, \
+                 which is itself capacity-dependent"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// Checks a suite's static invariants (unique names, resolvable capacity
+/// references) without running anything. [`run_suite`] performs the same
+/// checks; validating up front lets batch drivers (the matrix runner)
+/// fail once before fanning out.
+pub fn validate_suite(specs: &[PolicySpec]) -> Result<(), SuiteError> {
+    for (i, spec) in specs.iter().enumerate() {
+        if specs[..i].iter().any(|s| s.name() == spec.name()) {
+            return Err(SuiteError::DuplicateName(spec.name().to_owned()));
+        }
+        if let CapacityRule::PeakOf(reference) = spec.capacity() {
+            match specs.iter().find(|s| s.name() == reference.as_str()) {
+                None => {
+                    return Err(SuiteError::UnknownCapacityRef {
+                        policy: spec.name().to_owned(),
+                        reference: reference.clone(),
+                    })
+                }
+                Some(donor) if !donor.capacity().is_self_contained() => {
+                    return Err(SuiteError::UnresolvableCapacityRef {
+                        policy: spec.name().to_owned(),
+                        reference: reference.clone(),
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every spec on `data` under the paper's protocol: each policy is
+/// built from the trace's own training window `[0, train_end)`, then the
+/// full horizon is replayed with metrics collected after the boundary
+/// (warm state carries across it). Capacity-dependent specs run in a
+/// second phase with their donors' results available via
+/// [`FitContext::prior`].
+///
+/// Results are returned in spec order.
+pub fn run_suite(data: &SynthTrace, specs: &[PolicySpec]) -> Result<SuiteOutcome, SuiteError> {
+    validate_suite(specs)?;
+    let trace = &data.trace;
+    let train_end = data.train_end;
+    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
+
+    let run_spec = |spec: &PolicySpec, prior: &[SuiteEntry]| {
+        let ctx = FitContext {
+            trace,
+            train_start: 0,
+            train_end,
+            prior,
+        };
+        let resolved_capacity = match spec.capacity() {
+            CapacityRule::Unlimited => None,
+            CapacityRule::Fixed(budget) => Some(*budget),
+            CapacityRule::PeakOf(reference) => {
+                let donor = ctx
+                    .prior_run(reference)
+                    .expect("validated capacity reference");
+                Some(donor.peak_loaded.max(1))
+            }
+        };
+        let mut policy = spec.build(&ctx);
+        let config = match resolved_capacity {
+            Some(budget) => window.with_capacity(budget),
+            None => window,
+        };
+        let run = simulate(trace, policy.as_mut(), config);
+        SuiteEntry {
+            name: spec.name().to_owned(),
+            run,
+            resolved_capacity,
+            policy,
+        }
+    };
+
+    // Phase one: self-contained specs, in spec order.
+    let mut first_wave: Vec<SuiteEntry> = Vec::new();
+    let mut first_idx: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.capacity().is_self_contained() {
+            first_wave.push(run_spec(spec, &[]));
+            first_idx.push(i);
+        }
+    }
+
+    // Phase two: capacity-dependent specs, with phase one as prior.
+    let mut second_wave: Vec<(usize, SuiteEntry)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if !spec.capacity().is_self_contained() {
+            second_wave.push((i, run_spec(spec, &first_wave)));
+        }
+    }
+
+    // Reassemble in spec order.
+    let mut merged: Vec<Option<SuiteEntry>> = specs.iter().map(|_| None).collect();
+    for (i, entry) in first_idx.into_iter().zip(first_wave) {
+        merged[i] = Some(entry);
+    }
+    for (i, entry) in second_wave {
+        merged[i] = Some(entry);
+    }
+    Ok(SuiteOutcome {
+        entries: merged
+            .into_iter()
+            .map(|e| e.expect("every spec ran"))
+            .collect(),
+    })
+}
+
+/// Factory for the trivial always-evict lower bound ([`NoKeepAlive`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoKeepAliveFactory;
+
+impl PolicyFactory for NoKeepAliveFactory {
+    fn name(&self) -> &'static str {
+        "no-keep-alive"
+    }
+
+    fn build(&self, _ctx: &FitContext) -> Box<dyn Policy> {
+        Box::new(NoKeepAlive)
+    }
+}
+
+/// Factory for the trivial never-evict upper bound ([`KeepForever`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeepForeverFactory;
+
+impl PolicyFactory for KeepForeverFactory {
+    fn name(&self) -> &'static str {
+        "keep-forever"
+    }
+
+    fn build(&self, _ctx: &FitContext) -> Box<dyn Policy> {
+        Box::new(KeepForever)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spes_trace::{synth, SynthConfig};
+
+    fn tiny_trace() -> SynthTrace {
+        synth::generate(&SynthConfig {
+            n_functions: 30,
+            days: 4,
+            train_days: 3,
+            seed: 5,
+            ..SynthConfig::default()
+        })
+    }
+
+    #[test]
+    fn suite_preserves_spec_order_across_phases() {
+        let data = tiny_trace();
+        // Capacity-dependent member declared first: it still comes back
+        // first, despite running in phase two.
+        let specs = vec![
+            PolicySpec::new(NoKeepAliveFactory)
+                .with_capacity(CapacityRule::peak_of("keep-forever")),
+            PolicySpec::new(KeepForeverFactory),
+        ];
+        let out = run_suite(&data, &specs).unwrap();
+        assert_eq!(out.entries[0].name, "no-keep-alive");
+        assert_eq!(out.entries[1].name, "keep-forever");
+        let donor_peak = out.run_of("keep-forever").peak_loaded.max(1);
+        assert_eq!(out.entries[0].resolved_capacity, Some(donor_peak));
+        assert_eq!(out.entries[1].resolved_capacity, None);
+    }
+
+    #[test]
+    fn fixed_capacity_caps_the_run() {
+        let data = tiny_trace();
+        let specs = vec![PolicySpec::new(KeepForeverFactory).with_capacity(CapacityRule::Fixed(3))];
+        let out = run_suite(&data, &specs).unwrap();
+        assert!(out.run_of("keep-forever").peak_loaded <= 3);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let data = tiny_trace();
+        let specs = vec![
+            PolicySpec::new(KeepForeverFactory),
+            PolicySpec::new(KeepForeverFactory),
+        ];
+        assert_eq!(
+            run_suite(&data, &specs).unwrap_err(),
+            SuiteError::DuplicateName("keep-forever".to_owned())
+        );
+    }
+
+    #[test]
+    fn dangling_capacity_reference_rejected() {
+        let specs =
+            vec![PolicySpec::new(NoKeepAliveFactory).with_capacity(CapacityRule::peak_of("spes"))];
+        assert_eq!(
+            validate_suite(&specs).unwrap_err(),
+            SuiteError::UnknownCapacityRef {
+                policy: "no-keep-alive".to_owned(),
+                reference: "spes".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn chained_capacity_reference_rejected() {
+        let specs = vec![
+            PolicySpec::new(NoKeepAliveFactory)
+                .with_capacity(CapacityRule::peak_of("keep-forever")),
+            PolicySpec::new(KeepForeverFactory)
+                .with_capacity(CapacityRule::peak_of("no-keep-alive")),
+        ];
+        assert!(matches!(
+            validate_suite(&specs).unwrap_err(),
+            SuiteError::UnresolvableCapacityRef { .. }
+        ));
+    }
+
+    #[test]
+    fn runs_measure_on_the_trace_boundary() {
+        let data = tiny_trace();
+        let out = run_suite(&data, &[PolicySpec::new(KeepForeverFactory)]).unwrap();
+        let run = out.run_of("keep-forever");
+        assert_eq!(run.start, data.train_end);
+        assert_eq!(run.end, data.trace.n_slots);
+    }
+
+    #[test]
+    fn specs_are_shareable_across_threads() {
+        let data = tiny_trace();
+        let specs = vec![
+            PolicySpec::new(KeepForeverFactory),
+            PolicySpec::new(NoKeepAliveFactory),
+        ];
+        let totals: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (data, specs) = (&data, &specs);
+                    scope.spawn(move || {
+                        run_suite(data, specs)
+                            .unwrap()
+                            .run_of("keep-forever")
+                            .total_invocations()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(totals[0], totals[1]);
+    }
+
+    #[test]
+    fn error_messages_name_the_parties() {
+        let err = SuiteError::UnknownCapacityRef {
+            policy: "faascache".to_owned(),
+            reference: "spes".to_owned(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("faascache") && msg.contains("spes"), "{msg}");
+    }
+}

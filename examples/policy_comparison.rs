@@ -1,17 +1,20 @@
-//! Head-to-head comparison of SPES and all five baselines on one
-//! workload — a miniature of the paper's Figs. 8, 9, and 11.
+//! Head-to-head comparison of registered policies on one workload — a
+//! miniature of the paper's Figs. 8, 9, and 11, plus the oracle and the
+//! trivial brackets the paper's tables leave out.
 //!
-//! The workload comes from the named scenario registry; swap
-//! "chain-heavy" for any other registered name (`spes::scenario_names()`)
-//! to compare the policies under a different workload shape.
+//! Both experiment axes come from registries: the workload from the
+//! scenario registry (swap "chain-heavy" for any `spes::scenario_names()`
+//! entry) and the policies from the policy registry (swap the name list
+//! for any `spes::policy_names()` subset). FaaSCache's "budget = SPES's
+//! peak memory" coupling is declared on its spec and resolved by the
+//! suite runner — no manual plumbing here.
 //!
 //! ```sh
 //! cargo run --release --example policy_comparison
 //! ```
 
-use spes::baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
-use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, NormalizedComparison, RunResult, SimConfig};
+use spes::core::SpesConfig;
+use spes::sim::{NormalizedComparison, RunResult};
 use spes::trace::{synth, SynthConfig};
 
 fn main() {
@@ -21,46 +24,31 @@ fn main() {
         ..spes::scenario_config("chain-heavy").expect("registered scenario")
     };
     let data = synth::generate(&config);
-    let trace = &data.trace;
-    // The trace carries its own training boundary: fit on [0, train_end),
-    // measure on [train_end, n_slots).
-    let train_end = data.train_end;
-    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
 
-    let mut runs: Vec<RunResult> = Vec::new();
+    // The paper's six, bracketed by the clairvoyant oracle (lower bound
+    // on cold starts) and the keep-forever bound (maximal memory).
+    let names = [
+        "spes",
+        "defuse",
+        "hybrid-function",
+        "hybrid-application",
+        "fixed-keep-alive",
+        "faascache",
+        "oracle",
+        "keep-forever",
+    ];
+    let suite = spes::suite_of(&names, &SpesConfig::default()).expect("registered policies");
+    let cmp = spes::run_suite_comparison(&data, &suite).expect("valid suite");
+    let runs = &cmp.runs;
 
-    let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
-    runs.push(simulate(trace, &mut spes, window));
-    let spes_peak = runs[0].peak_loaded.max(1);
-
-    let mut defuse = Defuse::paper_default(trace, 0, train_end);
-    runs.push(simulate(trace, &mut defuse, window));
-
-    let mut hf = HybridHistogram::fit(trace, 0, train_end, Granularity::Function);
-    runs.push(simulate(trace, &mut hf, window));
-
-    let mut ha = HybridHistogram::fit(trace, 0, train_end, Granularity::Application);
-    runs.push(simulate(trace, &mut ha, window));
-
-    let mut fixed = FixedKeepAlive::paper_default(trace.n_functions());
-    runs.push(simulate(trace, &mut fixed, window));
-
-    // FaaSCache runs against SPES's peak memory, as in the paper.
-    let mut faascache = FaasCache::new(trace.n_functions());
-    runs.push(simulate(
-        trace,
-        &mut faascache,
-        window.with_capacity(spes_peak),
-    ));
-
-    let memory = NormalizedComparison::build(&runs, "spes", RunResult::mean_loaded);
-    let wmt = NormalizedComparison::build(&runs, "spes", |r| r.total_wmt() as f64);
+    let memory = NormalizedComparison::build(runs, "spes", RunResult::mean_loaded);
+    let wmt = NormalizedComparison::build(runs, "spes", |r| r.total_wmt() as f64);
 
     println!(
         "{:<20} {:>8} {:>8} {:>12} {:>10} {:>12} {:>9}",
         "policy", "Q3-CSR", "P90-CSR", "always-cold", "memory", "wasted-mem", "EMCR"
     );
-    for run in &runs {
+    for run in runs {
         println!(
             "{:<20} {:>8.3} {:>8.3} {:>11.1}% {:>9.2}x {:>11.2}x {:>8.1}%",
             run.policy_name,

@@ -5,6 +5,7 @@
 //! DESIGN.md for the system inventory.
 
 pub use spes_baselines as baselines;
+pub use spes_bench as bench;
 pub use spes_core as core;
 pub use spes_sim as sim;
 pub use spes_stats as stats;
@@ -15,3 +16,10 @@ pub use spes_trace as trace;
 pub use spes_trace::{
     scenario_config, scenario_names, Scenario, SynthConfig, SynthTrace, SCENARIOS,
 };
+
+// The policy registry is the other experiment axis: named policies,
+// composable suites, and the suite-based comparison runner.
+pub use spes_bench::{
+    default_suite, policy_names, run_suite_comparison, spec_of, suite_of, ComparisonRun,
+};
+pub use spes_sim::suite::{run_suite, CapacityRule, PolicyFactory, PolicySpec};
