@@ -1,0 +1,130 @@
+//! Engine-throughput benchmark: slots simulated per second, per
+//! (scenario, policy) cell, written to `BENCH_engine.json`.
+//!
+//! ```text
+//! bench_engine [--functions N] [--seed S] [--out DIR] [--quick]
+//!
+//!   --functions  population size of each generated trace (default 800)
+//!   --seed       workload seed (default 7)
+//!   --out        directory for BENCH_engine.json (default: .)
+//!   --quick      CI mode: shrink scenarios to tiny 7-day traces
+//! ```
+//!
+//! The policies are engine-dominated by construction (keep-forever,
+//! fixed-keep-alive, no-keep-alive): their decision hooks are trivial,
+//! so the slots/sec numbers track the engine's event loop rather than a
+//! policy's own cost. keep-forever in particular exercises the sparse
+//! case the span-based idle accounting exists for — a large loaded set
+//! with few invocations per slot.
+
+use spes_bench::perf::{bench_engine, EngineBenchReport};
+use spes_sim::text_table;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const SCENARIOS: [&str; 2] = ["paper-default", "chain-heavy"];
+const POLICIES: [&str; 3] = ["keep-forever", "fixed-keep-alive", "no-keep-alive"];
+
+struct Args {
+    functions: usize,
+    seed: u64,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        functions: 800,
+        seed: 7,
+        out: PathBuf::from("."),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--functions" => {
+                args.functions = value("--functions")?
+                    .parse()
+                    .map_err(|e| format!("invalid --functions: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--quick" => args.quick = true,
+            "--help" | "-h" => {
+                println!("see the module docs of bench_engine.rs for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let functions = if args.quick {
+        args.functions.min(120)
+    } else {
+        args.functions
+    };
+    let mut rows = Vec::new();
+    for scenario in SCENARIOS {
+        // Quick mode applies each scenario's CI shrink (7-day horizon),
+        // so both cells measure in seconds.
+        println!(
+            "benchmarking engine on {scenario} ({functions} functions{}) ...",
+            if args.quick { ", quick" } else { "" }
+        );
+        rows.extend(bench_engine(
+            scenario, functions, args.seed, &POLICIES, args.quick,
+        )?);
+    }
+    let report = EngineBenchReport { rows };
+
+    println!("\n== engine throughput (slots simulated per second) ==");
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.policy.clone(),
+                r.slots.to_string(),
+                format!("{:.3}", r.secs),
+                format!("{:.0}", r.slots_per_sec),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["scenario", "policy", "slots", "secs", "slots/sec"],
+            &table
+        )
+    );
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("create out dir: {e}"))?;
+    let path = args.out.join("BENCH_engine.json");
+    let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    let mut file = std::fs::File::create(&path).map_err(|e| format!("create {path:?}: {e}"))?;
+    file.write_all(body.as_bytes())
+        .map_err(|e| format!("write {path:?}: {e}"))?;
+    println!("-> {}", path.display());
+    Ok(())
+}

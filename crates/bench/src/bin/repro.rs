@@ -5,7 +5,7 @@
 //!       [--seed S] [--out DIR] [--trace FILE] [--quick] [--list-policies]
 //!
 //!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
-//!                12 | 13 | 14 | 15 | overhead | all   (default: all)
+//!                12 | 13 | 14 | 15 | overhead | series | all  (default: all)
 //!   --scenario   named workload from the scenario registry
 //!                (paper-default | quick | chain-heavy | bursty | diurnal |
 //!                unseen-heavy | shift-heavy; default: paper-default)
@@ -304,7 +304,7 @@ fn run() -> Result<(), String> {
     }
 
     // ---- main evaluation (one shared suite run) ----
-    let needs_comparison = ["table1", "8", "9", "10", "11", "12", "overhead"]
+    let needs_comparison = ["table1", "8", "9", "10", "11", "12", "overhead", "series"]
         .iter()
         .any(|id| wants(id));
     let cmp: Option<ComparisonRun> = if needs_comparison {
@@ -432,6 +432,43 @@ fn run() -> Result<(), String> {
                     save_json(&args.out, "fig12", &fig);
                 }
             }
+        }
+
+        if wants("series") {
+            // Hourly per-slot curves from the SlotSeries observers that
+            // rode along the one suite simulation — no re-runs.
+            let t = figures_main::timeline(cmp, 60);
+            println!("\n== Per-slot series: hourly memory / cold-start / EMCR curves ==");
+            let rows: Vec<Vec<String>> = t
+                .policies
+                .iter()
+                .map(|p| {
+                    let peak_hour_mem = p.mean_loaded.iter().copied().fold(0.0f64, f64::max);
+                    let total_cold: u64 = p.cold.iter().sum();
+                    let busiest_hour_cold = p.cold.iter().copied().max().unwrap_or(0);
+                    vec![
+                        p.policy.clone(),
+                        p.mean_loaded.len().to_string(),
+                        format!("{peak_hour_mem:.1}"),
+                        total_cold.to_string(),
+                        busiest_hour_cold.to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(
+                    &[
+                        "policy",
+                        "hours",
+                        "peak mem (hourly)",
+                        "cold total",
+                        "cold max/hour"
+                    ],
+                    &rows
+                )
+            );
+            save_json(&args.out, "series", &t);
         }
 
         if wants("overhead") {

@@ -1,9 +1,11 @@
-//! Main-evaluation figures: Table I census, Figs. 8-12, and the RQ2
-//! overhead table, all computed from one [`ComparisonRun`].
+//! Main-evaluation figures: Table I census, Figs. 8-12, the RQ2
+//! overhead table, and the per-slot [`Timeline`], all computed from one
+//! [`ComparisonRun`].
 
 use crate::scenario::ComparisonRun;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use spes_sim::{per_category_stats, NormalizedComparison};
+use spes_trace::Slot;
 
 /// Table I census: how many functions landed in each SPES type.
 #[derive(Debug, Clone, Serialize)]
@@ -209,6 +211,75 @@ pub fn fig12(cmp: &ComparisonRun) -> Option<Fig12> {
     Some(Fig12 { rows })
 }
 
+/// Per-slot time series of the measured window, downsampled to `stride`
+/// slots per point: memory (loaded instances), cold starts, and EMCR per
+/// policy. Everything comes from the [`spes_sim::SlotSeries`] observers
+/// that rode along the comparison's single simulation per policy — no
+/// re-runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// First slot of the series (the measurement boundary).
+    pub start: Slot,
+    /// Slots aggregated into one point.
+    pub stride: u32,
+    /// Per-policy curves, in suite order.
+    pub policies: Vec<TimelinePolicy>,
+}
+
+/// One policy's downsampled curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePolicy {
+    /// Policy name.
+    pub policy: String,
+    /// Mean loaded instances per stride window.
+    pub mean_loaded: Vec<f64>,
+    /// Cold starts per stride window (sum).
+    pub cold: Vec<u64>,
+    /// Mean per-slot EMCR per stride window.
+    pub mean_emcr: Vec<f64>,
+}
+
+/// Builds the timeline from the comparison's recorded slot series,
+/// aggregating `stride` slots per point (`stride = 60` gives hourly
+/// curves). A trailing partial window is aggregated over its actual
+/// length.
+///
+/// # Panics
+/// Panics if `stride` is zero.
+#[must_use]
+pub fn timeline(cmp: &ComparisonRun, stride: u32) -> Timeline {
+    assert!(stride > 0, "stride must be positive");
+    let chunk = stride as usize;
+    let policies = cmp
+        .runs
+        .iter()
+        .zip(&cmp.slot_series)
+        .map(|(run, series)| TimelinePolicy {
+            policy: run.policy_name.clone(),
+            mean_loaded: series
+                .loaded
+                .chunks(chunk)
+                .map(|w| w.iter().map(|&v| f64::from(v)).sum::<f64>() / w.len() as f64)
+                .collect(),
+            cold: series
+                .cold
+                .chunks(chunk)
+                .map(|w| w.iter().map(|&v| u64::from(v)).sum())
+                .collect(),
+            mean_emcr: series
+                .emcr
+                .chunks(chunk)
+                .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+                .collect(),
+        })
+        .collect();
+    Timeline {
+        start: cmp.slot_series.first().map_or(0, |s| s.start),
+        stride,
+        policies,
+    }
+}
+
 /// RQ2: per-minute scheduling overhead of every policy.
 #[derive(Debug, Clone, Serialize)]
 pub struct OverheadTable {
@@ -330,6 +401,35 @@ mod tests {
         let f = fig11(&cmp);
         for (name, emcr) in &f.emcr {
             assert!((0.0..=1.0).contains(emcr), "{name} emcr {emcr}");
+        }
+    }
+
+    #[test]
+    fn timeline_is_consistent_with_run_totals() {
+        // The timeline is derived from the SlotSeries observers that rode
+        // along the one suite simulation — its sums must agree exactly
+        // with the engine-accounted runs, with no re-simulation anywhere.
+        let cmp = comparison();
+        let t = timeline(&cmp, 60);
+        assert_eq!(t.policies.len(), cmp.runs.len());
+        for (run, policy) in cmp.runs.iter().zip(&t.policies) {
+            assert_eq!(run.policy_name, policy.policy);
+            let cold: u64 = policy.cold.iter().sum();
+            assert_eq!(cold, run.total_cold_starts(), "{}", policy.policy);
+            assert_eq!(t.start, run.start);
+            for emcr in &policy.mean_emcr {
+                assert!((0.0..=1.0).contains(emcr), "{}", policy.policy);
+            }
+        }
+        // Stride-1 mean_loaded integrates back to the loaded integral.
+        let fine = timeline(&cmp, 1);
+        for (run, policy) in cmp.runs.iter().zip(&fine.policies) {
+            let integral: f64 = policy.mean_loaded.iter().sum();
+            assert!(
+                (integral - run.loaded_integral as f64).abs() < 1e-9,
+                "{}",
+                policy.policy
+            );
         }
     }
 

@@ -10,10 +10,12 @@ pub mod figures_main;
 pub mod figures_sweep;
 pub mod figures_trace;
 pub mod matrix;
+pub mod perf;
 pub mod policies;
 pub mod scenario;
 
 pub use matrix::{run_matrix, run_named_matrix, MatrixCell, MatrixOutcome, PolicyAggregate};
+pub use perf::{bench_engine, EngineBenchReport, EngineBenchRow};
 pub use policies::{
     default_suite, policy_names, spec_of, suite_of, RegisteredPolicy, UnknownPolicy, REGISTRY,
 };

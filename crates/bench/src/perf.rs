@@ -1,0 +1,163 @@
+//! Engine-throughput measurement: slots simulated per second.
+//!
+//! The event-stream engine's hot loop is `O(invoked + transitions)` per
+//! slot; this module measures what that means in wall-clock terms on the
+//! registered workload scenarios, seeding the repository's performance
+//! trajectory. The `bench_engine` binary drives [`bench_engine`] over
+//! paper-default and chain-heavy workloads and writes the rows to
+//! `BENCH_engine.json` (see [`EngineBenchReport`]), which CI prints
+//! non-blockingly so regressions are visible in every run's log.
+
+use crate::policies;
+use serde::{Deserialize, Serialize};
+use spes_core::SpesConfig;
+use spes_sim::suite::FitContext;
+use spes_sim::{try_simulate, SimConfig};
+use spes_trace::synth;
+use std::time::Instant;
+
+/// One measured (scenario, policy) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineBenchRow {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Policy registry name.
+    pub policy: String,
+    /// Functions in the generated trace.
+    pub n_functions: usize,
+    /// Simulated slots (the full trace horizon).
+    pub slots: u64,
+    /// Wall-clock seconds of the simulation (excluding generation and
+    /// policy fitting).
+    pub secs: f64,
+    /// Slots simulated per second.
+    pub slots_per_sec: f64,
+}
+
+/// The `BENCH_engine.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineBenchReport {
+    /// Every measured cell, scenario-major.
+    pub rows: Vec<EngineBenchRow>,
+}
+
+/// Runs the engine once per policy on one scenario and measures
+/// simulation throughput. The trace is generated (and each policy
+/// fitted) outside the timed section, so the numbers isolate the
+/// engine + policy decision loop. `quick` applies the scenario's CI
+/// shrink (7-day horizon, capped population) before sizing.
+///
+/// Only capacity-self-contained policies can be measured this way
+/// (`faascache` needs a donor run and is rejected by name).
+///
+/// # Errors
+/// Returns a message for unknown scenario/policy names.
+pub fn bench_engine(
+    scenario: &str,
+    n_functions: usize,
+    seed: u64,
+    policy_names: &[&str],
+    quick: bool,
+) -> Result<Vec<EngineBenchRow>, String> {
+    let mut cfg =
+        synth::scenario_config(scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+    if quick {
+        cfg = cfg.quick();
+    }
+    cfg.n_functions = if quick {
+        n_functions.min(200)
+    } else {
+        n_functions
+    };
+    cfg.seed = seed;
+    let data = synth::generate(&cfg);
+    let trace = &data.trace;
+    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(data.train_end);
+
+    let spes_cfg = SpesConfig::default();
+    let mut rows = Vec::new();
+    for &name in policy_names {
+        let spec = policies::spec_of(name, &spes_cfg).ok_or_else(|| {
+            format!(
+                "unknown policy {name:?}; registered: {}",
+                policies::policy_names().join(", ")
+            )
+        })?;
+        if !spec.capacity().is_self_contained() {
+            return Err(format!(
+                "policy {name:?} needs a capacity donor and cannot be benchmarked standalone"
+            ));
+        }
+        let ctx = FitContext {
+            trace,
+            train_start: 0,
+            train_end: data.train_end,
+            prior: &[],
+        };
+        let mut policy = spec.build(&ctx);
+        let begin = Instant::now();
+        let run = try_simulate(trace, policy.as_mut(), window).map_err(|e| e.to_string())?;
+        let secs = begin.elapsed().as_secs_f64();
+        let slots = u64::from(trace.n_slots);
+        rows.push(EngineBenchRow {
+            scenario: scenario.to_owned(),
+            policy: name.to_owned(),
+            n_functions: trace.n_functions(),
+            slots,
+            secs,
+            slots_per_sec: slots as f64 / secs.max(f64::MIN_POSITIVE),
+        });
+        // Keep the optimiser honest about the run actually happening.
+        assert_eq!(run.n_slots(), u64::from(trace.n_slots - data.train_end));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_cover_every_requested_policy() {
+        let rows = bench_engine("quick", 40, 3, &["keep-forever", "no-keep-alive"], false).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.scenario, "quick");
+            assert!(row.slots > 0);
+            assert!(row.slots_per_sec > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn quick_mode_shrinks_every_scenario() {
+        let rows = bench_engine("chain-heavy", 40, 3, &["no-keep-alive"], true).unwrap();
+        // The quick shrink caps the horizon at 7 days.
+        assert_eq!(rows[0].slots, u64::from(7 * spes_trace::SLOTS_PER_DAY));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(bench_engine("no-such", 10, 1, &["keep-forever"], false).is_err());
+        assert!(bench_engine("quick", 10, 1, &["no-such"], false).is_err());
+        // FaaSCache's capacity depends on a SPES run.
+        let err = bench_engine("quick", 10, 1, &["faascache"], false).unwrap_err();
+        assert!(err.contains("capacity donor"), "{err}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = EngineBenchReport {
+            rows: vec![EngineBenchRow {
+                scenario: "paper-default".into(),
+                policy: "keep-forever".into(),
+                n_functions: 800,
+                slots: 20_160,
+                secs: 0.25,
+                slots_per_sec: 80_640.0,
+            }],
+        };
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: EngineBenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+}

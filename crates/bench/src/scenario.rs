@@ -10,7 +10,7 @@
 use crate::policies;
 use spes_core::{SpesConfig, SpesPolicy};
 use spes_sim::suite::{run_suite, PolicySpec, SuiteError, SuiteOutcome};
-use spes_sim::RunResult;
+use spes_sim::{RunResult, SlotSeries};
 use spes_trace::{synth, FunctionId, Slot, SynthConfig, SynthTrace};
 
 /// Experiment-wide settings (trace scale, seed, SPES config).
@@ -72,6 +72,11 @@ pub struct ComparisonRun {
     /// Per-policy results, in suite order ([`POLICY_ORDER`] for the
     /// default suite).
     pub runs: Vec<RunResult>,
+    /// Per-policy per-slot curves (loaded/cold/EMCR over the measured
+    /// window), aligned with `runs`. Recorded by the suite runner's
+    /// [`SlotSeries`] observer during the same simulation — time-series
+    /// figures read from here with no re-simulation.
+    pub slot_series: Vec<SlotSeries>,
     /// SPES per-function category labels, as they stood after the run
     /// (for Figs. 10 and 12). Empty when the suite does not include
     /// `spes`.
@@ -110,6 +115,16 @@ impl ComparisonRun {
             .unwrap_or_else(|| panic!("no run for policy {name}"))
     }
 
+    /// The per-slot series of one policy by name, if it was part of the
+    /// suite.
+    #[must_use]
+    pub fn try_series_of(&self, name: &str) -> Option<&SlotSeries> {
+        self.runs
+            .iter()
+            .position(|r| r.policy_name == name)
+            .map(|i| &self.slot_series[i])
+    }
+
     fn from_suite(outcome: SuiteOutcome, n_functions: usize) -> Self {
         let (spes_labels, fit_summary) =
             outcome
@@ -132,8 +147,14 @@ impl ComparisonRun {
                         .map(|spes| spes.fit_stats().clone());
                     (labels, fit)
                 });
+        let (runs, slot_series) = outcome
+            .entries
+            .into_iter()
+            .map(|e| (e.run, e.series))
+            .unzip();
         Self {
-            runs: outcome.into_runs(),
+            runs,
+            slot_series,
             spes_labels,
             fit_summary,
         }

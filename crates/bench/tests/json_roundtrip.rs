@@ -1,0 +1,73 @@
+//! The repro/figure JSON artifacts round-trip through the serde shims:
+//! what `repro` writes, `serde_json::from_str` can read back — either as
+//! a typed document (for types deriving `Deserialize`) or as a generic
+//! `Value` whose re-rendering is byte-identical.
+
+use serde_json::Value;
+use spes_bench::figures_main::{self, Timeline};
+use spes_bench::perf::{EngineBenchReport, EngineBenchRow};
+use spes_bench::scenario::{run_comparison, Experiment};
+use spes_core::SpesConfig;
+
+#[test]
+fn figure_json_round_trips_as_values() {
+    let data = Experiment::scenario("quick", 60, 11).unwrap().generate();
+    let cmp = run_comparison(&data, &SpesConfig::default());
+
+    // Every figure document the repro binary writes for the main
+    // comparison, rendered and re-parsed: the parse must succeed and
+    // re-rendering must be byte-identical (the Value model keeps numbers
+    // as source text, so this is exact).
+    let documents: Vec<String> = vec![
+        serde_json::to_string_pretty(&figures_main::table1(&cmp).expect("spes in suite")).unwrap(),
+        serde_json::to_string_pretty(&figures_main::fig8(&cmp)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::fig9(&cmp)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::fig10(&cmp).expect("spes in suite")).unwrap(),
+        serde_json::to_string_pretty(&figures_main::fig11(&cmp)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::fig12(&cmp).expect("spes in suite")).unwrap(),
+        serde_json::to_string_pretty(&figures_main::overhead(&cmp)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::timeline(&cmp, 60)).unwrap(),
+    ];
+    for text in documents {
+        let value: Value = serde_json::from_str(&text).expect("figure JSON parses");
+        let rendered = serde_json::to_string_pretty(&value).unwrap();
+        assert_eq!(rendered, text, "re-rendered JSON drifted");
+    }
+}
+
+#[test]
+fn timeline_round_trips_typed() {
+    let data = Experiment::scenario("quick", 50, 5).unwrap().generate();
+    let cmp = run_comparison(&data, &SpesConfig::default());
+    let timeline = figures_main::timeline(&cmp, 120);
+    let text = serde_json::to_string_pretty(&timeline).unwrap();
+    let back: Timeline = serde_json::from_str(&text).expect("typed timeline parses");
+    assert_eq!(back, timeline);
+}
+
+#[test]
+fn bench_report_round_trips_typed() {
+    let report = EngineBenchReport {
+        rows: vec![
+            EngineBenchRow {
+                scenario: "paper-default".into(),
+                policy: "keep-forever".into(),
+                n_functions: 800,
+                slots: 20_160,
+                secs: 0.125,
+                slots_per_sec: 161_280.0,
+            },
+            EngineBenchRow {
+                scenario: "chain-heavy".into(),
+                policy: "no-keep-alive".into(),
+                n_functions: 800,
+                slots: 20_160,
+                secs: 0.5,
+                slots_per_sec: 40_320.0,
+            },
+        ],
+    };
+    let text = serde_json::to_string_pretty(&report).unwrap();
+    let back: EngineBenchReport = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, report);
+}

@@ -10,8 +10,16 @@
 //! [`PlacementStrategy`]s (round-robin, least-loaded, and the
 //! hash-affinity placement real FaaS schedulers use so that re-loads find
 //! their previous node).
+//!
+//! Placement replay is an observer over the engine's event stream: a
+//! [`ClusterObserver`] mirrors every [`SimEvent::Load`] /
+//! [`SimEvent::Evict`] of a normal single-node run onto the fleet, so the
+//! same simulation that produces the paper's metrics also produces the
+//! placement report — this module no longer maintains its own replay
+//! loop.
 
-use crate::memory::MemoryPool;
+use crate::engine::{SimConfig, Simulation};
+use crate::events::{EventCtx, Observer, SimEvent};
 use crate::suite::{FitContext, PolicySpec};
 use spes_trace::{FunctionId, Slot, SynthTrace};
 
@@ -230,16 +238,154 @@ pub struct ClusterReport {
     pub peak_loaded: usize,
 }
 
+/// Mirrors a single-node run's load/evict stream onto a [`Cluster`].
+///
+/// Every [`SimEvent::Load`] places the instance on the fleet by the
+/// cluster's [`PlacementStrategy`] (recording whether a re-load found its
+/// previous node), every [`SimEvent::Evict`] frees its node, and each
+/// [`SimEvent::SlotEnd`] samples fleet-level load and imbalance.
+/// Placements follow the events in transition order, so an instance that
+/// is served and evicted within the same slot still occupies a node for
+/// the duration of that slot. A load that finds the whole fleet full
+/// records a rejection and goes *pending*: it is retried at the end of
+/// every slot while the instance remains logically loaded (each failed
+/// retry counting another rejection), so instances claim fleet room as
+/// soon as evictions free it — matching the per-slot re-mirroring of
+/// the replay loop this observer replaced.
+#[derive(Debug)]
+pub struct ClusterObserver {
+    cluster: Cluster,
+    last_node: Vec<Option<usize>>,
+    /// Logically loaded instances the full fleet could not take yet, in
+    /// arrival order; `is_pending` mirrors membership for O(1) lookup.
+    pending: Vec<FunctionId>,
+    is_pending: Vec<bool>,
+    placements: u64,
+    affinity_hits: u64,
+    affinity_misses: u64,
+    loaded_sum: u64,
+    imbalance_sum: f64,
+    peak_loaded: usize,
+    slots: u64,
+}
+
+impl ClusterObserver {
+    /// Creates an observer mirroring onto a fresh fleet of `n_nodes`
+    /// nodes of `node_capacity` instances each.
+    ///
+    /// # Panics
+    /// Panics if `n_nodes` or `node_capacity` is zero.
+    #[must_use]
+    pub fn new(
+        n_nodes: usize,
+        node_capacity: usize,
+        n_functions: usize,
+        strategy: PlacementStrategy,
+    ) -> Self {
+        Self {
+            cluster: Cluster::new(n_nodes, node_capacity, n_functions, strategy),
+            last_node: vec![None; n_functions],
+            pending: Vec::new(),
+            is_pending: vec![false; n_functions],
+            placements: 0,
+            affinity_hits: 0,
+            affinity_misses: 0,
+            loaded_sum: 0,
+            imbalance_sum: 0.0,
+            peak_loaded: 0,
+            slots: 0,
+        }
+    }
+
+    /// Places `f`, updating placement and affinity counters; `false` when
+    /// the whole fleet is full (the cluster records the rejection).
+    fn try_place(&mut self, f: FunctionId, slot: Slot) -> bool {
+        let Some(node) = self.cluster.load(f, slot) else {
+            return false;
+        };
+        self.placements += 1;
+        match self.last_node[f.index()] {
+            Some(prev) if prev == node => self.affinity_hits += 1,
+            Some(_) => self.affinity_misses += 1,
+            None => {}
+        }
+        self.last_node[f.index()] = Some(node);
+        true
+    }
+
+    /// The fleet as it stands (final state after a run).
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The aggregated fleet report.
+    #[must_use]
+    pub fn report(&self) -> ClusterReport {
+        let slots = self.slots.max(1) as f64;
+        ClusterReport {
+            placements: self.placements,
+            rejections: self.cluster.rejections(),
+            affinity_hits: self.affinity_hits,
+            affinity_misses: self.affinity_misses,
+            mean_loaded: self.loaded_sum as f64 / slots,
+            mean_imbalance: self.imbalance_sum / slots,
+            peak_loaded: self.peak_loaded,
+        }
+    }
+}
+
+impl Observer for ClusterObserver {
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        match *event {
+            SimEvent::Load { f, .. } => {
+                if !self.try_place(f, ctx.slot) && !self.is_pending[f.index()] {
+                    self.is_pending[f.index()] = true;
+                    self.pending.push(f);
+                }
+            }
+            SimEvent::Evict { f, .. } => {
+                if self.is_pending[f.index()] {
+                    // Evicted before it was ever placed: stop retrying.
+                    self.is_pending[f.index()] = false;
+                    self.pending.retain(|&g| g != f);
+                } else {
+                    self.cluster.evict(f);
+                }
+            }
+            SimEvent::SlotEnd { .. } => {
+                // Retry pending placements now that the slot's evictions
+                // have freed whatever room they will free.
+                if !self.pending.is_empty() {
+                    let pending = std::mem::take(&mut self.pending);
+                    for f in pending {
+                        if self.try_place(f, ctx.slot) {
+                            self.is_pending[f.index()] = false;
+                        } else {
+                            self.pending.push(f);
+                        }
+                    }
+                }
+                let loaded = self.cluster.loaded_count();
+                self.loaded_sum += loaded as u64;
+                self.imbalance_sum += self.cluster.imbalance();
+                self.peak_loaded = self.peak_loaded.max(loaded);
+                self.slots += 1;
+            }
+            SimEvent::ColdStart { .. } | SimEvent::WarmStart { .. } => {}
+        }
+    }
+}
+
 /// Replays one suite policy over a fleet of worker nodes.
 ///
 /// The policy is built from the trace's own training window, exactly as
-/// [`crate::suite::run_suite`] would build it, and driven slot by slot
-/// against an unbounded logical [`MemoryPool`] (the policy's view stays
-/// the paper's single-node abstraction). After every slot the pool's
-/// loaded set is mirrored onto the cluster: newly loaded functions are
-/// placed by `strategy`, evicted ones leave their node. The report
-/// aggregates what the single-node simulation cannot see — placements,
-/// fleet-full rejections, and whether re-loads find their previous node.
+/// [`crate::suite::run_suite`] would build it, then driven by the engine
+/// against an unbounded logical [`crate::MemoryPool`] (the policy's view stays
+/// the paper's single-node abstraction) with a [`ClusterObserver`]
+/// mirroring the event stream onto the fleet. The report aggregates what
+/// the single-node simulation cannot see — placements, fleet-full
+/// rejections, and whether re-loads find their previous node.
 ///
 /// Capacity rules on the spec are ignored: here the nodes *are* the
 /// capacity. Fleet statistics are collected over the full horizon.
@@ -252,7 +398,6 @@ pub fn run_on_cluster(
     strategy: PlacementStrategy,
 ) -> ClusterReport {
     let trace = &data.trace;
-    let n = trace.n_functions();
     let ctx = FitContext {
         trace,
         train_start: 0,
@@ -260,95 +405,93 @@ pub fn run_on_cluster(
         prior: &[],
     };
     let mut policy = spec.build(&ctx);
-    let mut pool = MemoryPool::unbounded(n);
-    let mut cluster = Cluster::new(n_nodes, node_capacity, n, strategy);
-    let buckets = trace.bucket_by_slot(0, trace.n_slots);
-
-    let mut last_node: Vec<Option<usize>> = vec![None; n];
-    let mut report = ClusterReport {
-        placements: 0,
-        rejections: 0,
-        affinity_hits: 0,
-        affinity_misses: 0,
-        mean_loaded: 0.0,
-        mean_imbalance: 0.0,
-        peak_loaded: 0,
-    };
-    let mut loaded_sum = 0u64;
-    let mut imbalance_sum = 0.0f64;
-
-    // Mirrors the policy's logical loaded set onto the fleet: evictions
-    // first (freeing room), then placements.
-    let mut mirror =
-        |cluster: &mut Cluster, pool: &MemoryPool, t: Slot, report: &mut ClusterReport| {
-            for f in cluster_only(cluster, pool) {
-                cluster.evict(f);
-            }
-            for f in pool_only(cluster, pool) {
-                if let Some(node) = cluster.load(f, t) {
-                    report.placements += 1;
-                    match last_node[f.index()] {
-                        Some(prev) if prev == node => report.affinity_hits += 1,
-                        Some(_) => report.affinity_misses += 1,
-                        None => {}
-                    }
-                    last_node[f.index()] = Some(node);
-                }
-            }
-        };
-
-    policy.on_start(0, &mut pool);
-    for t in 0..trace.n_slots {
-        let invoked = &buckets[t as usize];
-        for &(f, _) in invoked {
-            pool.load(f, t);
-        }
-        // Served instances occupy a node for the duration of the slot
-        // even if the policy evicts them right after — mirror before and
-        // after the decision hook so both the placement and the eviction
-        // are visible to the fleet.
-        mirror(&mut cluster, &pool, t, &mut report);
-        policy.on_slot(t, invoked, &mut pool);
-        mirror(&mut cluster, &pool, t, &mut report);
-
-        let loaded = cluster.loaded_count();
-        loaded_sum += loaded as u64;
-        imbalance_sum += cluster.imbalance();
-        report.peak_loaded = report.peak_loaded.max(loaded);
-    }
-
-    report.rejections = cluster.rejections();
-    let slots = trace.n_slots.max(1) as f64;
-    report.mean_loaded = loaded_sum as f64 / slots;
-    report.mean_imbalance = imbalance_sum / slots;
-    report
-}
-
-/// Functions loaded in the cluster but no longer in the pool.
-fn cluster_only(cluster: &Cluster, pool: &MemoryPool) -> Vec<FunctionId> {
-    (0..pool.n_functions() as u32)
-        .map(FunctionId)
-        .filter(|&f| cluster.contains(f) && !pool.contains(f))
-        .collect()
-}
-
-/// Functions loaded in the pool but not yet placed in the cluster.
-fn pool_only(cluster: &Cluster, pool: &MemoryPool) -> Vec<FunctionId> {
-    pool.loaded()
-        .iter()
-        .copied()
-        .filter(|&f| !cluster.contains(f))
-        .collect()
+    let mut observer = ClusterObserver::new(n_nodes, node_capacity, trace.n_functions(), strategy);
+    Simulation::new(trace, SimConfig::new(0, trace.n_slots))
+        .observe(&mut observer)
+        .run(policy.as_mut())
+        .expect("the full trace horizon is a valid window");
+    observer.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{EvictCause, LoadCause};
+    use crate::memory::MemoryPool;
     use crate::suite::KeepForeverFactory;
     use spes_trace::{synth, SynthConfig};
 
     fn f(i: u32) -> FunctionId {
         FunctionId(i)
+    }
+
+    #[test]
+    fn pending_placement_retries_once_room_frees() {
+        let pool = MemoryPool::unbounded(3);
+        let ctx = |slot| EventCtx {
+            slot,
+            measured: true,
+            pool: &pool,
+        };
+        let load = |f| SimEvent::Load {
+            f,
+            cause: LoadCause::Policy,
+        };
+        let evict = |f| SimEvent::Evict {
+            f,
+            cause: EvictCause::Policy,
+        };
+        let slot_end = SimEvent::SlotEnd { policy_secs: 0.0 };
+
+        let mut obs = ClusterObserver::new(1, 1, 3, PlacementStrategy::RoundRobin);
+        obs.on_event(&ctx(0), &load(f(0)));
+        obs.on_event(&ctx(0), &load(f(1))); // fleet full -> pending
+        obs.on_event(&ctx(0), &slot_end); // retry fails: still full
+        obs.on_event(&ctx(1), &evict(f(0)));
+        obs.on_event(&ctx(1), &slot_end); // retry succeeds
+        let report = obs.report();
+        assert!(obs.cluster().contains(f(1)), "pending load was not retried");
+        assert_eq!(report.placements, 2);
+        // The initial miss and the failed slot-0 retry both count.
+        assert_eq!(report.rejections, 2);
+    }
+
+    #[test]
+    fn evicting_a_pending_instance_cancels_its_retry() {
+        let pool = MemoryPool::unbounded(3);
+        let ctx = |slot| EventCtx {
+            slot,
+            measured: true,
+            pool: &pool,
+        };
+        let mut obs = ClusterObserver::new(1, 1, 3, PlacementStrategy::RoundRobin);
+        obs.on_event(
+            &ctx(0),
+            &SimEvent::Load {
+                f: f(0),
+                cause: LoadCause::Demand,
+            },
+        );
+        obs.on_event(
+            &ctx(0),
+            &SimEvent::Load {
+                f: f(1),
+                cause: LoadCause::Demand,
+            },
+        );
+        // The unplaced instance leaves the logical pool before any retry
+        // succeeds; the node stays with f0 and f1 must not be placed.
+        obs.on_event(
+            &ctx(0),
+            &SimEvent::Evict {
+                f: f(1),
+                cause: EvictCause::Policy,
+            },
+        );
+        obs.on_event(&ctx(0), &SimEvent::SlotEnd { policy_secs: 0.0 });
+        assert!(obs.cluster().contains(f(0)));
+        assert!(!obs.cluster().contains(f(1)));
+        assert_eq!(obs.report().placements, 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The per-slot simulation engine.
+//! The per-slot simulation engine: a pure driver over the event stream.
 //!
 //! Implements the paper's simulation principles (Section V-A): minute
 //! slots, every execution finishes within its slot, uniform cold-start
@@ -6,19 +6,24 @@
 //! instances (optionally capacity-limited for FaaSCache).
 //!
 //! Per slot `t` the engine:
-//! 1. charges warm/cold starts for every function invoked at `t`,
-//!    force-loading cold ones (asking the policy for victims when the pool
-//!    is full);
+//! 1. serves every invocation (emitting [`SimEvent::WarmStart`] /
+//!    [`SimEvent::ColdStart`]), force-loading cold functions and asking
+//!    the policy for victims when the pool is full;
 //! 2. invokes the policy's decision hook (timed, for the RQ2 overhead
 //!    metric);
-//! 3. accounts WMT (loaded-but-idle instances), EMCR, and the memory-usage
-//!    integral.
+//! 3. emits [`SimEvent::SlotEnd`] with snapshot access to the pool.
+//!
+//! All accounting lives in observers ([`crate::events`]): the engine
+//! itself only drives the policy and narrates what happened. A run is
+//! assembled with the [`Simulation`] builder; [`try_simulate`] is the
+//! one-observer convenience that returns the paper's [`RunResult`], and
+//! [`simulate`] its panicking twin for call sites that know their window
+//! is valid.
 
-use crate::memory::MemoryPool;
+use crate::events::{EventCtx, EvictCause, LoadCause, Observer, RunCollector, RunMeta, SimEvent};
+use crate::memory::{MemoryPool, PoolOp};
 use crate::metrics::RunResult;
 use crate::policy::Policy;
-#[cfg(test)]
-use spes_trace::FunctionId;
 use spes_trace::{Slot, Trace};
 use std::time::Instant;
 
@@ -67,121 +72,316 @@ impl SimConfig {
     }
 }
 
-/// Runs `policy` over `trace` for the window in `config`.
-///
-/// # Panics
-/// Panics if the window is invalid or extends beyond the trace horizon.
-pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> RunResult {
-    let SimConfig {
-        start,
-        end,
-        metrics_start,
-        capacity,
-    } = config;
-    assert!(start <= end, "invalid simulation window");
-    assert!(end <= trace.n_slots, "window beyond trace horizon");
-    assert!(
-        (start..=end).contains(&metrics_start),
-        "metrics_start outside the simulated window"
-    );
+/// Why a simulation could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// `start > end`.
+    InvalidWindow {
+        /// Requested window start.
+        start: Slot,
+        /// Requested window end.
+        end: Slot,
+    },
+    /// The window extends past the trace's last slot.
+    BeyondHorizon {
+        /// Requested window end.
+        end: Slot,
+        /// The trace horizon.
+        n_slots: Slot,
+    },
+    /// `metrics_start` lies outside `[start, end]`.
+    MetricsStartOutsideWindow {
+        /// Requested metrics start.
+        metrics_start: Slot,
+        /// Requested window start.
+        start: Slot,
+        /// Requested window end.
+        end: Slot,
+    },
+}
 
-    let n = trace.n_functions();
-    let buckets = trace.bucket_by_slot(start, end);
-    let mut pool = MemoryPool::with_capacity(n, capacity);
-
-    let mut invocations = vec![0u64; n];
-    let mut cold_starts = vec![0u64; n];
-    let mut wmt = vec![0u64; n];
-    let mut invoked_this_slot = vec![false; n];
-    let mut loaded_integral = 0u64;
-    let mut emcr_sum = 0.0f64;
-    let mut emcr_slots = 0u64;
-    let mut overhead_secs = 0.0f64;
-    let mut peak_loaded = 0usize;
-
-    policy.on_start(start, &mut pool);
-
-    for t in start..end {
-        let invoked = &buckets[(t - start) as usize];
-        let measured = t >= metrics_start;
-
-        // 1. Serve invocations: first arrival on an unloaded function is a
-        // cold start; the instance is then resident for the rest of the
-        // minute (and beyond, until the policy evicts it).
-        for &(f, count) in invoked {
-            invoked_this_slot[f.index()] = true;
-            if measured {
-                invocations[f.index()] += u64::from(count);
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::InvalidWindow { start, end } => {
+                write!(f, "invalid simulation window [{start}, {end})")
             }
-            if !pool.contains(f) {
-                if measured {
-                    cold_starts[f.index()] += 1;
-                }
-                make_room(policy, &mut pool);
-                pool.load(f, t);
+            Self::BeyondHorizon { end, n_slots } => {
+                write!(
+                    f,
+                    "window beyond trace horizon: end {end} > {n_slots} slots"
+                )
             }
+            Self::MetricsStartOutsideWindow {
+                metrics_start,
+                start,
+                end,
+            } => write!(
+                f,
+                "metrics_start outside the simulated window: \
+                 {metrics_start} not in [{start}, {end}]"
+            ),
         }
-
-        // 2. Policy decision hook (timed for the RQ2 overhead comparison).
-        let begin = Instant::now();
-        policy.on_slot(t, invoked, &mut pool);
-        if measured {
-            overhead_secs += begin.elapsed().as_secs_f64();
-        }
-
-        // 3. Slot accounting (metrics window only).
-        if measured {
-            let loaded_now = pool.loaded_count();
-            loaded_integral += loaded_now as u64;
-            peak_loaded = peak_loaded.max(loaded_now);
-            if loaded_now > 0 {
-                let mut invoked_loaded = 0usize;
-                for &f in pool.loaded() {
-                    if invoked_this_slot[f.index()] {
-                        invoked_loaded += 1;
-                    } else {
-                        wmt[f.index()] += 1;
-                    }
-                }
-                emcr_sum += invoked_loaded as f64 / loaded_now as f64;
-                emcr_slots += 1;
-            }
-        }
-
-        for &(f, _) in invoked {
-            invoked_this_slot[f.index()] = false;
-        }
-    }
-
-    RunResult {
-        policy_name: policy.name().to_owned(),
-        start: metrics_start,
-        end,
-        invocations,
-        cold_starts,
-        wmt,
-        loaded_integral,
-        emcr_sum,
-        emcr_slots,
-        overhead_secs,
-        peak_loaded,
     }
 }
 
+impl std::error::Error for SimError {}
+
+/// A configured run: the trace, the window, and any number of attached
+/// observers. Built with [`Simulation::new`] + [`Simulation::observe`],
+/// executed with [`Simulation::run`].
+///
+/// ```
+/// use spes_sim::{KeepForever, RunCollector, SimConfig, Simulation, SlotSeries};
+/// # use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
+/// # let meta = FunctionMeta { app: AppId(0), user: UserId(0), trigger: TriggerType::Http };
+/// # let trace = Trace::new(4, vec![meta], vec![SparseSeries::from_pairs(vec![(1, 2)])]);
+/// let mut metrics = RunCollector::new();
+/// let mut series = SlotSeries::new();
+/// Simulation::new(&trace, SimConfig::new(0, 4))
+///     .observe(&mut metrics)
+///     .observe(&mut series)
+///     .run(&mut KeepForever)
+///     .unwrap();
+/// let run = metrics.into_result();
+/// assert_eq!(run.total_cold_starts(), 1);
+/// assert_eq!(series.n_slots(), 4);
+/// ```
+pub struct Simulation<'t, 'o> {
+    trace: &'t Trace,
+    config: SimConfig,
+    observers: Vec<&'o mut dyn Observer>,
+}
+
+impl<'t, 'o> Simulation<'t, 'o> {
+    /// Starts building a run of `trace` over `config`'s window.
+    #[must_use]
+    pub fn new(trace: &'t Trace, config: SimConfig) -> Self {
+        Self {
+            trace,
+            config,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Attaches an observer; events are delivered in attachment order.
+    #[must_use]
+    pub fn observe(mut self, observer: &'o mut dyn Observer) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Drives `policy` over the trace, feeding every attached observer.
+    ///
+    /// # Errors
+    /// Returns a [`SimError`] when the window is malformed or extends
+    /// beyond the trace horizon. Nothing is simulated in that case.
+    pub fn run(mut self, policy: &mut dyn Policy) -> Result<(), SimError> {
+        let SimConfig {
+            start,
+            end,
+            metrics_start,
+            capacity,
+        } = self.config;
+        if start > end {
+            return Err(SimError::InvalidWindow { start, end });
+        }
+        if end > self.trace.n_slots {
+            return Err(SimError::BeyondHorizon {
+                end,
+                n_slots: self.trace.n_slots,
+            });
+        }
+        if !(start..=end).contains(&metrics_start) {
+            return Err(SimError::MetricsStartOutsideWindow {
+                metrics_start,
+                start,
+                end,
+            });
+        }
+
+        let n = self.trace.n_functions();
+        let buckets = self.trace.bucket_by_slot(start, end);
+        let mut pool = MemoryPool::with_capacity(n, capacity);
+        pool.enable_journal();
+        let mut ops: Vec<PoolOp> = Vec::new();
+
+        let meta = RunMeta {
+            policy_name: policy.name(),
+            start,
+            metrics_start,
+            end,
+        };
+        for observer in &mut self.observers {
+            observer.on_run_start(&meta, &pool);
+        }
+
+        // Pre-run pre-warming: anything the policy loads in `on_start`
+        // becomes a policy Load at the first slot.
+        policy.on_start(start, &mut pool);
+        flush_pool_ops(
+            &mut pool,
+            &mut ops,
+            &mut self.observers,
+            start,
+            start >= metrics_start,
+            LoadCause::Policy,
+            EvictCause::Policy,
+        );
+
+        for t in start..end {
+            let invoked = &buckets[(t - start) as usize];
+            let measured = t >= metrics_start;
+
+            // 1. Serve invocations: first arrival on an unloaded function
+            // is a cold start; the instance is then resident for the rest
+            // of the minute (and beyond, until the policy evicts it).
+            for &(f, count) in invoked {
+                if pool.contains(f) {
+                    emit(
+                        &mut self.observers,
+                        &pool,
+                        t,
+                        measured,
+                        &SimEvent::WarmStart { f, count },
+                    );
+                } else {
+                    emit(
+                        &mut self.observers,
+                        &pool,
+                        t,
+                        measured,
+                        &SimEvent::ColdStart { f, count },
+                    );
+                    make_room(policy, &mut pool);
+                    pool.load(f, t);
+                    flush_pool_ops(
+                        &mut pool,
+                        &mut ops,
+                        &mut self.observers,
+                        t,
+                        measured,
+                        LoadCause::Demand,
+                        EvictCause::Capacity,
+                    );
+                }
+            }
+
+            // 2. Policy decision hook (timed for the RQ2 overhead
+            // comparison); its pool transitions become policy events.
+            let begin = Instant::now();
+            policy.on_slot(t, invoked, &mut pool);
+            let policy_secs = begin.elapsed().as_secs_f64();
+            flush_pool_ops(
+                &mut pool,
+                &mut ops,
+                &mut self.observers,
+                t,
+                measured,
+                LoadCause::Policy,
+                EvictCause::Policy,
+            );
+
+            // 3. The slot is over; observers account against the pool
+            // snapshot.
+            emit(
+                &mut self.observers,
+                &pool,
+                t,
+                measured,
+                &SimEvent::SlotEnd { policy_secs },
+            );
+        }
+
+        for observer in &mut self.observers {
+            observer.on_run_end(end, &pool);
+        }
+        Ok(())
+    }
+}
+
+/// Delivers one event to every observer.
+fn emit(
+    observers: &mut [&mut dyn Observer],
+    pool: &MemoryPool,
+    slot: Slot,
+    measured: bool,
+    event: &SimEvent,
+) {
+    let ctx = EventCtx {
+        slot,
+        measured,
+        pool,
+    };
+    for observer in observers.iter_mut() {
+        observer.on_event(&ctx, event);
+    }
+}
+
+/// Drains the pool's transition journal and emits it as Load/Evict events
+/// with the given causes, preserving transition order.
+fn flush_pool_ops(
+    pool: &mut MemoryPool,
+    scratch: &mut Vec<PoolOp>,
+    observers: &mut [&mut dyn Observer],
+    slot: Slot,
+    measured: bool,
+    load_cause: LoadCause,
+    evict_cause: EvictCause,
+) {
+    pool.drain_journal_into(scratch);
+    for op in scratch.iter() {
+        let event = match *op {
+            PoolOp::Load(f) => SimEvent::Load {
+                f,
+                cause: load_cause,
+            },
+            PoolOp::Evict(f) => SimEvent::Evict {
+                f,
+                cause: evict_cause,
+            },
+        };
+        emit(observers, pool, slot, measured, &event);
+    }
+    scratch.clear();
+}
+
+/// Runs `policy` over `trace` for the window in `config`, collecting the
+/// paper's metrics.
+///
+/// # Errors
+/// Returns a [`SimError`] when the window is malformed or extends beyond
+/// the trace horizon.
+pub fn try_simulate(
+    trace: &Trace,
+    policy: &mut dyn Policy,
+    config: SimConfig,
+) -> Result<RunResult, SimError> {
+    let mut collector = RunCollector::new();
+    Simulation::new(trace, config)
+        .observe(&mut collector)
+        .run(policy)?;
+    Ok(collector.into_result())
+}
+
+/// Runs `policy` over `trace` for the window in `config`.
+///
+/// # Panics
+/// Panics if the window is invalid or extends beyond the trace horizon;
+/// use [`try_simulate`] for a fallible variant.
+pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> RunResult {
+    try_simulate(trace, policy, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Evicts instances (policy-chosen victims, falling back to the
-/// oldest-loaded instance) until the pool has room for one more load.
+/// oldest-loaded instance via [`MemoryPool::oldest_loaded`]) until the
+/// pool has room for one more load.
 fn make_room(policy: &mut dyn Policy, pool: &mut MemoryPool) {
     while pool.is_full() {
         let victim = policy
             .pick_victim(pool)
             .filter(|&v| pool.contains(v))
-            .or_else(|| {
-                // Last resort: evict the longest-loaded instance.
-                pool.loaded()
-                    .iter()
-                    .copied()
-                    .min_by_key(|&f| pool.loaded_since(f))
-            });
+            .or_else(|| pool.oldest_loaded());
         match victim {
             Some(v) => {
                 pool.evict(v);
@@ -195,7 +395,7 @@ fn make_room(policy: &mut dyn Policy, pool: &mut MemoryPool) {
 mod tests {
     use super::*;
     use crate::policy::{KeepForever, NoKeepAlive};
-    use spes_trace::{AppId, FunctionMeta, SparseSeries, TriggerType, UserId};
+    use spes_trace::{AppId, FunctionId, FunctionMeta, SparseSeries, TriggerType, UserId};
 
     fn trace_of(series: Vec<SparseSeries>, n_slots: Slot) -> Trace {
         let meta = FunctionMeta {
@@ -383,6 +583,46 @@ mod tests {
         assert_eq!(r.n_slots(), 5);
         // WMT counted only from slot 5: idle at 5, 7, 8, 9.
         assert_eq!(r.wmt[0], 4);
+    }
+
+    #[test]
+    fn try_simulate_rejects_bad_metrics_start() {
+        let trace = trace_of(vec![SparseSeries::new()], 10);
+        let err = try_simulate(
+            &trace,
+            &mut KeepForever,
+            SimConfig::new(2, 8).with_metrics_start(9),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::MetricsStartOutsideWindow {
+                metrics_start: 9,
+                start: 2,
+                end: 8,
+            }
+        );
+        assert!(err.to_string().contains("metrics_start outside"), "{err}");
+    }
+
+    #[test]
+    fn try_simulate_rejects_window_beyond_horizon() {
+        let trace = trace_of(vec![SparseSeries::new()], 10);
+        let err = try_simulate(&trace, &mut KeepForever, SimConfig::new(0, 11)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BeyondHorizon {
+                end: 11,
+                n_slots: 10
+            }
+        );
+    }
+
+    #[test]
+    fn try_simulate_rejects_inverted_window() {
+        let trace = trace_of(vec![SparseSeries::new()], 10);
+        let err = try_simulate(&trace, &mut KeepForever, SimConfig::new(5, 3)).unwrap_err();
+        assert!(matches!(err, SimError::InvalidWindow { .. }));
     }
 
     #[test]

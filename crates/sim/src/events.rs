@@ -1,0 +1,671 @@
+//! The event-stream layer of the simulation engine.
+//!
+//! The engine used to be a closed loop: every metric the paper reports
+//! was hand-accumulated inline in `simulate()`, and any consumer that
+//! wanted a different view of a run (per-slot curves, placement replay,
+//! eviction forensics) had to re-implement the loop. This module turns
+//! the run into a first-class **event stream**: while driving the policy,
+//! the engine emits a [`SimEvent`] for everything that happens —
+//! invocations ([`SimEvent::ColdStart`] / [`SimEvent::WarmStart`]), pool
+//! transitions ([`SimEvent::Load`] / [`SimEvent::Evict`], each tagged
+//! with its cause), and a [`SimEvent::SlotEnd`] tick with snapshot access
+//! to the [`MemoryPool`] — and any number of [`Observer`]s consume it.
+//!
+//! The paper's metrics are themselves just one observer now:
+//! [`RunCollector`] rebuilds a [`RunResult`] from the stream, using
+//! span-based idle accounting (WMT is charged per load/evict/invoke
+//! transition rather than by iterating the loaded set every slot, so
+//! sparse workloads cost `O(events)` per slot instead of `O(loaded)`).
+//! [`SlotSeries`] records per-slot loaded/cold/EMCR curves for the
+//! figures, [`EvictionAudit`] keeps eviction forensics, and [`EventLog`]
+//! captures the raw stream for tests and offline analysis. The cluster
+//! placement replay (`spes_sim::cluster`) is an observer over the same
+//! stream.
+//!
+//! Event order within one slot is deterministic: for each invoked
+//! function (trace bucket order) a `ColdStart`/`WarmStart`, then any
+//! capacity `Evict`s and the demand `Load` it forced; then the policy's
+//! own `Load`s/`Evict`s in the order the policy performed them; then one
+//! `SlotEnd`. Observers never mutate the pool — only the policy does.
+
+use crate::memory::MemoryPool;
+use crate::metrics::RunResult;
+use spes_trace::{FunctionId, Slot};
+
+/// Why an instance was loaded into the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCause {
+    /// The engine force-loaded an invoked-but-unloaded function (a cold
+    /// start is being served).
+    Demand,
+    /// The policy loaded it (pre-warming) in `on_start` or `on_slot`.
+    Policy,
+}
+
+/// Why an instance was evicted from the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictCause {
+    /// The engine evicted it to make room for a demand load in a
+    /// capacity-limited pool (the policy's victim, or the oldest-loaded
+    /// fallback).
+    Capacity,
+    /// The policy evicted it in `on_start` or `on_slot`.
+    Policy,
+}
+
+/// One event of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A function was invoked while unloaded; the engine is about to
+    /// force-load it. `count` is the slot's invocation count.
+    ColdStart {
+        /// The invoked function.
+        f: FunctionId,
+        /// Invocations of `f` in this slot.
+        count: u32,
+    },
+    /// A function was invoked while already loaded.
+    WarmStart {
+        /// The invoked function.
+        f: FunctionId,
+        /// Invocations of `f` in this slot.
+        count: u32,
+    },
+    /// An instance entered the pool.
+    Load {
+        /// The loaded function.
+        f: FunctionId,
+        /// Who loaded it.
+        cause: LoadCause,
+    },
+    /// An instance left the pool.
+    Evict {
+        /// The evicted function.
+        f: FunctionId,
+        /// Who evicted it.
+        cause: EvictCause,
+    },
+    /// The slot is over: invocations served, policy hook run, pool in its
+    /// end-of-slot state (snapshot via [`EventCtx::pool`]).
+    SlotEnd {
+        /// Wall-clock seconds the policy's decision hook took this slot
+        /// (the RQ2 overhead measure).
+        policy_secs: f64,
+    },
+}
+
+/// Static facts about a run, handed to observers before the first event.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMeta<'a> {
+    /// Name of the policy driving the run.
+    pub policy_name: &'a str,
+    /// First simulated slot (inclusive).
+    pub start: Slot,
+    /// First measured slot; earlier slots are warm-up.
+    pub metrics_start: Slot,
+    /// End of the simulated window (exclusive).
+    pub end: Slot,
+}
+
+/// Per-event context: when the event happened and a read-only snapshot of
+/// the pool.
+#[derive(Debug)]
+pub struct EventCtx<'a> {
+    /// The slot during which the event happened.
+    pub slot: Slot,
+    /// Whether the slot is inside the metrics window.
+    pub measured: bool,
+    /// The pool as it stands when the event is delivered. Transitions of
+    /// one engine phase (the capacity evicts + demand load serving one
+    /// invocation, or everything a policy hook did) are delivered as a
+    /// batch after the phase, so a `Load`/`Evict` event's snapshot may
+    /// already include later transitions of the same batch; observers
+    /// needing exact mid-slot occupancy should track it from the events
+    /// themselves (see [`EventLog`] and the reconstruction property
+    /// tests). At [`SimEvent::SlotEnd`] the snapshot is exact.
+    pub pool: &'a MemoryPool,
+}
+
+/// A consumer of the engine's event stream.
+///
+/// Observers are attached to a [`crate::engine::Simulation`] and receive
+/// every event of the run in order. They never mutate the pool; they
+/// accumulate whatever view of the run they care about.
+pub trait Observer {
+    /// Called once before the first event, with the run's window and the
+    /// (still empty) pool.
+    fn on_run_start(&mut self, _meta: &RunMeta<'_>, _pool: &MemoryPool) {}
+
+    /// Called for every event of the run.
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent);
+
+    /// Called once after the last slot, with the pool in its final state.
+    fn on_run_end(&mut self, _end: Slot, _pool: &MemoryPool) {}
+}
+
+// ---------------------------------------------------------------------
+// RunCollector: the paper's metrics as an observer
+// ---------------------------------------------------------------------
+
+/// Rebuilds the paper's [`RunResult`] from the event stream.
+///
+/// Idle accounting is span-based: a load opens a residency span, an
+/// eviction (or the end of the run) closes it, and the closed span is
+/// charged to the function's loaded-slot total in one subtraction. WMT
+/// then falls out as `loaded slots - invoked-while-loaded slots`, so a
+/// slot costs `O(invoked + transitions)` instead of `O(loaded)` — the
+/// numbers are bit-identical to the old per-slot walk (the pinned
+/// determinism test in `spes_bench` holds through this collector).
+#[derive(Debug, Default)]
+pub struct RunCollector {
+    policy_name: String,
+    start: Slot,
+    metrics_start: Slot,
+    end: Slot,
+    invocations: Vec<u64>,
+    cold_starts: Vec<u64>,
+    /// Measured slots during which each function was loaded at slot end.
+    loaded_slots: Vec<u64>,
+    /// Measured slots during which each function was invoked *and* still
+    /// loaded at slot end.
+    invoked_loaded_slots: Vec<u64>,
+    /// Open residency span start per function (valid while loaded).
+    span_start: Vec<Slot>,
+    /// Functions invoked in the current slot (scratch, cleared at SlotEnd).
+    invoked_this_slot: Vec<FunctionId>,
+    loaded_integral: u64,
+    emcr_sum: f64,
+    emcr_slots: u64,
+    overhead_secs: f64,
+    peak_loaded: usize,
+}
+
+impl RunCollector {
+    /// Creates an empty collector; it sizes itself at run start.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Measured slots of a residency span that started at `from` and is
+    /// being closed during slot `until` (exclusive).
+    fn span_slots(&self, from: Slot, until: Slot) -> u64 {
+        let clamped = from.max(self.metrics_start);
+        u64::from(until.saturating_sub(clamped))
+    }
+
+    /// The finished [`RunResult`]. Call after the run completed.
+    #[must_use]
+    pub fn into_result(self) -> RunResult {
+        let wmt = self
+            .loaded_slots
+            .iter()
+            .zip(&self.invoked_loaded_slots)
+            .map(|(&loaded, &invoked)| loaded - invoked)
+            .collect();
+        RunResult {
+            policy_name: self.policy_name,
+            start: self.metrics_start,
+            end: self.end,
+            invocations: self.invocations,
+            cold_starts: self.cold_starts,
+            wmt,
+            loaded_integral: self.loaded_integral,
+            emcr_sum: self.emcr_sum,
+            emcr_slots: self.emcr_slots,
+            overhead_secs: self.overhead_secs,
+            peak_loaded: self.peak_loaded,
+        }
+    }
+}
+
+impl Observer for RunCollector {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>, pool: &MemoryPool) {
+        let n = pool.n_functions();
+        self.policy_name = meta.policy_name.to_owned();
+        self.start = meta.start;
+        self.metrics_start = meta.metrics_start;
+        self.end = meta.end;
+        self.invocations = vec![0; n];
+        self.cold_starts = vec![0; n];
+        self.loaded_slots = vec![0; n];
+        self.invoked_loaded_slots = vec![0; n];
+        self.span_start = vec![0; n];
+    }
+
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        match *event {
+            SimEvent::ColdStart { f, count } => {
+                self.invoked_this_slot.push(f);
+                if ctx.measured {
+                    self.invocations[f.index()] += u64::from(count);
+                    self.cold_starts[f.index()] += 1;
+                }
+            }
+            SimEvent::WarmStart { f, count } => {
+                self.invoked_this_slot.push(f);
+                if ctx.measured {
+                    self.invocations[f.index()] += u64::from(count);
+                }
+            }
+            SimEvent::Load { f, .. } => {
+                self.span_start[f.index()] = ctx.slot;
+            }
+            SimEvent::Evict { f, .. } => {
+                let span = self.span_slots(self.span_start[f.index()], ctx.slot);
+                self.loaded_slots[f.index()] += span;
+            }
+            SimEvent::SlotEnd { policy_secs } => {
+                if ctx.measured {
+                    self.overhead_secs += policy_secs;
+                    let loaded_now = ctx.pool.loaded_count();
+                    self.loaded_integral += loaded_now as u64;
+                    self.peak_loaded = self.peak_loaded.max(loaded_now);
+                    if loaded_now > 0 {
+                        let invoked = std::mem::take(&mut self.invoked_this_slot);
+                        let mut invoked_loaded = 0usize;
+                        for &f in &invoked {
+                            if ctx.pool.contains(f) {
+                                invoked_loaded += 1;
+                                self.invoked_loaded_slots[f.index()] += 1;
+                            }
+                        }
+                        self.invoked_this_slot = invoked;
+                        self.emcr_sum += invoked_loaded as f64 / loaded_now as f64;
+                        self.emcr_slots += 1;
+                    }
+                }
+                self.invoked_this_slot.clear();
+            }
+        }
+    }
+
+    fn on_run_end(&mut self, end: Slot, pool: &MemoryPool) {
+        // Close the residency span of everything still loaded.
+        for &f in pool.loaded() {
+            let span = self.span_slots(self.span_start[f.index()], end);
+            self.loaded_slots[f.index()] += span;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SlotSeries: per-slot time series for figures
+// ---------------------------------------------------------------------
+
+/// Per-slot curves over the measured window, recorded from a single run.
+///
+/// Figures that want time series (memory timeline, cold-start bursts,
+/// per-slot EMCR) read them from here instead of re-instrumenting or
+/// re-running the engine. Index `i` corresponds to slot `start + i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotSeries {
+    /// First measured slot (the run's `metrics_start`).
+    pub start: Slot,
+    /// Loaded instances at the end of each measured slot.
+    pub loaded: Vec<u32>,
+    /// Cold starts charged in each measured slot.
+    pub cold: Vec<u32>,
+    /// Warm starts served in each measured slot.
+    pub warm: Vec<u32>,
+    /// Evictions (any cause) during each measured slot.
+    pub evictions: Vec<u32>,
+    /// Per-slot EMCR (invoked / loaded; `0` when nothing is loaded).
+    pub emcr: Vec<f64>,
+    cold_now: u32,
+    warm_now: u32,
+    evict_now: u32,
+    invoked_now: Vec<FunctionId>,
+}
+
+impl SlotSeries {
+    /// Creates an empty series; it fills itself during the run.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded (measured) slots.
+    #[must_use]
+    pub fn n_slots(&self) -> usize {
+        self.loaded.len()
+    }
+
+    /// The slot a series index corresponds to.
+    #[must_use]
+    pub fn slot_at(&self, index: usize) -> Slot {
+        self.start + index as Slot
+    }
+}
+
+impl Observer for SlotSeries {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>, _pool: &MemoryPool) {
+        self.start = meta.metrics_start;
+        let measured = (meta.end - meta.metrics_start) as usize;
+        self.loaded = Vec::with_capacity(measured);
+        self.cold = Vec::with_capacity(measured);
+        self.warm = Vec::with_capacity(measured);
+        self.evictions = Vec::with_capacity(measured);
+        self.emcr = Vec::with_capacity(measured);
+    }
+
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        match *event {
+            SimEvent::ColdStart { f, .. } => {
+                self.cold_now += 1;
+                self.invoked_now.push(f);
+            }
+            SimEvent::WarmStart { f, .. } => {
+                self.warm_now += 1;
+                self.invoked_now.push(f);
+            }
+            SimEvent::Evict { .. } => self.evict_now += 1,
+            SimEvent::Load { .. } => {}
+            SimEvent::SlotEnd { .. } => {
+                if ctx.measured {
+                    let loaded_now = ctx.pool.loaded_count();
+                    let invoked_loaded = self
+                        .invoked_now
+                        .iter()
+                        .filter(|&&f| ctx.pool.contains(f))
+                        .count();
+                    self.loaded.push(loaded_now as u32);
+                    self.cold.push(self.cold_now);
+                    self.warm.push(self.warm_now);
+                    self.evictions.push(self.evict_now);
+                    self.emcr.push(if loaded_now == 0 {
+                        0.0
+                    } else {
+                        invoked_loaded as f64 / loaded_now as f64
+                    });
+                }
+                self.cold_now = 0;
+                self.warm_now = 0;
+                self.evict_now = 0;
+                self.invoked_now.clear();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EvictionAudit: eviction forensics
+// ---------------------------------------------------------------------
+
+/// Eviction forensics over the full simulated horizon.
+///
+/// Counts evictions by cause and tracks what happened to evicted
+/// instances afterwards: how many were re-loaded at all, and how many
+/// were re-loaded within `premature_window` slots — evictions the policy
+/// would have been better off not making.
+#[derive(Debug, Clone)]
+pub struct EvictionAudit {
+    /// Evictions decided by the policy.
+    pub policy_evictions: u64,
+    /// Evictions forced by pool capacity.
+    pub capacity_evictions: u64,
+    /// Loads of a function that had been evicted earlier in the run.
+    pub reloads: u64,
+    /// Re-loads within `premature_window` slots of the eviction.
+    pub premature_reloads: u64,
+    premature_window: Slot,
+    evicted_at: Vec<Option<Slot>>,
+}
+
+impl EvictionAudit {
+    /// Creates an audit counting re-loads within `premature_window` slots
+    /// of an eviction as premature.
+    #[must_use]
+    pub fn new(premature_window: Slot) -> Self {
+        Self {
+            policy_evictions: 0,
+            capacity_evictions: 0,
+            reloads: 0,
+            premature_reloads: 0,
+            premature_window,
+            evicted_at: Vec::new(),
+        }
+    }
+
+    /// Total evictions of any cause.
+    #[must_use]
+    pub fn total_evictions(&self) -> u64 {
+        self.policy_evictions + self.capacity_evictions
+    }
+
+    /// Fraction of evictions whose instance was re-loaded within the
+    /// premature window (0 when nothing was evicted).
+    #[must_use]
+    pub fn premature_fraction(&self) -> f64 {
+        let total = self.total_evictions();
+        if total == 0 {
+            0.0
+        } else {
+            self.premature_reloads as f64 / total as f64
+        }
+    }
+}
+
+impl Observer for EvictionAudit {
+    fn on_run_start(&mut self, _meta: &RunMeta<'_>, pool: &MemoryPool) {
+        self.evicted_at = vec![None; pool.n_functions()];
+    }
+
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        match *event {
+            SimEvent::Evict { f, cause } => {
+                match cause {
+                    EvictCause::Policy => self.policy_evictions += 1,
+                    EvictCause::Capacity => self.capacity_evictions += 1,
+                }
+                self.evicted_at[f.index()] = Some(ctx.slot);
+            }
+            SimEvent::Load { f, .. } => {
+                if let Some(evicted) = self.evicted_at[f.index()] {
+                    self.reloads += 1;
+                    if ctx.slot - evicted <= self.premature_window {
+                        self.premature_reloads += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EventLog: the raw stream, recorded
+// ---------------------------------------------------------------------
+
+/// One recorded event with its timing context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoggedEvent {
+    /// The slot during which the event happened.
+    pub slot: Slot,
+    /// Whether the slot was inside the metrics window.
+    pub measured: bool,
+    /// The event itself.
+    pub event: SimEvent,
+}
+
+/// Records the complete event stream of a run, plus the run's window.
+///
+/// The stream is self-contained: the tests reconstruct every paper
+/// metric from an [`EventLog`] alone and compare against the engine's
+/// [`RunCollector`], which is what makes "the event stream is the source
+/// of truth" an enforced property rather than a convention.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// Name of the policy that drove the run.
+    pub policy_name: String,
+    /// First simulated slot.
+    pub start: Slot,
+    /// First measured slot.
+    pub metrics_start: Slot,
+    /// End of the simulated window (exclusive).
+    pub end: Slot,
+    /// Number of functions in the trace.
+    pub n_functions: usize,
+    /// Every event, in emission order.
+    pub events: Vec<LoggedEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Observer for EventLog {
+    fn on_run_start(&mut self, meta: &RunMeta<'_>, pool: &MemoryPool) {
+        self.policy_name = meta.policy_name.to_owned();
+        self.start = meta.start;
+        self.metrics_start = meta.metrics_start;
+        self.end = meta.end;
+        self.n_functions = pool.n_functions();
+    }
+
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        self.events.push(LoggedEvent {
+            slot: ctx.slot,
+            measured: ctx.measured,
+            event: *event,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use crate::policy::{KeepForever, NoKeepAlive};
+    use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
+
+    fn trace_of(series: Vec<SparseSeries>, n_slots: Slot) -> Trace {
+        let meta = FunctionMeta {
+            app: AppId(0),
+            user: UserId(0),
+            trigger: TriggerType::Http,
+        };
+        let n = series.len();
+        Trace::new(n_slots, vec![meta; n], series)
+    }
+
+    #[test]
+    fn slot_series_matches_run_totals() {
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 2), (3, 1), (5, 1)]),
+                SparseSeries::from_pairs(vec![(1, 1)]),
+            ],
+            6,
+        );
+        let mut collector = RunCollector::new();
+        let mut series = SlotSeries::new();
+        Simulation::new(&trace, SimConfig::new(0, 6))
+            .observe(&mut collector)
+            .observe(&mut series)
+            .run(&mut KeepForever)
+            .unwrap();
+        let run = collector.into_result();
+        assert_eq!(series.n_slots(), 6);
+        assert_eq!(series.slot_at(2), 2);
+        let cold: u64 = series.cold.iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(cold, run.total_cold_starts());
+        let loaded: u64 = series.loaded.iter().map(|&l| u64::from(l)).sum();
+        assert_eq!(loaded, run.loaded_integral);
+        let warm_plus_cold: u64 = series
+            .warm
+            .iter()
+            .zip(&series.cold)
+            .map(|(&w, &c)| u64::from(w + c))
+            .sum();
+        // One start event per (function, active slot).
+        assert_eq!(warm_plus_cold, 4);
+    }
+
+    #[test]
+    fn eviction_audit_counts_causes_and_premature_reloads() {
+        // Capacity 1: f0 and f1 alternate, every load evicts the other.
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 1), (2, 1)]),
+                SparseSeries::from_pairs(vec![(1, 1), (3, 1)]),
+            ],
+            4,
+        );
+        let mut audit = EvictionAudit::new(5);
+        Simulation::new(&trace, SimConfig::new(0, 4).with_capacity(1))
+            .observe(&mut audit)
+            .run(&mut KeepForever)
+            .unwrap();
+        assert_eq!(audit.capacity_evictions, 3);
+        assert_eq!(audit.policy_evictions, 0);
+        assert_eq!(audit.reloads, 2);
+        assert_eq!(audit.premature_reloads, 2);
+        assert!((audit.premature_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_audit_attributes_policy_evictions() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (1, 1)])], 3);
+        let mut audit = EvictionAudit::new(1);
+        Simulation::new(&trace, SimConfig::new(0, 3))
+            .observe(&mut audit)
+            .run(&mut NoKeepAlive)
+            .unwrap();
+        // No-keep-alive evicts after each of the two active slots.
+        assert_eq!(audit.policy_evictions, 2);
+        assert_eq!(audit.capacity_evictions, 0);
+        assert_eq!(audit.reloads, 1);
+        assert_eq!(audit.premature_reloads, 1);
+    }
+
+    #[test]
+    fn event_log_captures_the_window_and_ordered_stream() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(1, 2)])], 3);
+        let mut log = EventLog::new();
+        Simulation::new(&trace, SimConfig::new(0, 3).with_metrics_start(2))
+            .observe(&mut log)
+            .run(&mut KeepForever)
+            .unwrap();
+        assert_eq!(log.policy_name, "keep-forever");
+        assert_eq!((log.start, log.metrics_start, log.end), (0, 2, 3));
+        assert_eq!(log.n_functions, 1);
+        // 3 SlotEnds plus one ColdStart and one Load.
+        let slot_ends = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, SimEvent::SlotEnd { .. }))
+            .count();
+        assert_eq!(slot_ends, 3);
+        let cold = log
+            .events
+            .iter()
+            .find(|e| matches!(e.event, SimEvent::ColdStart { .. }))
+            .expect("one cold start");
+        assert_eq!(cold.slot, 1);
+        assert!(!cold.measured, "slot 1 is warm-up");
+        // The demand load follows its cold start.
+        let positions: Vec<usize> = log
+            .events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                matches!(
+                    e.event,
+                    SimEvent::ColdStart { .. }
+                        | SimEvent::Load {
+                            cause: LoadCause::Demand,
+                            ..
+                        }
+                )
+                .then_some(i)
+            })
+            .collect();
+        assert_eq!(positions.len(), 2);
+        assert!(positions[0] < positions[1]);
+    }
+}

@@ -5,22 +5,32 @@
 //! cold-start latency is uniform (so cold-start *counts* are the metric),
 //! and a single node holds all loaded instances (the [`cluster`] module
 //! additionally models multi-node placement). Policies implement
-//! [`Policy`] and are driven by [`engine::simulate`], which produces a
-//! [`RunResult`] with every metric the paper reports (CSR, WMT, EMCR,
-//! memory usage, always-cold fraction, scheduling overhead). The
-//! [`suite`] module adds declarative policy construction: factories,
-//! capacity rules, and a two-phase suite runner over whole policy lists.
+//! [`Policy`] and are driven by the [`engine`]: a pure event-stream
+//! driver ([`Simulation`]) that narrates each run — cold/warm starts,
+//! loads, evictions, slot ticks — to any set of [`Observer`]s (see
+//! [`events`]). The paper's metrics are one such observer
+//! ([`RunCollector`], producing a [`RunResult`]); others record per-slot
+//! curves ([`SlotSeries`]), eviction forensics ([`EvictionAudit`]), the
+//! raw stream ([`EventLog`]), or replay placement decisions onto a
+//! multi-node fleet ([`cluster::ClusterObserver`]). The [`suite`] module
+//! adds declarative policy construction: factories, capacity rules, and
+//! a two-phase suite runner over whole policy lists.
 
 pub mod cluster;
 pub mod engine;
+pub mod events;
 pub mod memory;
 pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod suite;
 
-pub use cluster::{run_on_cluster, Cluster, ClusterReport, PlacementStrategy};
-pub use engine::{simulate, SimConfig};
+pub use cluster::{run_on_cluster, Cluster, ClusterObserver, ClusterReport, PlacementStrategy};
+pub use engine::{simulate, try_simulate, SimConfig, SimError, Simulation};
+pub use events::{
+    EventCtx, EventLog, EvictCause, EvictionAudit, LoadCause, LoggedEvent, Observer, RunCollector,
+    RunMeta, SimEvent, SlotSeries,
+};
 pub use memory::MemoryPool;
 pub use metrics::RunResult;
 pub use policy::{KeepForever, NoKeepAlive, Policy};

@@ -7,11 +7,27 @@
 
 use spes_trace::{FunctionId, Slot};
 
+/// One recorded pool transition (the engine turns these into
+/// `spes_sim::events::SimEvent`s with the right cause attached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PoolOp {
+    /// An instance was newly loaded.
+    Load(FunctionId),
+    /// A loaded instance was evicted.
+    Evict(FunctionId),
+}
+
 /// The set of loaded function instances.
 ///
 /// Backed by a dense membership vector plus a swap-remove index so that
 /// `contains`, `load`, and `evict` are O(1) and iteration over loaded
 /// functions is linear in the number of loaded instances.
+///
+/// With journaling enabled (the engine turns it on), every effective
+/// load/evict is additionally recorded as a [`PoolOp`]; the engine drains
+/// the journal after each phase of a slot to emit the corresponding
+/// events, which is how policy-initiated transitions become visible to
+/// observers without diffing the pool.
 #[derive(Debug, Clone)]
 pub struct MemoryPool {
     member: Vec<bool>,
@@ -20,6 +36,8 @@ pub struct MemoryPool {
     capacity: Option<usize>,
     /// Slot at which each currently loaded instance was loaded.
     loaded_at: Vec<Slot>,
+    /// Transition journal; `None` when journaling is off (the default).
+    journal: Option<Vec<PoolOp>>,
 }
 
 const NO_POSITION: u32 = u32::MAX;
@@ -42,6 +60,25 @@ impl MemoryPool {
             loaded: Vec::new(),
             capacity,
             loaded_at: vec![0; n_functions],
+            journal: None,
+        }
+    }
+
+    /// Turns on the transition journal (engine-internal).
+    pub(crate) fn enable_journal(&mut self) {
+        self.journal = Some(Vec::new());
+    }
+
+    /// Moves all journalled transitions into `out` (engine-internal).
+    pub(crate) fn drain_journal_into(&mut self, out: &mut Vec<PoolOp>) {
+        if let Some(journal) = &mut self.journal {
+            out.append(journal);
+        }
+    }
+
+    fn record(&mut self, op: PoolOp) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(op);
         }
     }
 
@@ -94,6 +131,7 @@ impl MemoryPool {
         self.position[f.index()] = self.loaded.len() as u32;
         self.loaded.push(f);
         self.loaded_at[f.index()] = now;
+        self.record(PoolOp::Load(f));
         true
     }
 
@@ -110,7 +148,20 @@ impl MemoryPool {
         }
         self.member[f.index()] = false;
         self.position[f.index()] = NO_POSITION;
+        self.record(PoolOp::Evict(f));
         true
+    }
+
+    /// The longest-loaded instance (ties broken by the pool's internal
+    /// order, matching the engine's historical fallback). This is the
+    /// shared oldest-instance eviction fallback used wherever a victim is
+    /// needed and no better choice exists.
+    #[must_use]
+    pub fn oldest_loaded(&self) -> Option<FunctionId> {
+        self.loaded
+            .iter()
+            .copied()
+            .min_by_key(|&f| self.loaded_since(f))
     }
 
     /// Slot at which `f` was most recently loaded (meaningful only while
@@ -131,6 +182,7 @@ impl MemoryPool {
         for f in std::mem::take(&mut self.loaded) {
             self.member[f.index()] = false;
             self.position[f.index()] = NO_POSITION;
+            self.record(PoolOp::Evict(f));
         }
     }
 }
@@ -226,6 +278,64 @@ mod tests {
         assert!(!pool.contains(FunctionId(2)));
         // Pool remains usable.
         assert!(pool.load(FunctionId(2), 1));
+    }
+
+    #[test]
+    fn oldest_loaded_is_the_earliest_load() {
+        let mut pool = MemoryPool::unbounded(5);
+        assert_eq!(pool.oldest_loaded(), None);
+        pool.load(FunctionId(3), 7);
+        pool.load(FunctionId(1), 2);
+        pool.load(FunctionId(4), 9);
+        assert_eq!(pool.oldest_loaded(), Some(FunctionId(1)));
+        pool.evict(FunctionId(1));
+        assert_eq!(pool.oldest_loaded(), Some(FunctionId(3)));
+    }
+
+    #[test]
+    fn oldest_loaded_ties_break_by_pool_order() {
+        let mut pool = MemoryPool::unbounded(5);
+        pool.load(FunctionId(2), 4);
+        pool.load(FunctionId(0), 4);
+        // Same load slot: the first in the pool's internal order wins,
+        // matching the engine's historical min_by_key fallback.
+        assert_eq!(pool.oldest_loaded(), Some(FunctionId(2)));
+    }
+
+    #[test]
+    fn journal_records_effective_transitions_only() {
+        let mut pool = MemoryPool::unbounded(4);
+        pool.enable_journal();
+        pool.load(FunctionId(0), 0);
+        pool.load(FunctionId(0), 1); // no-op: not journalled
+        pool.evict(FunctionId(1)); // no-op: not journalled
+        pool.evict(FunctionId(0));
+        pool.load(FunctionId(2), 2);
+        pool.clear();
+        let mut ops = Vec::new();
+        pool.drain_journal_into(&mut ops);
+        assert_eq!(
+            ops,
+            vec![
+                PoolOp::Load(FunctionId(0)),
+                PoolOp::Evict(FunctionId(0)),
+                PoolOp::Load(FunctionId(2)),
+                PoolOp::Evict(FunctionId(2)),
+            ]
+        );
+        // Draining empties the journal.
+        let mut again = Vec::new();
+        pool.drain_journal_into(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn journal_off_by_default() {
+        let mut pool = MemoryPool::unbounded(2);
+        pool.load(FunctionId(0), 0);
+        let mut ops = Vec::new();
+        pool.drain_journal_into(&mut ops);
+        assert!(ops.is_empty());
     }
 
     #[test]

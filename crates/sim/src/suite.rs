@@ -21,7 +21,8 @@
 //! Results come back in spec order regardless of execution phase, so a
 //! suite's output order is exactly its declaration order.
 
-use crate::engine::{simulate, SimConfig};
+use crate::engine::{SimConfig, Simulation};
+use crate::events::{RunCollector, SlotSeries};
 use crate::metrics::RunResult;
 use crate::policy::{KeepForever, NoKeepAlive, Policy};
 use spes_trace::{Slot, SynthTrace, Trace};
@@ -168,6 +169,10 @@ pub struct SuiteEntry {
     pub name: String,
     /// The simulation result.
     pub run: RunResult,
+    /// Per-slot loaded/cold/EMCR curves over the measured window,
+    /// recorded by a [`SlotSeries`] observer during the same run — the
+    /// figures read time series from here instead of re-simulating.
+    pub series: SlotSeries,
     /// The capacity the run executed under (`None` = unlimited).
     pub resolved_capacity: Option<usize>,
     /// The policy after the run.
@@ -205,6 +210,15 @@ impl SuiteOutcome {
     pub fn run_of(&self, name: &str) -> &RunResult {
         self.try_run_of(name)
             .unwrap_or_else(|| panic!("no run for policy {name}"))
+    }
+
+    /// The per-slot series of one policy by name, if present.
+    #[must_use]
+    pub fn series_of(&self, name: &str) -> Option<&SlotSeries> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.series)
     }
 
     /// Extracts the runs, in spec order, dropping the policy instances.
@@ -324,10 +338,17 @@ pub fn run_suite(data: &SynthTrace, specs: &[PolicySpec]) -> Result<SuiteOutcome
             Some(budget) => window.with_capacity(budget),
             None => window,
         };
-        let run = simulate(trace, policy.as_mut(), config);
+        let mut collector = RunCollector::new();
+        let mut series = SlotSeries::new();
+        Simulation::new(trace, config)
+            .observe(&mut collector)
+            .observe(&mut series)
+            .run(policy.as_mut())
+            .expect("the trace-carried window is valid");
         SuiteEntry {
             name: spec.name().to_owned(),
-            run,
+            run: collector.into_result(),
+            series,
             resolved_capacity,
             policy,
         }

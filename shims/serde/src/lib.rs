@@ -7,9 +7,10 @@
 //! (externally tagged enums, newtype structs collapse to their inner
 //! value, non-finite floats become `null`).
 //!
-//! `Deserialize` is derivable but carries no behaviour yet: nothing in
-//! the workspace parses JSON back. The derive keeps seed type
-//! declarations source-compatible with real serde.
+//! `Deserialize` mirrors `Serialize` against the same [`Value`] model:
+//! the `serde_json` shim parses JSON text into a `Value` tree and
+//! [`Deserialize::from_value`] rebuilds typed data from it, so the
+//! figure/benchmark JSON artifacts round-trip offline.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -33,15 +34,168 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value of an object field, if this is an object containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Short label of the value's JSON kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
 /// Types that can be converted into a JSON [`Value`].
 pub trait Serialize {
     /// Converts `self` into a JSON value tree.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`; no parsing support
-/// is implemented because nothing in the workspace reads JSON back.
-pub trait Deserialize: Sized {}
+/// A deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a custom message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+
+    /// An "expected X while deserializing T, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        Self(format!(
+            "expected {what} while deserializing {ty}, found {}",
+            found.kind()
+        ))
+    }
+
+    /// A "missing field" error.
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Self(format!("missing field {field:?} while deserializing {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a required object field (used by generated derive code).
+///
+/// # Errors
+/// Returns a [`DeError`] when `value` is not an object or the field is
+/// absent.
+pub fn field<'v>(value: &'v Value, name: &str, ty: &str) -> Result<&'v Value, DeError> {
+    value.get(name).ok_or_else(|| match value.as_object() {
+        Some(_) => DeError::missing_field(name, ty),
+        None => DeError::expected("object", ty, value),
+    })
+}
+
+/// Types that can be rebuilt from a JSON [`Value`] (the shim's
+/// deserialization flavour; `serde_json::from_str` parses text into a
+/// `Value` and delegates here).
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", "Vec", other)),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -74,7 +228,19 @@ macro_rules! impl_serialize_int {
                 Value::Number(self.to_string())
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => n.parse().map_err(|_| {
+                        DeError::custom(format!(
+                            "number {n} does not fit {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
     )*};
 }
 impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
@@ -92,7 +258,22 @@ macro_rules! impl_serialize_float {
                 }
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(n) => n.parse().map_err(|_| {
+                        DeError::custom(format!(
+                            "number {n} is not a valid {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    // Non-finite floats serialize as null; accept the
+                    // round trip.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
     )*};
 }
 impl_serialize_float!(f32, f64);
@@ -131,6 +312,21 @@ macro_rules! impl_serialize_tuple {
                 Value::Array(vec![$(self.$n.to_value()),+])
             }
         }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = 0 $(+ { let _ = $n; 1 })+;
+                match value {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError::custom(format!(
+                        "expected a {ARITY}-element array for a tuple, found {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError::expected("array", "tuple", other)),
+                }
+            }
+        }
     )*};
 }
 impl_serialize_tuple! {
@@ -166,5 +362,49 @@ mod tests {
         );
         assert_eq!(None::<u32>.to_value(), Value::Null);
         assert_eq!(Some(1u32).to_value(), Value::Number("1".into()));
+    }
+
+    #[test]
+    fn scalars_round_trip_through_from_value() {
+        assert_eq!(u32::from_value(&3u32.to_value()), Ok(3));
+        assert_eq!(i64::from_value(&(-9i64).to_value()), Ok(-9));
+        assert_eq!(f64::from_value(&2.5f64.to_value()), Ok(2.5));
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"x".to_value()), Ok("x".to_owned()));
+    }
+
+    #[test]
+    fn composites_round_trip_through_from_value() {
+        let v = vec![(1u32, 0.5f64), (2, 1.5)];
+        assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()), Ok(v));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(7u32).to_value()),
+            Ok(Some(7))
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_are_described() {
+        let err = u32::from_value(&Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("expected number"), "{err}");
+        let err = u8::from_value(&Value::Number("300".into())).unwrap_err();
+        assert!(err.to_string().contains("does not fit u8"), "{err}");
+        let err = field(&Value::Object(vec![]), "missing", "Demo").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+        let err = field(&Value::Null, "x", "Demo").unwrap_err();
+        assert!(err.to_string().contains("expected object"), "{err}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![("k".into(), Value::Number("1".into()))]);
+        assert_eq!(obj.get("k"), Some(&Value::Number("1".into())));
+        assert_eq!(obj.get("nope"), None);
+        assert_eq!(obj.kind(), "object");
+        assert_eq!(Value::Array(vec![]).as_array(), Some(&[][..]));
+        assert_eq!(Value::String("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::from_value(&obj), Ok(obj));
     }
 }

@@ -19,7 +19,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, true)
 }
 
-/// Derives the marker trait `serde::Deserialize`.
+/// Derives `serde::Deserialize` (rebuilding the type from the shim's
+/// JSON value model, mirroring what `Serialize` emits).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, false)
@@ -33,7 +34,7 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
     let code = if serialize {
         gen_serialize(&parsed)
     } else {
-        format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        gen_deserialize(&parsed)
     };
     code.parse().expect("derive shim generated invalid Rust")
 }
@@ -278,6 +279,110 @@ fn gen_serialize(item: &Item) -> String {
     format!(
         "impl ::serde::Serialize for {name} {{\n\
          \x20   fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(value, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(0) => format!(
+            "match value {{\n\
+             \x20   ::serde::Value::String(s) if s == {name:?} => \
+             ::std::result::Result::Ok(Self()),\n\
+             \x20   other => ::std::result::Result::Err(\
+             ::serde::DeError::expected(\"unit string\", {name:?}, other)),\n\
+             }}"
+        ),
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))".to_owned()
+        }
+        Shape::TupleStruct(n) => {
+            let fields: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value.as_array() {{\n\
+                 \x20   ::std::option::Option::Some(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok(Self({fields})),\n\
+                 \x20   _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"a {n}-element array\", {name:?}, value)),\n\
+                 }}",
+                fields = fields.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => return ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "{v:?} => return ::std::result::Result::Ok(\
+                         Self::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    ),
+                    n => {
+                        let fields: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                             \x20   if let ::std::option::Option::Some(items) = inner.as_array() {{\n\
+                             \x20       if items.len() == {n} {{\n\
+                             \x20           return ::std::result::Result::Ok(Self::{v}({fields}));\n\
+                             \x20       }}\n\
+                             \x20   }}\n\
+                             \x20   return ::std::result::Result::Err(::serde::DeError::expected(\
+                             \"a {n}-element array\", {name:?}, inner));\n\
+                             }}",
+                            fields = fields.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(s) = value {{\n\
+                 \x20   #[allow(clippy::match_single_binding)]\n\
+                 \x20   match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Object(entries) = value {{\n\
+                 \x20   if entries.len() == 1 {{\n\
+                 \x20       let (tag, inner) = &entries[0];\n\
+                 \x20       let _ = inner;\n\
+                 \x20       #[allow(clippy::match_single_binding)]\n\
+                 \x20       match tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                 \x20   }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"a variant\", {name:?}, value))",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \x20   fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
          }}"
     )
 }
