@@ -1,13 +1,21 @@
 //! Engine-throughput benchmark: slots simulated per second, per
-//! (scenario, policy) cell, written to `BENCH_engine.json`.
+//! (scenario, policy) cell, written to `BENCH_engine.json` — and,
+//! against a committed baseline, the CI perf-regression gate.
 //!
 //! ```text
-//! bench_engine [--functions N] [--seed S] [--out DIR] [--quick]
+//! bench_engine [--functions N] [--seed S] [--iters K] [--out DIR]
+//!              [--quick] [--baseline FILE] [--gate PCT]
 //!
 //!   --functions  population size of each generated trace (default 800)
 //!   --seed       workload seed (default 7)
+//!   --iters      timed iterations per (scenario, policy) cell (default 5)
 //!   --out        directory for BENCH_engine.json (default: .)
 //!   --quick      CI mode: shrink scenarios to tiny 7-day traces
+//!   --baseline   committed BENCH_engine.json to diff against; prints the
+//!                per-cell delta table
+//!   --gate       with --baseline: fail (exit 1) when any cell's
+//!                slots/sec regresses more than PCT percent, or when the
+//!                baseline is missing/stale for a measured cell
 //! ```
 //!
 //! The policies are engine-dominated by construction (keep-forever,
@@ -15,9 +23,11 @@
 //! so the slots/sec numbers track the engine's event loop rather than a
 //! policy's own cost. keep-forever in particular exercises the sparse
 //! case the span-based idle accounting exists for — a large loaded set
-//! with few invocations per slot.
+//! with few invocations per slot. Each cell is timed over `--iters`
+//! fresh simulations and reported with mean/min/max/stddev, so a single
+//! noisy iteration is visible instead of silently skewing the number.
 
-use spes_bench::perf::{bench_engine, EngineBenchReport};
+use spes_bench::perf::{bench_engine, gate_against_baseline, EngineBenchReport};
 use spes_sim::text_table;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -29,16 +39,22 @@ const POLICIES: [&str; 3] = ["keep-forever", "fixed-keep-alive", "no-keep-alive"
 struct Args {
     functions: usize,
     seed: u64,
+    iters: u32,
     out: PathBuf,
     quick: bool,
+    baseline: Option<PathBuf>,
+    gate_pct: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         functions: 800,
         seed: 7,
+        iters: 5,
         out: PathBuf::from("."),
         quick: false,
+        baseline: None,
+        gate_pct: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,8 +70,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("invalid --seed: {e}"))?;
             }
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("invalid --iters: {e}"))?;
+            }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--quick" => args.quick = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--gate" => {
+                args.gate_pct = Some(
+                    value("--gate")?
+                        .parse()
+                        .map_err(|e| format!("invalid --gate: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!("see the module docs of bench_engine.rs for usage");
                 std::process::exit(0);
@@ -63,12 +92,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if args.gate_pct.is_some() && args.baseline.is_none() {
+        return Err("--gate requires --baseline".to_owned());
+    }
     Ok(args)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -76,7 +108,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let functions = if args.quick {
         args.functions.min(120)
@@ -88,11 +120,12 @@ fn run() -> Result<(), String> {
         // Quick mode applies each scenario's CI shrink (7-day horizon),
         // so both cells measure in seconds.
         println!(
-            "benchmarking engine on {scenario} ({functions} functions{}) ...",
+            "benchmarking engine on {scenario} ({functions} functions, {} iters{}) ...",
+            args.iters,
             if args.quick { ", quick" } else { "" }
         );
         rows.extend(bench_engine(
-            scenario, functions, args.seed, &POLICIES, args.quick,
+            scenario, functions, args.seed, &POLICIES, args.quick, args.iters,
         )?);
     }
     let report = EngineBenchReport { rows };
@@ -107,6 +140,9 @@ fn run() -> Result<(), String> {
                 r.policy.clone(),
                 r.slots.to_string(),
                 format!("{:.3}", r.secs),
+                format!("{:.3}", r.secs_min),
+                format!("{:.3}", r.secs_max),
+                format!("{:.4}", r.secs_std),
                 format!("{:.0}", r.slots_per_sec),
             ]
         })
@@ -114,7 +150,16 @@ fn run() -> Result<(), String> {
     println!(
         "{}",
         text_table(
-            &["scenario", "policy", "slots", "secs", "slots/sec"],
+            &[
+                "scenario",
+                "policy",
+                "slots",
+                "mean s",
+                "min s",
+                "max s",
+                "std s",
+                "slots/sec"
+            ],
             &table
         )
     );
@@ -126,5 +171,70 @@ fn run() -> Result<(), String> {
     file.write_all(body.as_bytes())
         .map_err(|e| format!("write {path:?}: {e}"))?;
     println!("-> {}", path.display());
-    Ok(())
+
+    let Some(baseline_path) = &args.baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read baseline {baseline_path:?}: {e}"))?;
+    let baseline: EngineBenchReport = serde_json::from_str(&baseline_text)
+        .map_err(|e| format!("parse baseline {baseline_path:?}: {e:?}"))?;
+    // The gate tolerance only decides the exit code; the delta table is
+    // printed either way so the trajectory stays visible in every log.
+    let tolerance = args.gate_pct.unwrap_or(f64::INFINITY);
+    let gate = gate_against_baseline(&baseline, &report, tolerance);
+
+    println!(
+        "\n== delta vs baseline {} (tolerance {}%) ==",
+        baseline_path.display(),
+        if tolerance.is_finite() {
+            format!("{tolerance:.0}")
+        } else {
+            "off".to_owned()
+        }
+    );
+    let table: Vec<Vec<String>> = gate
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.policy.clone(),
+                r.baseline_slots_per_sec
+                    .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}")),
+                format!("{:.0}", r.current_slots_per_sec),
+                r.delta_pct
+                    .map_or_else(|| "-".to_owned(), |v| format!("{v:+.1}%")),
+                r.status.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["scenario", "policy", "baseline", "current", "delta", "status"],
+            &table
+        )
+    );
+
+    if args.gate_pct.is_some() && !gate.passed() {
+        for failure in gate.failures() {
+            eprintln!(
+                "perf gate: {}/{} {} (baseline {}, current {:.0} slots/sec)",
+                failure.scenario,
+                failure.policy,
+                failure.status,
+                failure
+                    .baseline_slots_per_sec
+                    .map_or_else(|| "absent".to_owned(), |v| format!("{v:.0}")),
+                failure.current_slots_per_sec,
+            );
+        }
+        eprintln!(
+            "perf gate failed; if the trace shape legitimately changed, regenerate the \
+             committed BENCH_engine.json with `cargo run --release --bin bench_engine -- --quick`"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }

@@ -5,7 +5,8 @@
 //!       [--seed S] [--out DIR] [--trace FILE] [--quick] [--list-policies]
 //!
 //!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
-//!                12 | 13 | 14 | 15 | overhead | series | all  (default: all)
+//!                12 | 13 | 14 | 15 | overhead | series | evictions |
+//!                fairness | pressure | all  (default: all)
 //!   --scenario   named workload from the scenario registry
 //!                (paper-default | quick | chain-heavy | bursty | diurnal |
 //!                unseen-heavy | shift-heavy; default: paper-default)
@@ -304,9 +305,21 @@ fn run() -> Result<(), String> {
     }
 
     // ---- main evaluation (one shared suite run) ----
-    let needs_comparison = ["table1", "8", "9", "10", "11", "12", "overhead", "series"]
-        .iter()
-        .any(|id| wants(id));
+    let needs_comparison = [
+        "table1",
+        "8",
+        "9",
+        "10",
+        "11",
+        "12",
+        "overhead",
+        "series",
+        "evictions",
+        "fairness",
+        "pressure",
+    ]
+    .iter()
+    .any(|id| wants(id));
     let cmp: Option<ComparisonRun> = if needs_comparison {
         println!(
             "\nrunning the policy suite [{}] over the {}-day trace ...",
@@ -469,6 +482,121 @@ fn run() -> Result<(), String> {
                 )
             );
             save_json(&args.out, "series", &t);
+        }
+
+        if wants("evictions") {
+            // Eviction forensics from the EvictionAudit observers of the
+            // same one-suite simulation — no re-runs.
+            let fig = figures_main::evictions(cmp);
+            println!(
+                "\n== Eviction forensics (premature = reloaded within {} slots) ==",
+                fig.premature_window
+            );
+            let rows: Vec<Vec<String>> = fig
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.policy.clone(),
+                        r.policy_evictions.to_string(),
+                        r.capacity_evictions.to_string(),
+                        r.reloads.to_string(),
+                        r.premature_reloads.to_string(),
+                        pct(r.premature_fraction),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(
+                    &[
+                        "policy",
+                        "policy evicts",
+                        "capacity evicts",
+                        "reloads",
+                        "premature",
+                        "premature frac"
+                    ],
+                    &rows
+                )
+            );
+            save_json(&args.out, "evictions", &fig);
+        }
+
+        if wants("fairness") {
+            // Per-app cold-start burden from the Fairness observers of
+            // the same simulation.
+            let fig = figures_main::fairness(cmp);
+            println!("\n== Fairness: per-app cold-start burden vs. invocation share ==");
+            let rows: Vec<Vec<String>> = fig
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.policy.clone(),
+                        r.invoked_apps.to_string(),
+                        format!("{:.3}", r.gini_csr),
+                        format!("{:.2}", r.max_burden_ratio),
+                        r.worst_apps
+                            .first()
+                            .map_or_else(|| "-".to_owned(), |w| format!("app {}", w.app)),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(
+                    &[
+                        "policy",
+                        "invoked apps",
+                        "Gini(CSR)",
+                        "max burden",
+                        "worst app"
+                    ],
+                    &rows
+                )
+            );
+            save_json(&args.out, "fairness", &fig);
+        }
+
+        if wants("pressure") {
+            // Pool headroom from the MemoryPressure observers of the
+            // same simulation.
+            let fig = figures_main::pressure(cmp);
+            println!("\n== Memory pressure: pool occupancy vs. budget ==");
+            let rows: Vec<Vec<String>> = fig
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.policy.clone(),
+                        r.budget
+                            .map_or_else(|| "unlimited".to_owned(), |b| b.to_string()),
+                        r.peak_occupancy.to_string(),
+                        format!("{:.1}", r.mean_occupancy),
+                        r.min_headroom
+                            .map_or_else(|| "-".to_owned(), |h| h.to_string()),
+                        pct(r.pressure_fraction),
+                        r.rejected_loads.to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(
+                    &[
+                        "policy",
+                        "budget",
+                        "peak",
+                        "mean loaded",
+                        "min headroom",
+                        "slots at budget",
+                        "rejected"
+                    ],
+                    &rows
+                )
+            );
+            save_json(&args.out, "pressure", &fig);
         }
 
         if wants("overhead") {

@@ -280,6 +280,183 @@ pub fn timeline(cmp: &ComparisonRun, stride: u32) -> Timeline {
     }
 }
 
+/// Eviction forensics per policy, from the [`spes_sim::EvictionAudit`]
+/// observers that rode along the comparison's one simulation per policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigEvictions {
+    /// Re-loads within this many slots of an eviction count as premature.
+    pub premature_window: Slot,
+    /// Per-policy forensics, in suite order.
+    pub rows: Vec<EvictionRow>,
+}
+
+/// One policy's eviction forensics.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvictionRow {
+    /// Policy name.
+    pub policy: String,
+    /// Evictions the policy decided.
+    pub policy_evictions: u64,
+    /// Evictions forced by pool capacity.
+    pub capacity_evictions: u64,
+    /// Loads of previously evicted functions.
+    pub reloads: u64,
+    /// Re-loads within the premature window.
+    pub premature_reloads: u64,
+    /// `premature_reloads / total evictions` (0 with no evictions).
+    pub premature_fraction: f64,
+}
+
+/// Builds the eviction-forensics figure.
+#[must_use]
+pub fn evictions(cmp: &ComparisonRun) -> FigEvictions {
+    FigEvictions {
+        premature_window: spes_sim::PREMATURE_RELOAD_WINDOW,
+        rows: cmp
+            .runs
+            .iter()
+            .zip(&cmp.audits)
+            .map(|(run, audit)| EvictionRow {
+                policy: run.policy_name.clone(),
+                policy_evictions: audit.policy_evictions,
+                capacity_evictions: audit.capacity_evictions,
+                reloads: audit.reloads,
+                premature_reloads: audit.premature_reloads,
+                premature_fraction: audit.premature_fraction(),
+            })
+            .collect(),
+    }
+}
+
+/// Per-app fairness of the cold-start burden per policy, from the
+/// [`spes_sim::Fairness`] observers of the same one-suite simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigFairness {
+    /// Per-policy summaries, in suite order.
+    pub rows: Vec<FairnessRow>,
+}
+
+/// One policy's fairness summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct FairnessRow {
+    /// Policy name.
+    pub policy: String,
+    /// Applications in the trace.
+    pub apps: usize,
+    /// Applications with at least one measured invocation.
+    pub invoked_apps: usize,
+    /// Gini coefficient of app-level cold-start rates (0 = every app
+    /// sees the same CSR).
+    pub gini_csr: f64,
+    /// Worst cold-share : invocation-share ratio across apps.
+    pub max_burden_ratio: f64,
+    /// The most disproportionately cold applications (by burden ratio,
+    /// descending; ties broken by app id), at most five.
+    pub worst_apps: Vec<WorstApp>,
+}
+
+/// One over-burdened application.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorstApp {
+    /// Application id.
+    pub app: u32,
+    /// The app's share of measured invocations.
+    pub invocation_share: f64,
+    /// The app's share of measured cold starts.
+    pub cold_share: f64,
+    /// `cold_share / invocation_share`.
+    pub burden_ratio: f64,
+}
+
+/// Builds the fairness figure.
+#[must_use]
+pub fn fairness(cmp: &ComparisonRun) -> FigFairness {
+    FigFairness {
+        rows: cmp
+            .runs
+            .iter()
+            .zip(&cmp.fairness)
+            .map(|(run, fair)| {
+                let shares = fair.shares();
+                let mut worst: Vec<&spes_sim::AppShare> =
+                    shares.iter().filter(|s| s.invocations > 0).collect();
+                worst.sort_by(|a, b| {
+                    b.burden_ratio()
+                        .total_cmp(&a.burden_ratio())
+                        .then(a.app.cmp(&b.app))
+                });
+                FairnessRow {
+                    policy: run.policy_name.clone(),
+                    apps: fair.n_apps(),
+                    invoked_apps: worst.len(),
+                    gini_csr: fair.gini_csr(),
+                    max_burden_ratio: fair.max_burden_ratio(),
+                    worst_apps: worst
+                        .into_iter()
+                        .take(5)
+                        .map(|s| WorstApp {
+                            app: s.app.0,
+                            invocation_share: s.invocation_share,
+                            cold_share: s.cold_share,
+                            burden_ratio: s.burden_ratio(),
+                        })
+                        .collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Pool headroom per policy, from the [`spes_sim::MemoryPressure`]
+/// observers of the same one-suite simulation. Policies running
+/// unlimited report occupancy statistics with no headroom columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigPressure {
+    /// Per-policy summaries, in suite order.
+    pub rows: Vec<PressureRow>,
+}
+
+/// One policy's pool-pressure summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct PressureRow {
+    /// Policy name.
+    pub policy: String,
+    /// The budget headroom was tracked against (the run's resolved
+    /// capacity); `None` for unlimited runs.
+    pub budget: Option<usize>,
+    /// Highest occupancy at any point of the run.
+    pub peak_occupancy: usize,
+    /// Mean end-of-slot occupancy.
+    pub mean_occupancy: f64,
+    /// Smallest end-of-slot headroom; `None` without a budget.
+    pub min_headroom: Option<usize>,
+    /// Fraction of slots that ended at or above the budget.
+    pub pressure_fraction: f64,
+    /// Policy loads refused by admission control.
+    pub rejected_loads: u64,
+}
+
+/// Builds the pressure figure.
+#[must_use]
+pub fn pressure(cmp: &ComparisonRun) -> FigPressure {
+    FigPressure {
+        rows: cmp
+            .runs
+            .iter()
+            .zip(&cmp.pressure)
+            .map(|(run, p)| PressureRow {
+                policy: run.policy_name.clone(),
+                budget: p.budget(),
+                peak_occupancy: p.peak_occupancy,
+                mean_occupancy: p.mean_occupancy(),
+                min_headroom: p.min_headroom,
+                pressure_fraction: p.pressure_fraction(),
+                rejected_loads: p.rejected_loads,
+            })
+            .collect(),
+    }
+}
+
 /// RQ2: per-minute scheduling overhead of every policy.
 #[derive(Debug, Clone, Serialize)]
 pub struct OverheadTable {
@@ -431,6 +608,66 @@ mod tests {
                 policy.policy
             );
         }
+    }
+
+    #[test]
+    fn evictions_figure_reports_every_policy() {
+        let cmp = comparison();
+        let f = evictions(&cmp);
+        assert_eq!(f.premature_window, spes_sim::PREMATURE_RELOAD_WINDOW);
+        assert_eq!(f.rows.len(), 6);
+        // No-keep-alive-style churners aside, the default suite evicts
+        // somewhere; every fraction is a valid probability.
+        for row in &f.rows {
+            assert!((0.0..=1.0).contains(&row.premature_fraction), "{row:?}");
+            assert!(row.premature_reloads <= row.reloads, "{row:?}");
+        }
+        // Only the capacity-limited FaaSCache run can see capacity
+        // evictions.
+        for row in f.rows.iter().filter(|r| r.policy != "faascache") {
+            assert_eq!(row.capacity_evictions, 0, "{}", row.policy);
+        }
+    }
+
+    #[test]
+    fn fairness_figure_is_ordered_and_bounded() {
+        let cmp = comparison();
+        let f = fairness(&cmp);
+        assert_eq!(f.rows.len(), 6);
+        for row in &f.rows {
+            assert!((0.0..=1.0).contains(&row.gini_csr), "{row:?}");
+            assert!(row.invoked_apps <= row.apps);
+            assert!(row.worst_apps.len() <= 5);
+            // Worst-first ordering.
+            for pair in row.worst_apps.windows(2) {
+                assert!(pair[0].burden_ratio >= pair[1].burden_ratio);
+            }
+            if let Some(worst) = row.worst_apps.first() {
+                assert!((worst.burden_ratio - row.max_burden_ratio).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_figure_tracks_capacity_limited_runs() {
+        let cmp = comparison();
+        let f = pressure(&cmp);
+        assert_eq!(f.rows.len(), 6);
+        for row in &f.rows {
+            assert!(row.mean_occupancy >= 0.0);
+            assert!((0.0..=1.0).contains(&row.pressure_fraction), "{row:?}");
+            // No admission control in the default suite: nothing rejected.
+            assert_eq!(row.rejected_loads, 0);
+        }
+        // FaaSCache runs under SPES's peak budget and should feel it.
+        let fc = f.rows.iter().find(|r| r.policy == "faascache").unwrap();
+        assert!(fc.budget.is_some());
+        assert!(fc.min_headroom.is_some());
+        assert!(fc.peak_occupancy <= fc.budget.unwrap());
+        // Unlimited policies have no headroom to report.
+        let spes = f.rows.iter().find(|r| r.policy == "spes").unwrap();
+        assert_eq!(spes.budget, None);
+        assert_eq!(spes.min_headroom, None);
     }
 
     #[test]

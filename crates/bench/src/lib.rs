@@ -14,8 +14,13 @@ pub mod perf;
 pub mod policies;
 pub mod scenario;
 
-pub use matrix::{run_matrix, run_named_matrix, MatrixCell, MatrixOutcome, PolicyAggregate};
-pub use perf::{bench_engine, EngineBenchReport, EngineBenchRow};
+pub use matrix::{
+    aggregate_cells, fold_matrix, run_matrix, run_matrix_streaming, run_named_matrix,
+    run_named_matrix_streaming, MatrixCell, MatrixOutcome, MatrixSummary, PolicyAggregate,
+};
+pub use perf::{
+    bench_engine, gate_against_baseline, EngineBenchReport, EngineBenchRow, GateReport,
+};
 pub use policies::{
     default_suite, policy_names, spec_of, suite_of, RegisteredPolicy, UnknownPolicy, REGISTRY,
 };

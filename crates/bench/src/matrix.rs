@@ -9,10 +9,24 @@
 //! the policy-registry redesign the policy axis is open too: any
 //! suite — the paper's default six, a two-policy duel, or everything
 //! including the oracle — runs through the same cells.
+//!
+//! Aggregation is **streaming**: cells run in parallel batches bounded
+//! by the machine's parallelism and are folded into per-policy
+//! [`OnlineStats`] accumulators in a fixed order (scenario-major, then
+//! seed) as they are joined, so the aggregate path retains
+//! `O(policies)` state — and at most a worker-pool of in-flight cells —
+//! no matter how many cells the sweep spans.
+//! [`run_matrix_streaming`] exposes exactly that — a [`MatrixSummary`]
+//! with no per-run [`spes_sim::RunResult`]s kept alive — while
+//! [`run_matrix`] additionally collects the cells for callers that need
+//! per-cell assertions. Both paths share one fold, so their aggregates
+//! are bit-identical ([`aggregate_cells`] replays the fold over stored
+//! cells, which the regression tests use to pin that equivalence).
 
 use crate::scenario::{run_suite_comparison, ComparisonRun};
 use serde::Serialize;
 use spes_sim::suite::{validate_suite, PolicySpec, SuiteError};
+use spes_stats::online::OnlineStats;
 use spes_trace::{synth, SynthConfig};
 
 /// One cell of the matrix: a scenario config run under one seed.
@@ -45,15 +59,118 @@ pub struct PolicyAggregate {
     pub mean_wmt: f64,
     /// Standard deviation of the total WMT across cells.
     pub std_wmt: f64,
+    /// Mean Gini coefficient of per-app cold-start rates across cells
+    /// (the fairness axis: 0 = burden matches traffic everywhere).
+    pub mean_gini_csr: f64,
+    /// Standard deviation of the fairness Gini across cells.
+    pub std_gini_csr: f64,
+    /// Mean fraction of evictions that were reloaded within the
+    /// premature window across cells.
+    pub mean_premature_fraction: f64,
+    /// Standard deviation of the premature-reload fraction across cells.
+    pub std_premature_fraction: f64,
 }
 
-/// The matrix outcome: every cell plus per-policy aggregates.
+/// Streaming per-policy accumulator behind every aggregate path.
+#[derive(Debug, Clone)]
+struct PolicyFold {
+    policy: String,
+    cells: usize,
+    q3: OnlineStats,
+    memory: OnlineStats,
+    wmt: OnlineStats,
+    gini: OnlineStats,
+    premature: OnlineStats,
+}
+
+impl PolicyFold {
+    fn new(policy: &str) -> Self {
+        Self {
+            policy: policy.to_owned(),
+            cells: 0,
+            q3: OnlineStats::new(),
+            memory: OnlineStats::new(),
+            wmt: OnlineStats::new(),
+            gini: OnlineStats::new(),
+            premature: OnlineStats::new(),
+        }
+    }
+
+    fn push(&mut self, cell: &MatrixCell) {
+        let run = cell.comparison.run_of(&self.policy);
+        // A cell with no invoked functions has no CSR distribution; skip
+        // it rather than record a spuriously perfect 0.0.
+        if let Some(q3) = run.csr_percentile(75.0) {
+            self.q3.push(q3);
+        }
+        self.memory.push(run.mean_loaded());
+        self.wmt.push(run.total_wmt() as f64);
+        let fairness = cell
+            .comparison
+            .try_fairness_of(&self.policy)
+            .expect("fairness recorded for every suite run");
+        self.gini.push(fairness.gini_csr());
+        let audit = cell
+            .comparison
+            .try_audit_of(&self.policy)
+            .expect("audit recorded for every suite run");
+        self.premature.push(audit.premature_fraction());
+        self.cells += 1;
+    }
+
+    fn finish(self) -> PolicyAggregate {
+        PolicyAggregate {
+            policy: self.policy,
+            cells: self.cells,
+            mean_q3_csr: self.q3.mean(),
+            std_q3_csr: self.q3.stddev(),
+            mean_memory: self.memory.mean(),
+            std_memory: self.memory.stddev(),
+            mean_wmt: self.wmt.mean(),
+            std_wmt: self.wmt.stddev(),
+            mean_gini_csr: self.gini.mean(),
+            std_gini_csr: self.gini.stddev(),
+            mean_premature_fraction: self.premature.mean(),
+            std_premature_fraction: self.premature.stddev(),
+        }
+    }
+}
+
+/// The stored-cell matrix outcome: every cell plus per-policy aggregates.
 #[derive(Debug)]
 pub struct MatrixOutcome {
     /// All cells, ordered scenario-major then seed.
     pub cells: Vec<MatrixCell>,
     /// Per-policy aggregates, in suite order.
     pub aggregates: Vec<PolicyAggregate>,
+}
+
+/// The streaming matrix outcome: per-policy aggregates only. No cell —
+/// and therefore no per-run `RunResult` — is retained, so arbitrarily
+/// large seed × scenario sweeps aggregate in `O(policies)` memory (plus
+/// a worker-pool's worth of in-flight cells while running).
+#[derive(Debug)]
+pub struct MatrixSummary {
+    /// Per-policy aggregates, in suite order.
+    pub aggregates: Vec<PolicyAggregate>,
+}
+
+impl MatrixSummary {
+    /// The aggregate of one policy by name, if present.
+    #[must_use]
+    pub fn try_aggregate_of(&self, policy: &str) -> Option<&PolicyAggregate> {
+        self.aggregates.iter().find(|a| a.policy == policy)
+    }
+
+    /// The aggregate of one policy by name.
+    ///
+    /// # Panics
+    /// Panics if the policy is not part of the suite.
+    #[must_use]
+    pub fn aggregate_of(&self, policy: &str) -> &PolicyAggregate {
+        self.try_aggregate_of(policy)
+            .unwrap_or_else(|| panic!("no aggregate for policy {policy}"))
+    }
 }
 
 impl MatrixOutcome {
@@ -83,49 +200,132 @@ impl MatrixOutcome {
     }
 }
 
-/// Runs `suite` over the cross product of `scenarios` × `seeds`, one
-/// cell per thread. Each cell generates its own trace from the scenario
-/// config with the cell's seed; the trace-carried training boundary
-/// drives fitting and measurement as in
-/// [`crate::scenario::run_suite_comparison`]. The suite is validated
-/// once up front, so an invalid suite fails before any cell runs.
+/// Runs `suite` over the cross product of `scenarios` × `seeds`,
+/// streaming each finished cell through the aggregate fold and then
+/// into `sink` — in scenario-major, seed order, regardless of thread
+/// completion order, so the fold (and any sink) sees a deterministic
+/// cell sequence. The sink owns each cell; dropping it is what makes
+/// the streaming path retain only `O(policies)` aggregate state.
+///
+/// Cells run in parallel batches of (at most) the machine's available
+/// parallelism, joined and folded in order before the next batch
+/// spawns, so peak in-flight memory is bounded by the worker count —
+/// not by the sweep size. (A full fan-out would park every finished
+/// cell in its join handle behind a slow first cell, quietly
+/// reintroducing the `O(cells)` retention this path exists to remove.)
+///
+/// Each cell generates its own trace from the scenario config with the
+/// cell's seed; the trace-carried training boundary drives fitting and
+/// measurement as in [`crate::scenario::run_suite_comparison`]. The
+/// suite is validated once up front, so an invalid suite fails before
+/// any cell runs.
+pub fn fold_matrix(
+    scenarios: &[(String, SynthConfig)],
+    seeds: &[u64],
+    suite: &[PolicySpec],
+    mut sink: impl FnMut(MatrixCell),
+) -> Result<Vec<PolicyAggregate>, SuiteError> {
+    validate_suite(suite)?;
+    let mut folds: Vec<PolicyFold> = suite.iter().map(|s| PolicyFold::new(s.name())).collect();
+    let batch = std::thread::available_parallelism().map_or(4, usize::from);
+    let cells: Vec<(&String, &SynthConfig, u64)> = scenarios
+        .iter()
+        .flat_map(|(name, cfg)| seeds.iter().map(move |&seed| (name, cfg, seed)))
+        .collect();
+    for chunk in cells.chunks(batch.max(1)) {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|&(name, cfg, seed)| {
+                    scope.spawn(move || {
+                        let cell_cfg = SynthConfig {
+                            seed,
+                            ..cfg.clone()
+                        };
+                        let data = synth::generate(&cell_cfg);
+                        MatrixCell {
+                            scenario: name.clone(),
+                            seed,
+                            comparison: run_suite_comparison(&data, suite)
+                                .expect("suite validated before fan-out"),
+                        }
+                    })
+                })
+                .collect();
+            // Join in spawn order: the fold sees cells scenario-major
+            // then seed-ordered even though threads finish in any order.
+            for handle in handles {
+                let cell = handle.join().expect("matrix cell panicked");
+                for fold in &mut folds {
+                    fold.push(&cell);
+                }
+                sink(cell);
+            }
+        });
+    }
+    Ok(folds.into_iter().map(PolicyFold::finish).collect())
+}
+
+/// Replays the aggregate fold over already-stored cells (same code path
+/// as the streaming runner, same order assumption: the slice must be
+/// scenario-major then seed-ordered, as [`run_matrix`] stores it).
+/// Regression tests use this to pin "streaming == stored" bit-for-bit.
+#[must_use]
+pub fn aggregate_cells(cells: &[MatrixCell], suite: &[PolicySpec]) -> Vec<PolicyAggregate> {
+    let mut folds: Vec<PolicyFold> = suite.iter().map(|s| PolicyFold::new(s.name())).collect();
+    for cell in cells {
+        for fold in &mut folds {
+            fold.push(cell);
+        }
+    }
+    folds.into_iter().map(PolicyFold::finish).collect()
+}
+
+/// Runs the matrix and keeps every cell ([`MatrixOutcome`]) — the
+/// per-cell assertion path. Memory is `O(cells)`; prefer
+/// [`run_matrix_streaming`] for large sweeps that only need aggregates.
 pub fn run_matrix(
     scenarios: &[(String, SynthConfig)],
     seeds: &[u64],
     suite: &[PolicySpec],
 ) -> Result<MatrixOutcome, SuiteError> {
-    validate_suite(suite)?;
-    let cells: Vec<MatrixCell> = std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .flat_map(|(name, cfg)| seeds.iter().map(move |&seed| (name, cfg, seed)))
-            .map(|(name, cfg, seed)| {
-                scope.spawn(move || {
-                    let cell_cfg = SynthConfig {
-                        seed,
-                        ..cfg.clone()
-                    };
-                    let data = synth::generate(&cell_cfg);
-                    MatrixCell {
-                        scenario: name.clone(),
-                        seed,
-                        comparison: run_suite_comparison(&data, suite)
-                            .expect("suite validated before fan-out"),
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("matrix cell panicked"))
-            .collect()
-    });
-    let aggregates = aggregate(&cells, suite);
+    let mut cells = Vec::with_capacity(scenarios.len() * seeds.len());
+    let aggregates = fold_matrix(scenarios, seeds, suite, |cell| cells.push(cell))?;
     Ok(MatrixOutcome { cells, aggregates })
 }
 
-/// Convenience: [`run_matrix`] over registered scenario names, with the
+/// Runs the matrix in streaming mode: each cell is folded into the
+/// per-policy aggregates and dropped, so no per-run `RunResult` outlives
+/// its fold step — retained aggregate state is `O(policies)` and peak
+/// in-flight memory is bounded by the worker-pool size, however many
+/// cells the sweep spans.
+pub fn run_matrix_streaming(
+    scenarios: &[(String, SynthConfig)],
+    seeds: &[u64],
+    suite: &[PolicySpec],
+) -> Result<MatrixSummary, SuiteError> {
+    let aggregates = fold_matrix(scenarios, seeds, suite, drop)?;
+    Ok(MatrixSummary { aggregates })
+}
+
+/// Resolves registered scenario names into matrix configs with the
 /// population size overridden per cell (test-friendly sizing).
+///
+/// # Panics
+/// Panics if any name is not in the scenario registry.
+fn named_scenarios(names: &[&str], n_functions: usize) -> Vec<(String, SynthConfig)> {
+    names
+        .iter()
+        .map(|&name| {
+            let mut cfg =
+                synth::scenario_config(name).unwrap_or_else(|| panic!("unknown scenario {name}"));
+            cfg.n_functions = n_functions;
+            (name.to_owned(), cfg)
+        })
+        .collect()
+}
+
+/// Convenience: [`run_matrix`] over registered scenario names.
 ///
 /// # Panics
 /// Panics if any name is not in the scenario registry.
@@ -135,63 +335,20 @@ pub fn run_named_matrix(
     seeds: &[u64],
     suite: &[PolicySpec],
 ) -> Result<MatrixOutcome, SuiteError> {
-    let scenarios: Vec<(String, SynthConfig)> = names
-        .iter()
-        .map(|&name| {
-            let mut cfg =
-                synth::scenario_config(name).unwrap_or_else(|| panic!("unknown scenario {name}"));
-            cfg.n_functions = n_functions;
-            (name.to_owned(), cfg)
-        })
-        .collect();
-    run_matrix(&scenarios, seeds, suite)
+    run_matrix(&named_scenarios(names, n_functions), seeds, suite)
 }
 
-fn aggregate(cells: &[MatrixCell], suite: &[PolicySpec]) -> Vec<PolicyAggregate> {
-    suite
-        .iter()
-        .map(|spec| {
-            let policy = spec.name();
-            // A cell with no invoked functions has no CSR distribution;
-            // skip it rather than record a spuriously perfect 0.0.
-            let q3: Vec<f64> = cells
-                .iter()
-                .filter_map(|c| c.comparison.run_of(policy).csr_percentile(75.0))
-                .collect();
-            let memory: Vec<f64> = cells
-                .iter()
-                .map(|c| c.comparison.run_of(policy).mean_loaded())
-                .collect();
-            let wmt: Vec<f64> = cells
-                .iter()
-                .map(|c| c.comparison.run_of(policy).total_wmt() as f64)
-                .collect();
-            let (mean_q3_csr, std_q3_csr) = mean_std(&q3);
-            let (mean_memory, std_memory) = mean_std(&memory);
-            let (mean_wmt, std_wmt) = mean_std(&wmt);
-            PolicyAggregate {
-                policy: policy.to_owned(),
-                cells: cells.len(),
-                mean_q3_csr,
-                std_q3_csr,
-                mean_memory,
-                std_memory,
-                mean_wmt,
-                std_wmt,
-            }
-        })
-        .collect()
-}
-
-/// Mean and (population) standard deviation; `(0, 0)` for empty input.
-fn mean_std(values: &[f64]) -> (f64, f64) {
-    if values.is_empty() {
-        return (0.0, 0.0);
-    }
-    let n = values.len() as f64;
-    let mean = values.iter().sum::<f64>() / n;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-    (mean, var.sqrt())
+/// Convenience: [`run_matrix_streaming`] over registered scenario names.
+///
+/// # Panics
+/// Panics if any name is not in the scenario registry.
+pub fn run_named_matrix_streaming(
+    names: &[&str],
+    n_functions: usize,
+    seeds: &[u64],
+    suite: &[PolicySpec],
+) -> Result<MatrixSummary, SuiteError> {
+    run_matrix_streaming(&named_scenarios(names, n_functions), seeds, suite)
 }
 
 #[cfg(test)]
@@ -202,13 +359,16 @@ mod tests {
     use spes_core::SpesConfig;
 
     #[test]
-    fn mean_std_basics() {
-        let (m, s) = mean_std(&[2.0, 4.0]);
-        assert!((m - 3.0).abs() < 1e-12);
-        assert!((s - 1.0).abs() < 1e-12);
-        assert_eq!(mean_std(&[]), (0.0, 0.0));
-        let (m1, s1) = mean_std(&[5.0]);
-        assert_eq!((m1, s1), (5.0, 0.0));
+    fn online_fold_matches_descriptive_stats() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        let empty = OnlineStats::new();
+        assert_eq!((empty.mean(), empty.stddev()), (0.0, 0.0));
     }
 
     #[test]
@@ -222,11 +382,79 @@ mod tests {
         assert_eq!(spes.cells, 4);
         assert!(spes.mean_q3_csr.is_finite());
         assert!(spes.std_q3_csr >= 0.0);
+        assert!(spes.mean_gini_csr >= 0.0);
+        assert!(spes.mean_premature_fraction >= 0.0);
         // Cells are scenario-major and seed-ordered.
         assert_eq!(out.cells[0].scenario, "quick");
         assert_eq!(out.cells[0].seed, 1);
         assert_eq!(out.cells[3].scenario, "chain-heavy");
         assert_eq!(out.cells[3].seed, 2);
+    }
+
+    #[test]
+    fn streaming_matrix_matches_stored_matrix_bit_for_bit() {
+        // The headline property of the fold-don't-store rework: the
+        // streaming path (cells dropped as folded) and the stored path
+        // produce identical aggregates down to the last bit, because
+        // they are the same fold over the same deterministic cell order.
+        let suite =
+            policies::suite_of(&["spes", "fixed-keep-alive"], &SpesConfig::default()).unwrap();
+        let stored = run_named_matrix(&["quick", "bursty"], 50, &[3, 4], &suite).unwrap();
+        let streamed =
+            run_named_matrix_streaming(&["quick", "bursty"], 50, &[3, 4], &suite).unwrap();
+        let replayed = aggregate_cells(&stored.cells, &suite);
+        for ((a, b), c) in stored
+            .aggregates
+            .iter()
+            .zip(&streamed.aggregates)
+            .zip(&replayed)
+        {
+            assert_aggregates_bit_identical(a, b);
+            assert_aggregates_bit_identical(c, b);
+        }
+    }
+
+    fn assert_aggregates_bit_identical(x: &PolicyAggregate, y: &PolicyAggregate) {
+        assert_eq!(x.policy, y.policy);
+        assert_eq!(x.cells, y.cells);
+        assert_eq!(x.mean_q3_csr.to_bits(), y.mean_q3_csr.to_bits());
+        assert_eq!(x.std_q3_csr.to_bits(), y.std_q3_csr.to_bits());
+        assert_eq!(x.mean_memory.to_bits(), y.mean_memory.to_bits());
+        assert_eq!(x.std_memory.to_bits(), y.std_memory.to_bits());
+        assert_eq!(x.mean_wmt.to_bits(), y.mean_wmt.to_bits());
+        assert_eq!(x.std_wmt.to_bits(), y.std_wmt.to_bits());
+        assert_eq!(x.mean_gini_csr.to_bits(), y.mean_gini_csr.to_bits());
+        assert_eq!(x.std_gini_csr.to_bits(), y.std_gini_csr.to_bits());
+        assert_eq!(
+            x.mean_premature_fraction.to_bits(),
+            y.mean_premature_fraction.to_bits()
+        );
+        assert_eq!(
+            x.std_premature_fraction.to_bits(),
+            y.std_premature_fraction.to_bits()
+        );
+    }
+
+    #[test]
+    fn fold_matrix_delivers_cells_in_deterministic_order() {
+        let suite = policies::suite_of(&["no-keep-alive"], &SpesConfig::default()).unwrap();
+        let mut seen = Vec::new();
+        fold_matrix(
+            &named_scenarios(&["quick", "bursty"], 30),
+            &[9, 1],
+            &suite,
+            |cell| seen.push((cell.scenario.clone(), cell.seed)),
+        )
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                ("quick".to_owned(), 9),
+                ("quick".to_owned(), 1),
+                ("bursty".to_owned(), 9),
+                ("bursty".to_owned(), 1),
+            ]
+        );
     }
 
     #[test]
@@ -246,6 +474,10 @@ mod tests {
         let suite = policies::suite_of(&["faascache"], &SpesConfig::default()).unwrap();
         assert!(matches!(
             run_named_matrix(&["quick"], 20, &[1], &suite),
+            Err(SuiteError::UnknownCapacityRef { .. })
+        ));
+        assert!(matches!(
+            run_named_matrix_streaming(&["quick"], 20, &[1], &suite),
             Err(SuiteError::UnknownCapacityRef { .. })
         ));
     }

@@ -1,18 +1,26 @@
-//! Engine-throughput measurement: slots simulated per second.
+//! Engine-throughput measurement and the CI perf-regression gate.
 //!
 //! The event-stream engine's hot loop is `O(invoked + transitions)` per
 //! slot; this module measures what that means in wall-clock terms on the
 //! registered workload scenarios, seeding the repository's performance
 //! trajectory. The `bench_engine` binary drives [`bench_engine`] over
 //! paper-default and chain-heavy workloads and writes the rows to
-//! `BENCH_engine.json` (see [`EngineBenchReport`]), which CI prints
-//! non-blockingly so regressions are visible in every run's log.
+//! `BENCH_engine.json` (see [`EngineBenchReport`]).
+//!
+//! Each (scenario, policy) cell is timed over several iterations and
+//! reports mean/min/max/stddev seconds alongside the headline mean
+//! slots/sec, so one noisy iteration is visible instead of silently
+//! polluting the number. [`gate_against_baseline`] turns the committed
+//! `BENCH_engine.json` into an actual regression gate: CI re-measures,
+//! prints the per-cell delta table, and fails the job when any cell
+//! regresses beyond the (deliberately generous) tolerance.
 
 use crate::policies;
 use serde::{Deserialize, Serialize};
 use spes_core::SpesConfig;
 use spes_sim::suite::FitContext;
 use spes_sim::{try_simulate, SimConfig};
+use spes_stats::online::OnlineStats;
 use spes_trace::synth;
 use std::time::Instant;
 
@@ -27,10 +35,18 @@ pub struct EngineBenchRow {
     pub n_functions: usize,
     /// Simulated slots (the full trace horizon).
     pub slots: u64,
-    /// Wall-clock seconds of the simulation (excluding generation and
-    /// policy fitting).
+    /// Timed iterations behind the statistics below.
+    pub iters: u32,
+    /// Mean wall-clock seconds per simulation iteration (excluding
+    /// generation and policy fitting).
     pub secs: f64,
-    /// Slots simulated per second.
+    /// Fastest iteration, seconds.
+    pub secs_min: f64,
+    /// Slowest iteration, seconds.
+    pub secs_max: f64,
+    /// Population standard deviation over the iterations, seconds.
+    pub secs_std: f64,
+    /// Slots simulated per second, from the mean iteration time.
     pub slots_per_sec: f64,
 }
 
@@ -41,24 +57,39 @@ pub struct EngineBenchReport {
     pub rows: Vec<EngineBenchRow>,
 }
 
-/// Runs the engine once per policy on one scenario and measures
-/// simulation throughput. The trace is generated (and each policy
-/// fitted) outside the timed section, so the numbers isolate the
-/// engine + policy decision loop. `quick` applies the scenario's CI
-/// shrink (7-day horizon, capped population) before sizing.
+impl EngineBenchReport {
+    /// The row of one (scenario, policy) cell, if measured.
+    #[must_use]
+    pub fn row_of(&self, scenario: &str, policy: &str) -> Option<&EngineBenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.policy == policy)
+    }
+}
+
+/// Runs the engine `iters` times per policy on one scenario and measures
+/// simulation throughput. The trace is generated once and each policy is
+/// re-fitted per iteration outside the timed section, so the numbers
+/// isolate the engine + policy decision loop. `quick` applies the
+/// scenario's CI shrink (7-day horizon, capped population) before
+/// sizing.
 ///
 /// Only capacity-self-contained policies can be measured this way
 /// (`faascache` needs a donor run and is rejected by name).
 ///
 /// # Errors
-/// Returns a message for unknown scenario/policy names.
+/// Returns a message for unknown scenario/policy names or a zero `iters`.
 pub fn bench_engine(
     scenario: &str,
     n_functions: usize,
     seed: u64,
     policy_names: &[&str],
     quick: bool,
+    iters: u32,
 ) -> Result<Vec<EngineBenchRow>, String> {
+    if iters == 0 {
+        return Err("iters must be at least 1".to_owned());
+    }
     let mut cfg =
         synth::scenario_config(scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
     if quick {
@@ -94,23 +125,171 @@ pub fn bench_engine(
             train_end: data.train_end,
             prior: &[],
         };
-        let mut policy = spec.build(&ctx);
-        let begin = Instant::now();
-        let run = try_simulate(trace, policy.as_mut(), window).map_err(|e| e.to_string())?;
-        let secs = begin.elapsed().as_secs_f64();
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            // A fresh policy per iteration: policies are stateful, and
+            // fitting stays outside the timed section.
+            let mut policy = spec.build(&ctx);
+            let begin = Instant::now();
+            let run = try_simulate(trace, policy.as_mut(), window).map_err(|e| e.to_string())?;
+            samples.push(begin.elapsed().as_secs_f64());
+            // Keep the optimiser honest about the run actually happening.
+            assert_eq!(run.n_slots(), u64::from(trace.n_slots - data.train_end));
+        }
+        let (mean, min, max, std) = sample_stats(&samples);
         let slots = u64::from(trace.n_slots);
         rows.push(EngineBenchRow {
             scenario: scenario.to_owned(),
             policy: name.to_owned(),
             n_functions: trace.n_functions(),
             slots,
-            secs,
-            slots_per_sec: slots as f64 / secs.max(f64::MIN_POSITIVE),
+            iters,
+            secs: mean,
+            secs_min: min,
+            secs_max: max,
+            secs_std: std,
+            slots_per_sec: slots as f64 / mean.max(f64::MIN_POSITIVE),
         });
-        // Keep the optimiser honest about the run actually happening.
-        assert_eq!(run.n_slots(), u64::from(trace.n_slots - data.train_end));
     }
     Ok(rows)
+}
+
+/// Mean, min, max, and population standard deviation of a non-empty
+/// sample set (mean/stddev via the same [`OnlineStats`] the matrix
+/// aggregates use — one variance definition across the workspace).
+fn sample_stats(samples: &[f64]) -> (f64, f64, f64, f64) {
+    let mut stats = OnlineStats::new();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &s in samples {
+        stats.push(s);
+        min = min.min(s);
+        max = max.max(s);
+    }
+    (stats.mean(), min, max, stats.stddev())
+}
+
+// ---------------------------------------------------------------------
+// The perf-regression gate
+// ---------------------------------------------------------------------
+
+/// Verdict on one (scenario, policy) cell of the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance of the baseline (or faster).
+    Ok,
+    /// Slower than the baseline beyond the tolerance.
+    Regression,
+    /// The committed baseline has no row for this cell; regenerate it.
+    BaselineMissing,
+    /// The baseline row measured a different trace shape (slots or
+    /// population changed); the comparison is meaningless until the
+    /// baseline is regenerated.
+    StaleBaseline,
+}
+
+impl std::fmt::Display for GateStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Ok => "ok",
+            Self::Regression => "REGRESSION",
+            Self::BaselineMissing => "NO BASELINE",
+            Self::StaleBaseline => "STALE BASELINE",
+        })
+    }
+}
+
+/// One row of the gate's delta table.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Policy registry name.
+    pub policy: String,
+    /// Baseline slots/sec (`None` when the baseline lacks the cell).
+    pub baseline_slots_per_sec: Option<f64>,
+    /// Freshly measured slots/sec.
+    pub current_slots_per_sec: f64,
+    /// Relative throughput change in percent (positive = faster);
+    /// `None` without a comparable baseline.
+    pub delta_pct: Option<f64>,
+    /// The cell's verdict.
+    pub status: GateStatus,
+}
+
+/// The gate outcome over every measured cell.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// One row per measured cell, in measurement order.
+    pub rows: Vec<GateRow>,
+    /// Allowed slowdown in percent before a cell counts as a regression.
+    pub tolerance_pct: f64,
+}
+
+impl GateReport {
+    /// Whether every cell passed: no regression, no missing or stale
+    /// baseline rows.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.status == GateStatus::Ok)
+    }
+
+    /// The rows that keep [`GateReport::passed`] false.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&GateRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.status != GateStatus::Ok)
+            .collect()
+    }
+}
+
+/// Compares a fresh measurement against the committed baseline cell by
+/// cell. A cell regresses when its slots/sec drops more than
+/// `tolerance_pct` percent below the baseline; baseline rows that are
+/// missing or measured a different trace shape fail the gate too (the
+/// fix in both cases is regenerating the committed `BENCH_engine.json`).
+/// Baseline rows for cells the current run did not measure are ignored.
+#[must_use]
+pub fn gate_against_baseline(
+    baseline: &EngineBenchReport,
+    current: &EngineBenchReport,
+    tolerance_pct: f64,
+) -> GateReport {
+    let rows = current
+        .rows
+        .iter()
+        .map(|cell| {
+            let base = baseline.row_of(&cell.scenario, &cell.policy);
+            let (baseline_slots_per_sec, delta_pct, status) = match base {
+                None => (None, None, GateStatus::BaselineMissing),
+                Some(b) if b.slots != cell.slots || b.n_functions != cell.n_functions => {
+                    (Some(b.slots_per_sec), None, GateStatus::StaleBaseline)
+                }
+                Some(b) => {
+                    let delta = (cell.slots_per_sec - b.slots_per_sec) / b.slots_per_sec * 100.0;
+                    let status = if delta < -tolerance_pct {
+                        GateStatus::Regression
+                    } else {
+                        GateStatus::Ok
+                    };
+                    (Some(b.slots_per_sec), Some(delta), status)
+                }
+            };
+            GateRow {
+                scenario: cell.scenario.clone(),
+                policy: cell.policy.clone(),
+                baseline_slots_per_sec,
+                current_slots_per_sec: cell.slots_per_sec,
+                delta_pct,
+                status,
+            }
+        })
+        .collect();
+    GateReport {
+        rows,
+        tolerance_pct,
+    }
 }
 
 #[cfg(test)]
@@ -119,29 +298,135 @@ mod tests {
 
     #[test]
     fn bench_rows_cover_every_requested_policy() {
-        let rows = bench_engine("quick", 40, 3, &["keep-forever", "no-keep-alive"], false).unwrap();
+        let rows =
+            bench_engine("quick", 40, 3, &["keep-forever", "no-keep-alive"], false, 2).unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.scenario, "quick");
             assert!(row.slots > 0);
+            assert_eq!(row.iters, 2);
             assert!(row.slots_per_sec > 0.0, "{row:?}");
+            assert!(
+                row.secs_min <= row.secs && row.secs <= row.secs_max,
+                "{row:?}"
+            );
+            assert!(row.secs_std >= 0.0);
         }
     }
 
     #[test]
     fn quick_mode_shrinks_every_scenario() {
-        let rows = bench_engine("chain-heavy", 40, 3, &["no-keep-alive"], true).unwrap();
+        let rows = bench_engine("chain-heavy", 40, 3, &["no-keep-alive"], true, 1).unwrap();
         // The quick shrink caps the horizon at 7 days.
         assert_eq!(rows[0].slots, u64::from(7 * spes_trace::SLOTS_PER_DAY));
     }
 
     #[test]
     fn unknown_names_are_rejected() {
-        assert!(bench_engine("no-such", 10, 1, &["keep-forever"], false).is_err());
-        assert!(bench_engine("quick", 10, 1, &["no-such"], false).is_err());
+        assert!(bench_engine("no-such", 10, 1, &["keep-forever"], false, 1).is_err());
+        assert!(bench_engine("quick", 10, 1, &["no-such"], false, 1).is_err());
+        assert!(bench_engine("quick", 10, 1, &["keep-forever"], false, 0).is_err());
         // FaaSCache's capacity depends on a SPES run.
-        let err = bench_engine("quick", 10, 1, &["faascache"], false).unwrap_err();
+        let err = bench_engine("quick", 10, 1, &["faascache"], false, 1).unwrap_err();
         assert!(err.contains("capacity donor"), "{err}");
+    }
+
+    #[test]
+    fn sample_stats_are_consistent() {
+        let (mean, min, max, std) = sample_stats(&[1.0, 2.0, 3.0]);
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert_eq!((min, max), (1.0, 3.0));
+        assert!((std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let (m1, lo1, hi1, s1) = sample_stats(&[0.25]);
+        assert_eq!((m1, lo1, hi1, s1), (0.25, 0.25, 0.25, 0.0));
+    }
+
+    fn row(scenario: &str, policy: &str, slots_per_sec: f64) -> EngineBenchRow {
+        EngineBenchRow {
+            scenario: scenario.into(),
+            policy: policy.into(),
+            n_functions: 120,
+            slots: 10_080,
+            iters: 5,
+            secs: 10_080.0 / slots_per_sec,
+            secs_min: 0.0,
+            secs_max: 1.0,
+            secs_std: 0.0,
+            slots_per_sec,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = EngineBenchReport {
+            rows: vec![row("quick", "keep-forever", 100_000.0)],
+        };
+        // 30% slower: inside a 40% tolerance.
+        let ok = EngineBenchReport {
+            rows: vec![row("quick", "keep-forever", 70_000.0)],
+        };
+        let report = gate_against_baseline(&baseline, &ok, 40.0);
+        assert!(report.passed(), "{:?}", report.rows);
+        assert!((report.rows[0].delta_pct.unwrap() + 30.0).abs() < 1e-9);
+
+        // 50% slower: regression.
+        let slow = EngineBenchReport {
+            rows: vec![row("quick", "keep-forever", 50_000.0)],
+        };
+        let report = gate_against_baseline(&baseline, &slow, 40.0);
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 1);
+        assert_eq!(report.rows[0].status, GateStatus::Regression);
+
+        // Faster is always fine.
+        let fast = EngineBenchReport {
+            rows: vec![row("quick", "keep-forever", 250_000.0)],
+        };
+        assert!(gate_against_baseline(&baseline, &fast, 40.0).passed());
+    }
+
+    #[test]
+    fn gate_flags_missing_and_stale_baselines() {
+        let baseline = EngineBenchReport {
+            rows: vec![row("quick", "keep-forever", 100_000.0)],
+        };
+        let current = EngineBenchReport {
+            rows: vec![
+                row("quick", "keep-forever", 100_000.0),
+                row("quick", "no-keep-alive", 90_000.0),
+            ],
+        };
+        let report = gate_against_baseline(&baseline, &current, 40.0);
+        assert!(!report.passed());
+        assert_eq!(report.rows[1].status, GateStatus::BaselineMissing);
+
+        let mut resized = row("quick", "keep-forever", 100_000.0);
+        resized.n_functions = 999;
+        let report = gate_against_baseline(
+            &baseline,
+            &EngineBenchReport {
+                rows: vec![resized],
+            },
+            40.0,
+        );
+        assert_eq!(report.rows[0].status, GateStatus::StaleBaseline);
+        assert!(!report.passed());
+
+        // Baseline rows the current run did not measure are ignored.
+        let report = gate_against_baseline(
+            &EngineBenchReport {
+                rows: vec![
+                    row("quick", "keep-forever", 100_000.0),
+                    row("bursty", "keep-forever", 100_000.0),
+                ],
+            },
+            &EngineBenchReport {
+                rows: vec![row("quick", "keep-forever", 95_000.0)],
+            },
+            40.0,
+        );
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 1);
     }
 
     #[test]
@@ -152,12 +437,18 @@ mod tests {
                 policy: "keep-forever".into(),
                 n_functions: 800,
                 slots: 20_160,
+                iters: 5,
                 secs: 0.25,
+                secs_min: 0.2,
+                secs_max: 0.3,
+                secs_std: 0.03,
                 slots_per_sec: 80_640.0,
             }],
         };
         let text = serde_json::to_string_pretty(&report).unwrap();
         let back: EngineBenchReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
+        assert!(report.row_of("paper-default", "keep-forever").is_some());
+        assert!(report.row_of("paper-default", "spes").is_none());
     }
 }

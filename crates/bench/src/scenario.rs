@@ -10,7 +10,7 @@
 use crate::policies;
 use spes_core::{SpesConfig, SpesPolicy};
 use spes_sim::suite::{run_suite, PolicySpec, SuiteError, SuiteOutcome};
-use spes_sim::{RunResult, SlotSeries};
+use spes_sim::{EvictionAudit, Fairness, MemoryPressure, RunResult, SlotSeries};
 use spes_trace::{synth, FunctionId, Slot, SynthConfig, SynthTrace};
 
 /// Experiment-wide settings (trace scale, seed, SPES config).
@@ -77,6 +77,13 @@ pub struct ComparisonRun {
     /// [`SlotSeries`] observer during the same simulation — time-series
     /// figures read from here with no re-simulation.
     pub slot_series: Vec<SlotSeries>,
+    /// Per-policy eviction forensics, aligned with `runs` (recorded by
+    /// the suite runner's [`EvictionAudit`] observer on the same run).
+    pub audits: Vec<EvictionAudit>,
+    /// Per-policy per-app fairness accounting, aligned with `runs`.
+    pub fairness: Vec<Fairness>,
+    /// Per-policy pool-headroom tracking, aligned with `runs`.
+    pub pressure: Vec<MemoryPressure>,
     /// SPES per-function category labels, as they stood after the run
     /// (for Figs. 10 and 12). Empty when the suite does not include
     /// `spes`.
@@ -125,6 +132,36 @@ impl ComparisonRun {
             .map(|i| &self.slot_series[i])
     }
 
+    /// The eviction audit of one policy by name, if it was part of the
+    /// suite.
+    #[must_use]
+    pub fn try_audit_of(&self, name: &str) -> Option<&EvictionAudit> {
+        self.runs
+            .iter()
+            .position(|r| r.policy_name == name)
+            .map(|i| &self.audits[i])
+    }
+
+    /// The fairness accounting of one policy by name, if it was part of
+    /// the suite.
+    #[must_use]
+    pub fn try_fairness_of(&self, name: &str) -> Option<&Fairness> {
+        self.runs
+            .iter()
+            .position(|r| r.policy_name == name)
+            .map(|i| &self.fairness[i])
+    }
+
+    /// The pressure tracking of one policy by name, if it was part of
+    /// the suite.
+    #[must_use]
+    pub fn try_pressure_of(&self, name: &str) -> Option<&MemoryPressure> {
+        self.runs
+            .iter()
+            .position(|r| r.policy_name == name)
+            .map(|i| &self.pressure[i])
+    }
+
     fn from_suite(outcome: SuiteOutcome, n_functions: usize) -> Self {
         let (spes_labels, fit_summary) =
             outcome
@@ -147,14 +184,24 @@ impl ComparisonRun {
                         .map(|spes| spes.fit_stats().clone());
                     (labels, fit)
                 });
-        let (runs, slot_series) = outcome
-            .entries
-            .into_iter()
-            .map(|e| (e.run, e.series))
-            .unzip();
+        let mut runs = Vec::new();
+        let mut slot_series = Vec::new();
+        let mut audits = Vec::new();
+        let mut fairness = Vec::new();
+        let mut pressure = Vec::new();
+        for e in outcome.entries {
+            runs.push(e.run);
+            slot_series.push(e.series);
+            audits.push(e.audit);
+            fairness.push(e.fairness);
+            pressure.push(e.pressure);
+        }
         Self {
             runs,
             slot_series,
+            audits,
+            fairness,
+            pressure,
             spes_labels,
             fit_summary,
         }

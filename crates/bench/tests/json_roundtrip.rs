@@ -27,6 +27,9 @@ fn figure_json_round_trips_as_values() {
         serde_json::to_string_pretty(&figures_main::fig12(&cmp).expect("spes in suite")).unwrap(),
         serde_json::to_string_pretty(&figures_main::overhead(&cmp)).unwrap(),
         serde_json::to_string_pretty(&figures_main::timeline(&cmp, 60)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::evictions(&cmp)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::fairness(&cmp)).unwrap(),
+        serde_json::to_string_pretty(&figures_main::pressure(&cmp)).unwrap(),
     ];
     for text in documents {
         let value: Value = serde_json::from_str(&text).expect("figure JSON parses");
@@ -54,7 +57,11 @@ fn bench_report_round_trips_typed() {
                 policy: "keep-forever".into(),
                 n_functions: 800,
                 slots: 20_160,
+                iters: 5,
                 secs: 0.125,
+                secs_min: 0.115,
+                secs_max: 0.145,
+                secs_std: 0.01,
                 slots_per_sec: 161_280.0,
             },
             EngineBenchRow {
@@ -62,7 +69,11 @@ fn bench_report_round_trips_typed() {
                 policy: "no-keep-alive".into(),
                 n_functions: 800,
                 slots: 20_160,
+                iters: 5,
                 secs: 0.5,
+                secs_min: 0.4,
+                secs_max: 0.6,
+                secs_std: 0.07,
                 slots_per_sec: 40_320.0,
             },
         ],

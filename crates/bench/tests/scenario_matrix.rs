@@ -106,3 +106,61 @@ fn aggregates_confirm_the_ordering_in_expectation() {
     let fixed = out.aggregate_of("fixed-keep-alive");
     assert!(spes.mean_wmt < fixed.mean_wmt);
 }
+
+#[test]
+fn streaming_aggregates_are_bit_identical_to_stored_cells() {
+    // The matrix aggregates are folded streaming — each cell pushed into
+    // per-policy OnlineStats as its thread joins, before any storage is
+    // consulted. Replaying the same fold over the *stored* cells must
+    // land on identical bits: this pins that the streaming path (which
+    // retains no RunResults) and the stored-run path agree exactly on
+    // the full 5-seed x 3-scenario regression matrix, i.e. the fold
+    // order is deterministic and storage adds no information.
+    let out = matrix();
+    let suite = policies::default_suite(&SpesConfig::default());
+    let replayed = spes_bench::matrix::aggregate_cells(&out.cells, &suite);
+    assert_eq!(replayed.len(), out.aggregates.len());
+    for (streamed, stored) in out.aggregates.iter().zip(&replayed) {
+        assert_eq!(streamed.policy, stored.policy);
+        assert_eq!(streamed.cells, stored.cells);
+        assert_eq!(streamed.cells, SCENARIOS.len() * SEEDS.len());
+        assert_eq!(streamed.mean_q3_csr.to_bits(), stored.mean_q3_csr.to_bits());
+        assert_eq!(streamed.std_q3_csr.to_bits(), stored.std_q3_csr.to_bits());
+        assert_eq!(streamed.mean_memory.to_bits(), stored.mean_memory.to_bits());
+        assert_eq!(streamed.std_memory.to_bits(), stored.std_memory.to_bits());
+        assert_eq!(streamed.mean_wmt.to_bits(), stored.mean_wmt.to_bits());
+        assert_eq!(streamed.std_wmt.to_bits(), stored.std_wmt.to_bits());
+        assert_eq!(
+            streamed.mean_gini_csr.to_bits(),
+            stored.mean_gini_csr.to_bits()
+        );
+        assert_eq!(
+            streamed.mean_premature_fraction.to_bits(),
+            stored.mean_premature_fraction.to_bits()
+        );
+    }
+}
+
+#[test]
+fn fairness_aggregates_are_populated_on_every_policy() {
+    // The new scenario axis: chain-heavy / unseen-heavy / shift-heavy
+    // cells carry fairness and eviction forensics through the aggregate
+    // fold. Values must be well-formed probabilities/coefficients.
+    let out = matrix();
+    for aggregate in &out.aggregates {
+        assert!(
+            (0.0..=1.0).contains(&aggregate.mean_gini_csr),
+            "{}: gini {}",
+            aggregate.policy,
+            aggregate.mean_gini_csr
+        );
+        assert!(aggregate.std_gini_csr >= 0.0);
+        assert!(
+            (0.0..=1.0).contains(&aggregate.mean_premature_fraction),
+            "{}: premature {}",
+            aggregate.policy,
+            aggregate.mean_premature_fraction
+        );
+        assert!(aggregate.std_premature_fraction >= 0.0);
+    }
+}

@@ -372,7 +372,9 @@ impl Observer for ClusterObserver {
                 self.peak_loaded = self.peak_loaded.max(loaded);
                 self.slots += 1;
             }
-            SimEvent::ColdStart { .. } | SimEvent::WarmStart { .. } => {}
+            SimEvent::ColdStart { .. }
+            | SimEvent::WarmStart { .. }
+            | SimEvent::LoadRejected { .. } => {}
         }
     }
 }

@@ -42,6 +42,14 @@ pub struct SimConfig {
     /// Memory capacity in instances; `None` means unlimited (the paper's
     /// default assumption).
     pub capacity: Option<usize>,
+    /// Pressure-admission budget in instances; `None` disables admission
+    /// control. With a budget, policy loads (pre-warms) that would push
+    /// occupancy past it are refused and surfaced as
+    /// [`SimEvent::LoadRejected`] events; demand loads — an invoked
+    /// function must be served — always go through, so occupancy can
+    /// still exceed the budget under demand pressure. Unlike `capacity`,
+    /// the budget is soft: nothing is ever force-evicted for it.
+    pub pressure_budget: Option<usize>,
 }
 
 impl SimConfig {
@@ -54,6 +62,7 @@ impl SimConfig {
             end,
             metrics_start: start,
             capacity: None,
+            pressure_budget: None,
         }
     }
 
@@ -61,6 +70,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = Some(capacity);
+        self
+    }
+
+    /// Enables admission control: policy pre-warm loads that would push
+    /// occupancy past `budget` are rejected (emitted as
+    /// [`SimEvent::LoadRejected`]); demand loads still go through.
+    #[must_use]
+    pub fn with_pressure_budget(mut self, budget: usize) -> Self {
+        self.pressure_budget = Some(budget);
         self
     }
 
@@ -182,6 +200,7 @@ impl<'t, 'o> Simulation<'t, 'o> {
             end,
             metrics_start,
             capacity,
+            pressure_budget,
         } = self.config;
         if start > end {
             return Err(SimError::InvalidWindow { start, end });
@@ -204,6 +223,7 @@ impl<'t, 'o> Simulation<'t, 'o> {
         let buckets = self.trace.bucket_by_slot(start, end);
         let mut pool = MemoryPool::with_capacity(n, capacity);
         pool.enable_journal();
+        pool.set_admission_budget(pressure_budget);
         let mut ops: Vec<PoolOp> = Vec::new();
 
         let meta = RunMeta {
@@ -254,7 +274,7 @@ impl<'t, 'o> Simulation<'t, 'o> {
                         &SimEvent::ColdStart { f, count },
                     );
                     make_room(policy, &mut pool);
-                    pool.load(f, t);
+                    pool.demand_load(f, t);
                     flush_pool_ops(
                         &mut pool,
                         &mut ops,
@@ -340,6 +360,7 @@ fn flush_pool_ops(
                 f,
                 cause: evict_cause,
             },
+            PoolOp::Reject(f) => SimEvent::LoadRejected { f },
         };
         emit(observers, pool, slot, measured, &event);
     }
@@ -641,6 +662,92 @@ mod tests {
     fn rejects_window_beyond_horizon() {
         let trace = trace_of(vec![SparseSeries::new()], 10);
         let _ = simulate(&trace, &mut KeepForever, SimConfig::new(0, 11));
+    }
+
+    /// Pre-warms one fixed function every slot and never evicts.
+    struct Prewarm {
+        target: FunctionId,
+    }
+
+    impl Policy for Prewarm {
+        fn name(&self) -> &str {
+            "prewarm"
+        }
+
+        fn on_slot(&mut self, now: Slot, _invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+            pool.load(self.target, now);
+        }
+    }
+
+    #[test]
+    fn pressure_budget_rejects_prewarms_but_not_demand() {
+        // f0 is invoked at slots 0 and 2; the policy tries to pre-warm f1
+        // every slot. With a budget of 1 the demand load of f0 fills the
+        // pool, so every pre-warm attempt is rejected.
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 1), (2, 1)]),
+                SparseSeries::new(),
+            ],
+            4,
+        );
+        let mut log = crate::events::EventLog::new();
+        let mut collector = RunCollector::new();
+        Simulation::new(&trace, SimConfig::new(0, 4).with_pressure_budget(1))
+            .observe(&mut collector)
+            .observe(&mut log)
+            .run(&mut Prewarm {
+                target: FunctionId(1),
+            })
+            .unwrap();
+        let run = collector.into_result();
+        // The demand load went through despite the budget being reached.
+        assert_eq!(run.cold_starts[0], 1);
+        assert_eq!(run.invocations[0], 2);
+        // f1 never made it into the pool.
+        assert_eq!(run.wmt[1], 0);
+        let rejected = log
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, SimEvent::LoadRejected { f } if f == FunctionId(1)))
+            .count();
+        assert_eq!(rejected, 4, "one rejection per slot");
+    }
+
+    #[test]
+    fn prewarms_admitted_under_the_budget() {
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 1), (2, 1)]),
+                SparseSeries::new(),
+            ],
+            4,
+        );
+        let mut log = crate::events::EventLog::new();
+        Simulation::new(&trace, SimConfig::new(0, 4).with_pressure_budget(2))
+            .observe(&mut log)
+            .run(&mut Prewarm {
+                target: FunctionId(1),
+            })
+            .unwrap();
+        let policy_loads = log
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    SimEvent::Load {
+                        cause: LoadCause::Policy,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(policy_loads, 1, "admitted once, resident thereafter");
+        assert!(!log
+            .events
+            .iter()
+            .any(|e| matches!(e.event, SimEvent::LoadRejected { .. })));
     }
 
     #[test]

@@ -30,7 +30,7 @@
 
 use crate::memory::MemoryPool;
 use crate::metrics::RunResult;
-use spes_trace::{FunctionId, Slot};
+use spes_trace::{AppId, FunctionId, Slot, Trace};
 
 /// Why an instance was loaded into the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +84,15 @@ pub enum SimEvent {
         f: FunctionId,
         /// Who evicted it.
         cause: EvictCause,
+    },
+    /// A policy load was refused by pressure admission control
+    /// ([`crate::engine::SimConfig::with_pressure_budget`]): projected
+    /// occupancy exceeded the budget, so the pool is unchanged. Demand
+    /// loads (serving a cold start) are never rejected, so this event
+    /// only ever follows a policy's own `load` call.
+    LoadRejected {
+        /// The function whose load was refused.
+        f: FunctionId,
     },
     /// The slot is over: invocations served, policy hook run, pool in its
     /// end-of-slot state (snapshot via [`EventCtx::pool`]).
@@ -255,6 +264,7 @@ impl Observer for RunCollector {
                 let span = self.span_slots(self.span_start[f.index()], ctx.slot);
                 self.loaded_slots[f.index()] += span;
             }
+            SimEvent::LoadRejected { .. } => {}
             SimEvent::SlotEnd { policy_secs } => {
                 if ctx.measured {
                     self.overhead_secs += policy_secs;
@@ -360,7 +370,7 @@ impl Observer for SlotSeries {
                 self.invoked_now.push(f);
             }
             SimEvent::Evict { .. } => self.evict_now += 1,
-            SimEvent::Load { .. } => {}
+            SimEvent::Load { .. } | SimEvent::LoadRejected { .. } => {}
             SimEvent::SlotEnd { .. } => {
                 if ctx.measured {
                     let loaded_now = ctx.pool.loaded_count();
@@ -467,6 +477,345 @@ impl Observer for EvictionAudit {
                         self.premature_reloads += 1;
                     }
                 }
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemoryPressure: pool headroom and admission forensics
+// ---------------------------------------------------------------------
+
+/// Tracks pool headroom against a pressure budget over the full
+/// simulated horizon.
+///
+/// The budget is the occupancy level the operator considers "full": by
+/// default the observer adopts the run's own limit at run start — the
+/// engine's pressure-admission budget when one is configured
+/// ([`crate::engine::SimConfig::with_pressure_budget`]), else the pool's
+/// hard capacity, else none. Occupancy is tracked from the Load/Evict
+/// events themselves, so the mid-slot peak is exact even though pool
+/// snapshots are delivered per phase; end-of-slot statistics use the
+/// [`SimEvent::SlotEnd`] snapshot, which always is.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPressure {
+    budget: Option<usize>,
+    budget_is_explicit: bool,
+    occupancy: usize,
+    /// Highest occupancy observed at any point of the run (mid-slot
+    /// included).
+    pub peak_occupancy: usize,
+    /// Policy loads refused by admission control.
+    pub rejected_loads: u64,
+    /// Simulated slots observed.
+    pub slots: u64,
+    /// Sum of end-of-slot occupancy over all observed slots.
+    pub loaded_integral: u64,
+    /// Slots that ended at or above the budget (0 without a budget).
+    pub slots_at_budget: u64,
+    /// Sum of end-of-slot occupancy in excess of the budget — the
+    /// pressure demand loads created that admission control could not
+    /// prevent (0 without a budget).
+    pub over_budget_integral: u64,
+    /// Smallest end-of-slot headroom `budget - occupancy` seen, clamped
+    /// at 0; `None` without a budget (or before the first slot).
+    pub min_headroom: Option<usize>,
+}
+
+impl MemoryPressure {
+    /// Creates an observer that adopts the run's own budget at run start
+    /// (admission budget, else hard capacity, else none).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an observer tracking headroom against an explicit budget.
+    #[must_use]
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget: Some(budget),
+            budget_is_explicit: true,
+            ..Self::default()
+        }
+    }
+
+    /// The budget headroom is tracked against, once the run started.
+    #[must_use]
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Mean end-of-slot occupancy (0 before the first slot).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.loaded_integral as f64 / self.slots as f64
+        }
+    }
+
+    /// Mean occupancy as a fraction of the budget; `None` without a
+    /// budget or with a zero budget.
+    #[must_use]
+    pub fn utilization(&self) -> Option<f64> {
+        match self.budget {
+            Some(b) if b > 0 => Some(self.mean_occupancy() / b as f64),
+            _ => None,
+        }
+    }
+
+    /// Fraction of observed slots that ended at or above the budget
+    /// (0 without a budget or before the first slot).
+    #[must_use]
+    pub fn pressure_fraction(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.slots_at_budget as f64 / self.slots as f64
+        }
+    }
+}
+
+impl Observer for MemoryPressure {
+    fn on_run_start(&mut self, _meta: &RunMeta<'_>, pool: &MemoryPool) {
+        if !self.budget_is_explicit {
+            self.budget = pool.admission_budget().or(pool.capacity());
+        }
+        self.occupancy = pool.loaded_count();
+        self.peak_occupancy = self.occupancy;
+    }
+
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        match *event {
+            SimEvent::Load { .. } => {
+                self.occupancy += 1;
+                self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
+            }
+            SimEvent::Evict { .. } => self.occupancy -= 1,
+            SimEvent::LoadRejected { .. } => self.rejected_loads += 1,
+            SimEvent::SlotEnd { .. } => {
+                let loaded = ctx.pool.loaded_count();
+                self.slots += 1;
+                self.loaded_integral += loaded as u64;
+                if let Some(budget) = self.budget {
+                    if loaded >= budget {
+                        self.slots_at_budget += 1;
+                    }
+                    self.over_budget_integral += loaded.saturating_sub(budget) as u64;
+                    let headroom = budget.saturating_sub(loaded);
+                    self.min_headroom = Some(match self.min_headroom {
+                        Some(h) => h.min(headroom),
+                        None => headroom,
+                    });
+                }
+            }
+            SimEvent::ColdStart { .. } | SimEvent::WarmStart { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fairness: per-app cold-start burden vs. invocation share
+// ---------------------------------------------------------------------
+
+/// One application's share of the measured workload and of the cold
+/// starts, as reported by [`Fairness::shares`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppShare {
+    /// The application.
+    pub app: AppId,
+    /// Measured invocations of the app's functions.
+    pub invocations: u64,
+    /// Measured cold starts charged to the app's functions.
+    pub cold_starts: u64,
+    /// `invocations / total invocations` (0 when the run saw none).
+    pub invocation_share: f64,
+    /// `cold_starts / total cold starts` (0 when the run saw none).
+    pub cold_share: f64,
+    /// The app-level cold-start rate `cold_starts / invocations`
+    /// (0 for apps without invocations).
+    pub csr: f64,
+}
+
+impl AppShare {
+    /// How disproportionate the app's cold-start burden is:
+    /// `cold_share / invocation_share`. Above 1, the app absorbs more of
+    /// the cold starts than its traffic share would predict. 0 for apps
+    /// without invocations.
+    #[must_use]
+    pub fn burden_ratio(&self) -> f64 {
+        if self.invocation_share > 0.0 {
+            self.cold_share / self.invocation_share
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-application fairness accounting over the measured window.
+///
+/// A policy can post a good aggregate cold-start rate while
+/// concentrating the misses on a few applications; this observer makes
+/// that visible. It attributes every measured invocation and cold start
+/// to the owning application (the static function→app map is taken from
+/// the trace metadata) and summarises the distribution with a Gini
+/// coefficient over app-level cold-start rates and the worst
+/// cold-share : invocation-share ratio.
+#[derive(Debug, Clone)]
+pub struct Fairness {
+    /// Dense app index per function.
+    app_index: Vec<u32>,
+    /// App id per dense index, ascending.
+    apps: Vec<AppId>,
+    invocations: Vec<u64>,
+    cold_starts: Vec<u64>,
+}
+
+impl Fairness {
+    /// Builds the observer from an explicit function→app assignment
+    /// (`apps_of_functions[i]` is function `i`'s owning app).
+    #[must_use]
+    pub fn new(apps_of_functions: &[AppId]) -> Self {
+        let mut apps: Vec<AppId> = apps_of_functions.to_vec();
+        apps.sort_unstable();
+        apps.dedup();
+        let app_index = apps_of_functions
+            .iter()
+            .map(|app| apps.binary_search(app).expect("app in sorted set") as u32)
+            .collect();
+        let n_apps = apps.len();
+        Self {
+            app_index,
+            apps,
+            invocations: vec![0; n_apps],
+            cold_starts: vec![0; n_apps],
+        }
+    }
+
+    /// Builds the observer from the trace's own function metadata.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let apps: Vec<AppId> = trace.metas.iter().map(|m| m.app).collect();
+        Self::new(&apps)
+    }
+
+    /// Number of applications tracked.
+    #[must_use]
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Total measured invocations across all apps.
+    #[must_use]
+    pub fn total_invocations(&self) -> u64 {
+        self.invocations.iter().sum()
+    }
+
+    /// Total measured cold starts across all apps.
+    #[must_use]
+    pub fn total_cold_starts(&self) -> u64 {
+        self.cold_starts.iter().sum()
+    }
+
+    /// Per-app shares, in ascending app-id order.
+    #[must_use]
+    pub fn shares(&self) -> Vec<AppShare> {
+        let total_inv = self.total_invocations();
+        let total_cold = self.total_cold_starts();
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, &app)| {
+                let invocations = self.invocations[i];
+                let cold_starts = self.cold_starts[i];
+                AppShare {
+                    app,
+                    invocations,
+                    cold_starts,
+                    invocation_share: if total_inv == 0 {
+                        0.0
+                    } else {
+                        invocations as f64 / total_inv as f64
+                    },
+                    cold_share: if total_cold == 0 {
+                        0.0
+                    } else {
+                        cold_starts as f64 / total_cold as f64
+                    },
+                    csr: if invocations == 0 {
+                        0.0
+                    } else {
+                        cold_starts as f64 / invocations as f64
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Gini coefficient of app-level cold-start rates over apps with at
+    /// least one measured invocation: 0 when every app experiences the
+    /// same CSR, approaching 1 when the cold-start burden concentrates
+    /// on a vanishing fraction of apps. 0 when no app was invoked or
+    /// every invoked app has CSR 0.
+    #[must_use]
+    pub fn gini_csr(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .invocations
+            .iter()
+            .zip(&self.cold_starts)
+            .filter(|&(&inv, _)| inv > 0)
+            .map(|(&inv, &cold)| cold as f64 / inv as f64)
+            .collect();
+        gini(&rates)
+    }
+
+    /// The worst per-app [`AppShare::burden_ratio`] (0 when nothing was
+    /// invoked or no cold start occurred).
+    #[must_use]
+    pub fn max_burden_ratio(&self) -> f64 {
+        self.shares()
+            .iter()
+            .map(AppShare::burden_ratio)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Gini coefficient of a set of non-negative values (0 for empty input
+/// or an all-zero set).
+fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    let total: f64 = values.iter().sum();
+    if n == 0 || total <= 0.0 {
+        return 0.0;
+    }
+    let mut abs_diff_sum = 0.0;
+    for (i, &a) in values.iter().enumerate() {
+        for &b in &values[i + 1..] {
+            abs_diff_sum += (a - b).abs();
+        }
+    }
+    // Standard form: sum_ij |xi - xj| / (2 n^2 mean), with the upper
+    // triangle counted once above (hence the doubling).
+    2.0 * abs_diff_sum / (2.0 * n as f64 * total)
+}
+
+impl Observer for Fairness {
+    fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent) {
+        if !ctx.measured {
+            return;
+        }
+        match *event {
+            SimEvent::ColdStart { f, count } => {
+                let a = self.app_index[f.index()] as usize;
+                self.invocations[a] += u64::from(count);
+                self.cold_starts[a] += 1;
+            }
+            SimEvent::WarmStart { f, count } => {
+                let a = self.app_index[f.index()] as usize;
+                self.invocations[a] += u64::from(count);
             }
             _ => {}
         }
@@ -621,6 +970,183 @@ mod tests {
         assert_eq!(audit.capacity_evictions, 0);
         assert_eq!(audit.reloads, 1);
         assert_eq!(audit.premature_reloads, 1);
+    }
+
+    /// Pre-warms every function each slot and never evicts.
+    struct PrewarmAll;
+
+    impl crate::policy::Policy for PrewarmAll {
+        fn name(&self) -> &str {
+            "prewarm-all"
+        }
+
+        fn on_slot(&mut self, now: Slot, _invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+            for i in 0..pool.n_functions() as u32 {
+                pool.load(FunctionId(i), now);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_pressure_adopts_the_run_budget_and_counts_rejections() {
+        // Three functions, pressure budget 1: the demand load of f0 fills
+        // the pool, every pre-warm of f1/f2 is rejected, each slot.
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 1)]),
+                SparseSeries::new(),
+                SparseSeries::new(),
+            ],
+            4,
+        );
+        let mut pressure = MemoryPressure::new();
+        Simulation::new(&trace, SimConfig::new(0, 4).with_pressure_budget(1))
+            .observe(&mut pressure)
+            .run(&mut PrewarmAll)
+            .unwrap();
+        assert_eq!(pressure.budget(), Some(1));
+        // 2 rejects per slot (f1, f2); f0's re-load attempt is a no-op.
+        assert_eq!(pressure.rejected_loads, 8);
+        assert_eq!(pressure.peak_occupancy, 1);
+        assert_eq!(pressure.slots, 4);
+        assert_eq!(pressure.slots_at_budget, 4);
+        assert_eq!(pressure.min_headroom, Some(0));
+        assert_eq!(pressure.over_budget_integral, 0);
+        assert!((pressure.pressure_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(pressure.utilization(), Some(1.0));
+    }
+
+    #[test]
+    fn memory_pressure_tracks_headroom_without_rejections() {
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 1)]),
+                SparseSeries::from_pairs(vec![(1, 1)]),
+            ],
+            4,
+        );
+        let mut pressure = MemoryPressure::with_budget(3);
+        Simulation::new(&trace, SimConfig::new(0, 4))
+            .observe(&mut pressure)
+            .run(&mut KeepForever)
+            .unwrap();
+        assert_eq!(pressure.budget(), Some(3));
+        assert_eq!(pressure.rejected_loads, 0);
+        assert_eq!(pressure.peak_occupancy, 2);
+        // Slot 0 ends with 1 loaded, slots 1-3 with 2: min headroom 1.
+        assert_eq!(pressure.min_headroom, Some(1));
+        assert_eq!(pressure.slots_at_budget, 0);
+        assert!((pressure.mean_occupancy() - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_pressure_without_any_budget_still_tracks_occupancy() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(1, 2)])], 3);
+        let mut pressure = MemoryPressure::new();
+        Simulation::new(&trace, SimConfig::new(0, 3))
+            .observe(&mut pressure)
+            .run(&mut KeepForever)
+            .unwrap();
+        assert_eq!(pressure.budget(), None);
+        assert_eq!(pressure.min_headroom, None);
+        assert_eq!(pressure.utilization(), None);
+        assert_eq!(pressure.peak_occupancy, 1);
+        assert_eq!(pressure.loaded_integral, 2);
+    }
+
+    fn two_app_trace() -> Trace {
+        // App 0 owns f0/f1, app 7 owns f2. Sparse activity so that
+        // no-keep-alive makes every active slot a cold start.
+        let metas = vec![
+            FunctionMeta {
+                app: AppId(0),
+                user: UserId(0),
+                trigger: TriggerType::Http,
+            },
+            FunctionMeta {
+                app: AppId(0),
+                user: UserId(0),
+                trigger: TriggerType::Http,
+            },
+            FunctionMeta {
+                app: AppId(7),
+                user: UserId(1),
+                trigger: TriggerType::Timer,
+            },
+        ];
+        let series = vec![
+            SparseSeries::from_pairs(vec![(0, 2), (2, 2)]),
+            SparseSeries::from_pairs(vec![(1, 1)]),
+            SparseSeries::from_pairs(vec![(0, 5), (1, 5), (2, 5)]),
+        ];
+        Trace::new(3, metas, series)
+    }
+
+    #[test]
+    fn fairness_attributes_shares_per_app() {
+        let trace = two_app_trace();
+        let mut fairness = Fairness::from_trace(&trace);
+        Simulation::new(&trace, SimConfig::new(0, 3))
+            .observe(&mut fairness)
+            .run(&mut crate::policy::NoKeepAlive)
+            .unwrap();
+        assert_eq!(fairness.n_apps(), 2);
+        assert_eq!(fairness.total_invocations(), 20);
+        // Every active (function, slot) is cold under no-keep-alive.
+        assert_eq!(fairness.total_cold_starts(), 6);
+        let shares = fairness.shares();
+        assert_eq!(shares[0].app, AppId(0));
+        assert_eq!(shares[0].invocations, 5);
+        assert_eq!(shares[0].cold_starts, 3);
+        assert!((shares[0].invocation_share - 0.25).abs() < 1e-12);
+        assert!((shares[0].cold_share - 0.5).abs() < 1e-12);
+        assert!((shares[0].burden_ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(shares[1].app, AppId(7));
+        assert!((shares[1].csr - 0.2).abs() < 1e-12);
+        // App 0 bears double its traffic share in cold starts.
+        assert!((fairness.max_burden_ratio() - 2.0).abs() < 1e-12);
+        // CSRs are 0.6 (app 0) and 0.2 (app 7): Gini = 0.4/(2*2*0.4) = 0.25.
+        assert!(
+            (fairness.gini_csr() - 0.25).abs() < 1e-12,
+            "{}",
+            fairness.gini_csr()
+        );
+    }
+
+    #[test]
+    fn fairness_is_zero_when_burden_matches_traffic() {
+        // One app only: its cold share equals its invocation share and
+        // the Gini over a single CSR is 0.
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (2, 1)])], 3);
+        let mut fairness = Fairness::from_trace(&trace);
+        Simulation::new(&trace, SimConfig::new(0, 3))
+            .observe(&mut fairness)
+            .run(&mut KeepForever)
+            .unwrap();
+        assert_eq!(fairness.gini_csr(), 0.0);
+        assert!((fairness.max_burden_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_respects_the_measurement_window() {
+        let trace = two_app_trace();
+        let mut fairness = Fairness::from_trace(&trace);
+        Simulation::new(&trace, SimConfig::new(0, 3).with_metrics_start(2))
+            .observe(&mut fairness)
+            .run(&mut crate::policy::NoKeepAlive)
+            .unwrap();
+        // Only slot 2 is measured: f0 (app 0) and f2 (app 7).
+        assert_eq!(fairness.total_invocations(), 7);
+        assert_eq!(fairness.total_cold_starts(), 2);
+    }
+
+    #[test]
+    fn gini_handles_degenerate_inputs() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert_eq!(gini(&[0.5, 0.5, 0.5]), 0.0);
+        // Perfect concentration on one of n approaches (n-1)/n.
+        assert!((gini(&[1.0, 0.0, 0.0, 0.0]) - 0.75).abs() < 1e-12);
     }
 
     #[test]

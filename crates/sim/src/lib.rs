@@ -28,8 +28,8 @@ pub mod suite;
 pub use cluster::{run_on_cluster, Cluster, ClusterObserver, ClusterReport, PlacementStrategy};
 pub use engine::{simulate, try_simulate, SimConfig, SimError, Simulation};
 pub use events::{
-    EventCtx, EventLog, EvictCause, EvictionAudit, LoadCause, LoggedEvent, Observer, RunCollector,
-    RunMeta, SimEvent, SlotSeries,
+    AppShare, EventCtx, EventLog, EvictCause, EvictionAudit, Fairness, LoadCause, LoggedEvent,
+    MemoryPressure, Observer, RunCollector, RunMeta, SimEvent, SlotSeries,
 };
 pub use memory::MemoryPool;
 pub use metrics::RunResult;
@@ -37,5 +37,5 @@ pub use policy::{KeepForever, NoKeepAlive, Policy};
 pub use report::{per_category_stats, text_table, CategoryStats, NormalizedComparison};
 pub use suite::{
     run_suite, validate_suite, CapacityRule, FitContext, KeepForeverFactory, NoKeepAliveFactory,
-    PolicyFactory, PolicySpec, SuiteEntry, SuiteError, SuiteOutcome,
+    PolicyFactory, PolicySpec, SuiteEntry, SuiteError, SuiteOutcome, PREMATURE_RELOAD_WINDOW,
 };

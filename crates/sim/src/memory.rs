@@ -15,6 +15,8 @@ pub(crate) enum PoolOp {
     Load(FunctionId),
     /// A loaded instance was evicted.
     Evict(FunctionId),
+    /// A load was refused by pressure admission control; nothing changed.
+    Reject(FunctionId),
 }
 
 /// The set of loaded function instances.
@@ -34,6 +36,13 @@ pub struct MemoryPool {
     position: Vec<u32>,
     loaded: Vec<FunctionId>,
     capacity: Option<usize>,
+    /// Soft pressure budget for admission control; `None` admits every
+    /// load. Unlike `capacity` (a hard limit that panics when violated),
+    /// the budget makes [`MemoryPool::load`] *refuse* loads that would
+    /// push occupancy past it — the engine uses this to reject policy
+    /// pre-warms under memory pressure while demand loads (which must
+    /// serve a cold start) bypass it.
+    admission: Option<usize>,
     /// Slot at which each currently loaded instance was loaded.
     loaded_at: Vec<Slot>,
     /// Transition journal; `None` when journaling is off (the default).
@@ -59,6 +68,7 @@ impl MemoryPool {
             position: vec![NO_POSITION; n_functions],
             loaded: Vec::new(),
             capacity,
+            admission: None,
             loaded_at: vec![0; n_functions],
             journal: None,
         }
@@ -67,6 +77,18 @@ impl MemoryPool {
     /// Turns on the transition journal (engine-internal).
     pub(crate) fn enable_journal(&mut self) {
         self.journal = Some(Vec::new());
+    }
+
+    /// Sets the pressure-admission budget (engine-internal; see
+    /// [`crate::engine::SimConfig::with_pressure_budget`]).
+    pub(crate) fn set_admission_budget(&mut self, budget: Option<usize>) {
+        self.admission = budget;
+    }
+
+    /// The pressure-admission budget, if one is active.
+    #[must_use]
+    pub fn admission_budget(&self) -> Option<usize> {
+        self.admission
     }
 
     /// Moves all journalled transitions into `out` (engine-internal).
@@ -113,7 +135,9 @@ impl MemoryPool {
     }
 
     /// Loads `f` at slot `now`. Returns `true` if it was newly loaded,
-    /// `false` if it was already present (a no-op).
+    /// `false` if it was already present (a no-op) or refused by the
+    /// pressure-admission budget (the refusal is journalled, so under the
+    /// engine it surfaces as a `SimEvent::LoadRejected`).
     ///
     /// # Panics
     /// Panics when loading a new instance into a full pool; callers must
@@ -122,6 +146,26 @@ impl MemoryPool {
         if self.member[f.index()] {
             return false;
         }
+        if self.admission.is_some_and(|b| self.loaded.len() >= b) {
+            self.record(PoolOp::Reject(f));
+            return false;
+        }
+        self.admit(f, now);
+        true
+    }
+
+    /// Loads `f` bypassing the admission budget (engine-internal: demand
+    /// loads serve a cold start and cannot be deferred). The hard
+    /// `capacity` limit still applies.
+    pub(crate) fn demand_load(&mut self, f: FunctionId, now: Slot) -> bool {
+        if self.member[f.index()] {
+            return false;
+        }
+        self.admit(f, now);
+        true
+    }
+
+    fn admit(&mut self, f: FunctionId, now: Slot) {
         assert!(
             !self.is_full(),
             "loading {f} into a full pool (capacity {:?})",
@@ -132,7 +176,6 @@ impl MemoryPool {
         self.loaded.push(f);
         self.loaded_at[f.index()] = now;
         self.record(PoolOp::Load(f));
-        true
     }
 
     /// Evicts `f`. Returns `true` if it was loaded.
@@ -336,6 +379,45 @@ mod tests {
         let mut ops = Vec::new();
         pool.drain_journal_into(&mut ops);
         assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn admission_budget_refuses_loads_at_pressure() {
+        let mut pool = MemoryPool::unbounded(4);
+        pool.enable_journal();
+        pool.set_admission_budget(Some(2));
+        assert!(pool.load(FunctionId(0), 0));
+        assert!(pool.load(FunctionId(1), 0));
+        // At budget: further loads are refused and journalled as rejects.
+        assert!(!pool.load(FunctionId(2), 0));
+        assert!(!pool.contains(FunctionId(2)));
+        // Re-loading a resident instance stays a plain no-op, not a reject.
+        assert!(!pool.load(FunctionId(0), 1));
+        // Demand loads bypass the budget.
+        assert!(pool.demand_load(FunctionId(3), 1));
+        assert_eq!(pool.loaded_count(), 3);
+        let mut ops = Vec::new();
+        pool.drain_journal_into(&mut ops);
+        assert_eq!(
+            ops,
+            vec![
+                PoolOp::Load(FunctionId(0)),
+                PoolOp::Load(FunctionId(1)),
+                PoolOp::Reject(FunctionId(2)),
+                PoolOp::Load(FunctionId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn admission_budget_reopens_after_evictions() {
+        let mut pool = MemoryPool::unbounded(3);
+        pool.set_admission_budget(Some(1));
+        assert_eq!(pool.admission_budget(), Some(1));
+        assert!(pool.load(FunctionId(0), 0));
+        assert!(!pool.load(FunctionId(1), 0));
+        pool.evict(FunctionId(0));
+        assert!(pool.load(FunctionId(1), 1));
     }
 
     #[test]

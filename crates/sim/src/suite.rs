@@ -22,7 +22,7 @@
 //! suite's output order is exactly its declaration order.
 
 use crate::engine::{SimConfig, Simulation};
-use crate::events::{RunCollector, SlotSeries};
+use crate::events::{EvictionAudit, Fairness, MemoryPressure, RunCollector, SlotSeries};
 use crate::metrics::RunResult;
 use crate::policy::{KeepForever, NoKeepAlive, Policy};
 use spes_trace::{Slot, SynthTrace, Trace};
@@ -173,11 +173,27 @@ pub struct SuiteEntry {
     /// recorded by a [`SlotSeries`] observer during the same run — the
     /// figures read time series from here instead of re-simulating.
     pub series: SlotSeries,
+    /// Eviction forensics (by cause, premature-reload fraction) recorded
+    /// over the same run, with re-loads within
+    /// [`PREMATURE_RELOAD_WINDOW`] slots counted as premature.
+    pub audit: EvictionAudit,
+    /// Per-app cold-start burden vs. invocation share over the measured
+    /// window of the same run.
+    pub fairness: Fairness,
+    /// Pool headroom tracking against the run's resolved capacity (or
+    /// pressure budget) over the same run.
+    pub pressure: MemoryPressure,
     /// The capacity the run executed under (`None` = unlimited).
     pub resolved_capacity: Option<usize>,
     /// The policy after the run.
     pub policy: Box<dyn Policy>,
 }
+
+/// Re-loads within this many slots of an eviction count as premature in
+/// [`SuiteEntry::audit`] — the industry-standard 10-minute keep-alive
+/// window: evicting something that returns faster than that is a call a
+/// fixed keep-alive would have got right.
+pub const PREMATURE_RELOAD_WINDOW: Slot = 10;
 
 impl std::fmt::Debug for SuiteEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -340,15 +356,24 @@ pub fn run_suite(data: &SynthTrace, specs: &[PolicySpec]) -> Result<SuiteOutcome
         };
         let mut collector = RunCollector::new();
         let mut series = SlotSeries::new();
+        let mut audit = EvictionAudit::new(PREMATURE_RELOAD_WINDOW);
+        let mut fairness = Fairness::from_trace(trace);
+        let mut pressure = MemoryPressure::new();
         Simulation::new(trace, config)
             .observe(&mut collector)
             .observe(&mut series)
+            .observe(&mut audit)
+            .observe(&mut fairness)
+            .observe(&mut pressure)
             .run(policy.as_mut())
             .expect("the trace-carried window is valid");
         SuiteEntry {
             name: spec.name().to_owned(),
             run: collector.into_result(),
             series,
+            audit,
+            fairness,
+            pressure,
             resolved_capacity,
             policy,
         }

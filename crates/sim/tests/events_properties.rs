@@ -12,7 +12,8 @@
 
 use proptest::prelude::*;
 use spes_sim::{
-    EventLog, MemoryPool, Policy, RunCollector, SimConfig, SimEvent, Simulation, SlotSeries,
+    EventLog, LoadCause, MemoryPool, Policy, RunCollector, SimConfig, SimEvent, Simulation,
+    SlotSeries,
 };
 use spes_trace::{AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
 use std::collections::HashSet;
@@ -71,11 +72,41 @@ impl Policy for FixedKeepAlive {
     }
 }
 
+/// Aggressively pre-warms a rotating window of functions each slot on
+/// top of fixed keep-alive eviction — churny enough to exercise
+/// admission control from both sides (loads racing the budget, evictions
+/// re-opening headroom).
+struct ChurningPrewarm {
+    keep: FixedKeepAlive,
+    width: u32,
+}
+
+impl Policy for ChurningPrewarm {
+    fn name(&self) -> &str {
+        "churning-prewarm"
+    }
+
+    fn on_slot(&mut self, now: Slot, invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+        let n = pool.n_functions() as u32;
+        for i in 0..self.width.min(n) {
+            if pool.is_full() {
+                break;
+            }
+            pool.load(FunctionId((now + i) % n), now);
+        }
+        self.keep.on_slot(now, invoked, pool);
+    }
+}
+
 fn make_policy(kind: u8, n: usize, keep: u32) -> Box<dyn Policy> {
     match kind {
         0 => Box::new(spes_sim::NoKeepAlive),
         1 => Box::new(spes_sim::KeepForever),
-        _ => Box::new(FixedKeepAlive::new(n, keep)),
+        2 => Box::new(FixedKeepAlive::new(n, keep)),
+        _ => Box::new(ChurningPrewarm {
+            keep: FixedKeepAlive::new(n, keep),
+            width: 3,
+        }),
     }
 }
 
@@ -127,6 +158,8 @@ fn reconstruct(log: &EventLog) -> Reconstructed {
             SimEvent::Evict { f, .. } => {
                 loaded.remove(&f);
             }
+            // Rejected loads change nothing; the loaded set is untouched.
+            SimEvent::LoadRejected { .. } => {}
             SimEvent::SlotEnd { policy_secs } => {
                 if logged.measured {
                     r.overhead_secs += policy_secs;
@@ -204,6 +237,74 @@ proptest! {
         prop_assert_eq!(rebuilt.loaded_integral, run.loaded_integral);
         prop_assert!(rebuilt.peak_loaded <= cap);
         prop_assert_eq!(rebuilt.peak_loaded, run.peak_loaded);
+    }
+
+    #[test]
+    fn admission_control_reconstructs_and_respects_the_budget(
+        trace in trace_strategy(10, 100),
+        kind in 0u8..4,
+        budget in 0usize..6,
+        cap_raw in 0usize..9,
+        split in 0u32..100,
+    ) {
+        let mut policy = make_policy(kind, trace.n_functions(), 3);
+        let mut collector = RunCollector::new();
+        let mut log = EventLog::new();
+        let mut config = SimConfig::new(0, 100)
+            .with_metrics_start(split)
+            .with_pressure_budget(budget);
+        // Values below 3 mean "no hard capacity"; the rest combine the
+        // soft budget with a capacity-limited pool.
+        if cap_raw >= 3 {
+            config = config.with_capacity(cap_raw);
+        }
+        Simulation::new(&trace, config)
+            .observe(&mut collector)
+            .observe(&mut log)
+            .run(policy.as_mut())
+            .unwrap();
+        let run = collector.into_result();
+        let rebuilt = reconstruct(&log);
+
+        // With admission enabled the stream is still the complete source
+        // of truth: every paper metric reconstructs bit-identically.
+        prop_assert_eq!(&rebuilt.invocations, &run.invocations);
+        prop_assert_eq!(&rebuilt.cold_starts, &run.cold_starts);
+        prop_assert_eq!(&rebuilt.wmt, &run.wmt);
+        prop_assert_eq!(rebuilt.loaded_integral, run.loaded_integral);
+        prop_assert_eq!(rebuilt.emcr_slots, run.emcr_slots);
+        prop_assert_eq!(rebuilt.peak_loaded, run.peak_loaded);
+        prop_assert_eq!(rebuilt.emcr_sum.to_bits(), run.emcr_sum.to_bits());
+
+        // Replaying occupancy from the stream: policy loads are admitted
+        // only below the budget, rejections only happen at or above it,
+        // and demand loads are never rejected.
+        let mut occ = 0usize;
+        for logged in &log.events {
+            match logged.event {
+                SimEvent::Load { cause, .. } => {
+                    if cause == LoadCause::Policy {
+                        prop_assert!(
+                            occ < budget,
+                            "policy load admitted at occupancy {} >= budget {}",
+                            occ,
+                            budget
+                        );
+                    }
+                    occ += 1;
+                }
+                SimEvent::Evict { .. } => occ -= 1,
+                SimEvent::LoadRejected { .. } => {
+                    prop_assert!(
+                        occ >= budget,
+                        "load rejected with headroom: occupancy {} < budget {}",
+                        occ,
+                        budget
+                    );
+                }
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! Keeps the workspace's `[[bench]]` targets compiling and runnable with
 //! no crates.io access. Each benchmark runs a fixed warm-up plus a small
-//! number of timed iterations and prints mean wall-clock time per
-//! iteration — honest numbers for eyeballing regressions, with none of
-//! criterion's statistics, plots, or outlier analysis.
+//! number of timed iterations, each timed individually, and prints
+//! mean/min/max/stddev wall-clock time per iteration — honest numbers
+//! for eyeballing regressions and their noise floor, with none of
+//! criterion's plots or outlier analysis.
 //!
 //! Supports `--quick` (fewer iterations) and a substring filter argument,
 //! so `cargo bench -- <filter>` narrows what runs, like upstream.
@@ -105,18 +106,56 @@ impl Criterion {
         }
         let mut bencher = Bencher {
             iters: sample_size as u64,
-            elapsed: Duration::ZERO,
+            samples: Vec::with_capacity(sample_size),
         };
         f(&mut bencher);
-        let mean = if bencher.iters > 0 {
-            bencher.elapsed / bencher.iters as u32
-        } else {
-            Duration::ZERO
-        };
+        let stats = SampleStats::of(&bencher.samples);
         println!(
-            "bench: {id:<50} {mean:>12.2?}/iter ({} iters)",
-            bencher.iters
+            "bench: {id:<50} {:>12.2?}/iter (min {:.2?}, max {:.2?}, std {:.2?}, {} iters)",
+            stats.mean,
+            stats.min,
+            stats.max,
+            stats.stddev,
+            bencher.samples.len()
         );
+    }
+}
+
+/// Per-iteration timing statistics of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+    /// Population standard deviation over the iterations.
+    pub stddev: Duration,
+}
+
+impl SampleStats {
+    /// Computes the statistics over individually timed iterations
+    /// (all-zero for an empty sample set).
+    pub fn of(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                mean: Duration::ZERO,
+                min: Duration::ZERO,
+                max: Duration::ZERO,
+                stddev: Duration::ZERO,
+            };
+        }
+        let n = samples.len() as f64;
+        let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        let mean = secs.iter().sum::<f64>() / n;
+        let var = secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            mean: Duration::from_secs_f64(mean),
+            min: *samples.iter().min().expect("non-empty"),
+            max: *samples.iter().max().expect("non-empty"),
+            stddev: Duration::from_secs_f64(var.sqrt()),
+        }
     }
 }
 
@@ -168,18 +207,19 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Bencher {
     iters: u64,
-    elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Times `routine` over the sample iterations.
+    /// Times `routine` over the sample iterations, each individually.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         black_box(routine()); // warm-up, untimed
-        let start = Instant::now();
+        self.samples.clear();
         for _ in 0..self.iters {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
     }
 
     /// Times `routine` over fresh inputs built by `setup`; setup time is
@@ -189,14 +229,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        let mut elapsed = Duration::ZERO;
+        self.samples.clear();
         for _ in 0..self.iters {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            elapsed += start.elapsed();
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = elapsed;
     }
 }
 
@@ -264,5 +303,43 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn sample_stats_over_iterations() {
+        let samples = [
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ];
+        let stats = SampleStats::of(&samples);
+        assert_eq!(stats.mean, Duration::from_millis(20));
+        assert_eq!(stats.min, Duration::from_millis(10));
+        assert_eq!(stats.max, Duration::from_millis(30));
+        // Population stddev of {10, 20, 30} ms is sqrt(200/3) ms.
+        let expected = (200.0f64 / 3.0).sqrt() * 1e-3;
+        assert!((stats.stddev.as_secs_f64() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_stats_of_empty_is_zero() {
+        let stats = SampleStats::of(&[]);
+        assert_eq!(stats.mean, Duration::ZERO);
+        assert_eq!(stats.stddev, Duration::ZERO);
+    }
+
+    #[test]
+    fn bencher_collects_one_sample_per_iteration() {
+        let mut bencher = Bencher {
+            iters: 4,
+            samples: Vec::new(),
+        };
+        let mut calls = 0u32;
+        bencher.iter(|| calls += 1);
+        // One warm-up call plus one per timed iteration.
+        assert_eq!(calls, 5);
+        assert_eq!(bencher.samples.len(), 4);
+        bencher.iter_batched(|| (), |()| (), BatchSize::SmallInput);
+        assert_eq!(bencher.samples.len(), 4);
     }
 }
