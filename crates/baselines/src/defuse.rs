@@ -199,7 +199,7 @@ impl Policy for Defuse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spes_sim::{simulate, SimConfig};
+    use spes_sim::{try_simulate, SimConfig};
     use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
 
     fn meta(app: u32, user: u32) -> FunctionMeta {
@@ -237,7 +237,7 @@ mod tests {
     fn dependency_preloading_warms_child() {
         let trace = chain_trace(4 * 1440);
         let mut d = Defuse::paper_default(&trace, 0, 2 * 1440);
-        let r = simulate(&trace, &mut d, SimConfig::new(2 * 1440, 4 * 1440));
+        let r = try_simulate(&trace, &mut d, SimConfig::new(2 * 1440, 4 * 1440)).unwrap();
         let child_csr = r.csr_of(1).unwrap();
         assert!(child_csr < 0.1, "child csr = {child_csr}");
     }

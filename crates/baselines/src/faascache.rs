@@ -92,7 +92,7 @@ impl Policy for FaasCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spes_sim::{simulate, SimConfig};
+    use spes_sim::{try_simulate, SimConfig};
     use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
 
     fn trace_of(series: Vec<SparseSeries>, n_slots: Slot) -> Trace {
@@ -115,7 +115,7 @@ mod tests {
         let f2 = SparseSeries::from_pairs((2..n_slots).step_by(4).map(|s| (s, 1)).collect());
         let trace = trace_of(vec![f0, f1, f2], n_slots);
         let mut p = FaasCache::new(3);
-        let r = simulate(&trace, &mut p, SimConfig::new(0, n_slots).with_capacity(2));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(0, n_slots).with_capacity(2)).unwrap();
         assert_eq!(r.cold_starts[0], 1, "hot function should stay cached");
         assert!(r.cold_starts[1] > 1);
         assert!(r.cold_starts[2] > 1);
@@ -125,7 +125,7 @@ mod tests {
     fn unbounded_pool_never_evicts() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (50, 1)])], 100);
         let mut p = FaasCache::new(1);
-        let r = simulate(&trace, &mut p, SimConfig::new(0, 100));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(0, 100)).unwrap();
         assert_eq!(r.cold_starts[0], 1);
         // Kept loaded for the entire window after first load.
         assert_eq!(r.wmt[0], 98);

@@ -65,7 +65,7 @@ impl Policy for FixedKeepAlive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spes_sim::{simulate, SimConfig};
+    use spes_sim::{try_simulate, SimConfig};
     use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
 
     fn trace_of(series: Vec<SparseSeries>, n_slots: Slot) -> Trace {
@@ -82,7 +82,7 @@ mod tests {
     fn keeps_warm_within_window() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (9, 1)])], 20);
         let mut p = FixedKeepAlive::new(1, 10);
-        let r = simulate(&trace, &mut p, SimConfig::new(0, 20));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(0, 20)).unwrap();
         // Second invocation at gap 9 < 10: warm.
         assert_eq!(r.cold_starts[0], 1);
     }
@@ -91,7 +91,7 @@ mod tests {
     fn evicts_after_window() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (10, 1)])], 30);
         let mut p = FixedKeepAlive::new(1, 10);
-        let r = simulate(&trace, &mut p, SimConfig::new(0, 30));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(0, 30)).unwrap();
         // Gap of exactly the keep-alive: evicted at slot 10's sweep...
         // the invocation at slot 10 arrives before the sweep, so it is
         // warm only if eviction happened strictly earlier. Eviction at
@@ -101,7 +101,7 @@ mod tests {
 
         let trace2 = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (11, 1)])], 30);
         let mut p2 = FixedKeepAlive::new(1, 10);
-        let r2 = simulate(&trace2, &mut p2, SimConfig::new(0, 30));
+        let r2 = try_simulate(&trace2, &mut p2, SimConfig::new(0, 30)).unwrap();
         assert_eq!(r2.cold_starts[0], 2);
     }
 
@@ -109,7 +109,7 @@ mod tests {
     fn wmt_bounded_by_keep_alive() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1)])], 100);
         let mut p = FixedKeepAlive::new(1, 10);
-        let r = simulate(&trace, &mut p, SimConfig::new(0, 100));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(0, 100)).unwrap();
         // Loaded at 0, idle slots 1..9, evicted at the slot-10 sweep.
         assert_eq!(r.wmt[0], 9);
     }

@@ -289,7 +289,7 @@ impl Policy for HybridHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spes_sim::{simulate, SimConfig};
+    use spes_sim::{try_simulate, SimConfig};
     use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
 
     fn meta(app: u32) -> FunctionMeta {
@@ -316,7 +316,7 @@ mod tests {
         let trace = Trace::new(horizon, vec![meta(0)], vec![periodic(60, 0, horizon)]);
         let mut p = HybridHistogram::fit(&trace, 0, 2 * 1440, Granularity::Function);
         assert!(p.fallback_fraction() < 1.0);
-        let r = simulate(&trace, &mut p, SimConfig::new(2 * 1440, horizon));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(2 * 1440, horizon)).unwrap();
         let csr = r.csr_of(0).unwrap();
         // Pre-warm lands before each invocation: nearly all warm.
         assert!(csr <= 0.1, "csr = {csr}");
@@ -360,7 +360,7 @@ mod tests {
         let trace = Trace::new(horizon, vec![meta(7), meta(7)], vec![a, b]);
         let mut p = HybridHistogram::fit(&trace, 0, 2 * 1440, Granularity::Application);
         assert_eq!(p.granularity(), Granularity::Application);
-        let r = simulate(&trace, &mut p, SimConfig::new(2 * 1440, horizon));
+        let r = try_simulate(&trace, &mut p, SimConfig::new(2 * 1440, horizon)).unwrap();
         // The app's combined idle time is 30; both functions ride the
         // shared window, so cold starts are rare for both.
         assert!(r.csr_of(0).unwrap() < 0.2);
@@ -377,9 +377,9 @@ mod tests {
         let train_end = 2 * 1440;
 
         let mut hf = HybridHistogram::fit(&trace, 0, train_end, Granularity::Function);
-        let r_hf = simulate(&trace, &mut hf, SimConfig::new(train_end, horizon));
+        let r_hf = try_simulate(&trace, &mut hf, SimConfig::new(train_end, horizon)).unwrap();
         let mut ha = HybridHistogram::fit(&trace, 0, train_end, Granularity::Application);
-        let r_ha = simulate(&trace, &mut ha, SimConfig::new(train_end, horizon));
+        let r_ha = try_simulate(&trace, &mut ha, SimConfig::new(train_end, horizon)).unwrap();
         assert!(
             r_ha.mean_loaded() > r_hf.mean_loaded(),
             "HA {} <= HF {}",

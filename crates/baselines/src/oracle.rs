@@ -127,7 +127,7 @@ impl Policy for Oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spes_sim::{simulate, SimConfig};
+    use spes_sim::{try_simulate, SimConfig};
     use spes_trace::{AppId, FunctionMeta, SparseSeries, TriggerType, UserId};
 
     fn trace_of(series: Vec<SparseSeries>, n_slots: Slot) -> Trace {
@@ -147,7 +147,7 @@ mod tests {
             100,
         );
         let mut oracle = Oracle::frugal(&trace);
-        let run = simulate(&trace, &mut oracle, SimConfig::new(0, 100));
+        let run = try_simulate(&trace, &mut oracle, SimConfig::new(0, 100)).unwrap();
         assert_eq!(
             run.total_cold_starts(),
             0,
@@ -159,7 +159,7 @@ mod tests {
     fn frugal_oracle_wastes_one_slot_per_reload() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(10, 1), (60, 1)])], 100);
         let mut oracle = Oracle::frugal(&trace);
-        let run = simulate(&trace, &mut oracle, SimConfig::new(0, 100));
+        let run = try_simulate(&trace, &mut oracle, SimConfig::new(0, 100)).unwrap();
         assert_eq!(run.total_cold_starts(), 0);
         // Pre-loaded at 9 and 59 (one idle slot each), evicted right after
         // serving.
@@ -173,7 +173,7 @@ mod tests {
             100,
         );
         let mut oracle = Oracle::new(&trace, 5);
-        let run = simulate(&trace, &mut oracle, SimConfig::new(0, 100));
+        let run = try_simulate(&trace, &mut oracle, SimConfig::new(0, 100)).unwrap();
         assert_eq!(run.total_cold_starts(), 0);
         // Gap 10->14 (3 idle slots) ridden out; gap to 80 re-loaded with
         // one pre-warm slot.
@@ -195,9 +195,9 @@ mod tests {
         let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
 
         let mut oracle = Oracle::frugal(trace);
-        let oracle_run = simulate(trace, &mut oracle, window);
+        let oracle_run = try_simulate(trace, &mut oracle, window).unwrap();
         let mut spes = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
-        let spes_run = simulate(trace, &mut spes, window);
+        let spes_run = try_simulate(trace, &mut spes, window).unwrap();
 
         assert_eq!(oracle_run.total_cold_starts(), 0);
         assert!(oracle_run.total_wmt() <= spes_run.total_wmt());
@@ -208,7 +208,7 @@ mod tests {
     fn empty_trace_is_a_noop() {
         let trace = trace_of(vec![SparseSeries::new()], 50);
         let mut oracle = Oracle::frugal(&trace);
-        let run = simulate(&trace, &mut oracle, SimConfig::new(0, 50));
+        let run = try_simulate(&trace, &mut oracle, SimConfig::new(0, 50)).unwrap();
         assert_eq!(run.total_cold_starts(), 0);
         assert_eq!(run.total_wmt(), 0);
         assert_eq!(run.mean_loaded(), 0.0);

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spes_baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
 use spes_core::{SpesConfig, SpesPolicy};
-use spes_sim::{simulate, SimConfig};
+use spes_sim::{try_simulate, SimConfig};
 use spes_trace::{synth, SynthConfig, SLOTS_PER_DAY};
 
 fn provision_benches(c: &mut Criterion) {
@@ -26,42 +26,42 @@ fn provision_benches(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("spes"), |b| {
         b.iter_batched(
             || SpesPolicy::fit(trace, 0, train_end, SpesConfig::default()),
-            |mut policy| simulate(trace, &mut policy, day),
+            |mut policy| try_simulate(trace, &mut policy, day).unwrap(),
             criterion::BatchSize::LargeInput,
         );
     });
     group.bench_function(BenchmarkId::from_parameter("fixed-keep-alive"), |b| {
         b.iter_batched(
             || FixedKeepAlive::paper_default(trace.n_functions()),
-            |mut policy| simulate(trace, &mut policy, day),
+            |mut policy| try_simulate(trace, &mut policy, day).unwrap(),
             criterion::BatchSize::LargeInput,
         );
     });
     group.bench_function(BenchmarkId::from_parameter("hybrid-function"), |b| {
         b.iter_batched(
             || HybridHistogram::fit(trace, 0, train_end, Granularity::Function),
-            |mut policy| simulate(trace, &mut policy, day),
+            |mut policy| try_simulate(trace, &mut policy, day).unwrap(),
             criterion::BatchSize::LargeInput,
         );
     });
     group.bench_function(BenchmarkId::from_parameter("hybrid-application"), |b| {
         b.iter_batched(
             || HybridHistogram::fit(trace, 0, train_end, Granularity::Application),
-            |mut policy| simulate(trace, &mut policy, day),
+            |mut policy| try_simulate(trace, &mut policy, day).unwrap(),
             criterion::BatchSize::LargeInput,
         );
     });
     group.bench_function(BenchmarkId::from_parameter("defuse"), |b| {
         b.iter_batched(
             || Defuse::paper_default(trace, 0, train_end),
-            |mut policy| simulate(trace, &mut policy, day),
+            |mut policy| try_simulate(trace, &mut policy, day).unwrap(),
             criterion::BatchSize::LargeInput,
         );
     });
     group.bench_function(BenchmarkId::from_parameter("faascache"), |b| {
         b.iter_batched(
             || FaasCache::new(trace.n_functions()),
-            |mut policy| simulate(trace, &mut policy, day.with_capacity(200)),
+            |mut policy| try_simulate(trace, &mut policy, day.with_capacity(200)).unwrap(),
             criterion::BatchSize::LargeInput,
         );
     });

@@ -1,0 +1,115 @@
+//! Serving-latency benchmark: per-slot decision latency on the
+//! `spes-serve` hot path, per (scenario, policy) cell, written to
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve [--functions N] [--seed S] [--out DIR] [--quick]
+//!
+//!   --functions  population size of each replayed trace (default 800)
+//!   --seed       workload seed (default 7)
+//!   --out        directory for BENCH_serve.json (default: .)
+//!   --quick      CI mode: shrink scenarios to tiny 7-day traces
+//! ```
+//!
+//! Each cell replays the scenario's pre-parsed invocation stream through
+//! a [`spes_sim::SimDriver`], timing every `step` call individually — the
+//! per-decision latency a protocol client waits when a slot closes,
+//! excluding JSON parse and socket I/O. The same engine-dominated policy
+//! set as `bench_engine` keeps the numbers about the serving path, not a
+//! policy's own cost.
+
+use spes_bench::perf::{bench_serve, ServeBenchReport};
+use spes_sim::text_table;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const SCENARIOS: [&str; 2] = ["paper-default", "chain-heavy"];
+const POLICIES: [&str; 3] = ["keep-forever", "fixed-keep-alive", "no-keep-alive"];
+
+struct Args {
+    functions: usize,
+    seed: u64,
+    out: PathBuf,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        functions: 800,
+        seed: 7,
+        out: PathBuf::from("."),
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--functions" => {
+                args.functions = value()?.parse().map_err(|e| format!("--functions: {e}"))?;
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = PathBuf::from(value()?),
+            "--quick" => args.quick = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut rows = Vec::new();
+    for scenario in SCENARIOS {
+        rows.extend(bench_serve(
+            scenario,
+            args.functions,
+            args.seed,
+            &POLICIES,
+            args.quick,
+        )?);
+    }
+    let report = ServeBenchReport { rows };
+
+    let table = text_table(
+        &[
+            "scenario", "policy", "slots", "events", "p50 µs", "p99 µs", "max µs", "events/s",
+        ],
+        &report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.clone(),
+                    r.policy.clone(),
+                    r.slots.to_string(),
+                    r.events.to_string(),
+                    format!("{:.2}", r.p50_us),
+                    format!("{:.2}", r.p99_us),
+                    format!("{:.2}", r.max_us),
+                    format!("{:.0}", r.events_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+
+    std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+    let path = args.out.join("BENCH_serve.json");
+    let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    let mut file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+    file.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
+    file.write_all(b"\n").map_err(|e| e.to_string())?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

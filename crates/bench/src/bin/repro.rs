@@ -3,10 +3,13 @@
 //! ```text
 //! repro [--fig <id>] [--scenario NAME] [--policies a,b,c] [--functions N]
 //!       [--seed S] [--out DIR] [--trace FILE] [--quick] [--list-policies]
+//!       [--list-figs]
 //!
 //!   --fig        3 | 4 | 5 | 6 | empirical | table1 | 8 | 9 | 10 | 11 |
 //!                12 | 13 | 14 | 15 | overhead | series | evictions |
-//!                fairness | pressure | all  (default: all)
+//!                fairness | pressure | all  (default: all); unknown ids
+//!                are rejected up front
+//!   --list-figs  print the figure registry and exit
 //!   --scenario   named workload from the scenario registry
 //!                (paper-default | quick | chain-heavy | bursty | diurnal |
 //!                unseen-heavy | shift-heavy; default: paper-default)
@@ -41,11 +44,42 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// The figure registry: every `--fig` id with a one-line summary, in
+/// presentation order. `all` selects everything below it.
+const FIGS: [(&str, &str); 20] = [
+    ("all", "every table and figure below (the default)"),
+    ("3", "invocation-count distribution (heavy tail)"),
+    ("4", "concept-shift examples (daily invocation counts)"),
+    ("5", "trigger-type proportions"),
+    ("6", "temporal locality of infrequent functions"),
+    ("empirical", "Section III empirical statistics"),
+    ("table1", "Table I census: functions per SPES type"),
+    ("8", "cold-start-rate CDF and headline percentiles"),
+    ("9", "normalised memory usage / always-cold functions"),
+    ("10", "mean CSR per SPES function type"),
+    ("11", "normalised WMT / EMCR"),
+    ("12", "WMT / invocations ratio per SPES type"),
+    ("overhead", "RQ2 scheduling overhead per simulated minute"),
+    ("series", "hourly memory / cold-start / EMCR curves"),
+    ("evictions", "eviction forensics (premature reloads)"),
+    ("fairness", "per-app cold-start burden vs. invocation share"),
+    ("pressure", "pool occupancy vs. budget"),
+    ("13", "resource/latency trade-off sweeps"),
+    ("14", "correlation-strategy ablation"),
+    ("15", "concept-shift-strategy ablation"),
+];
+
+/// Every registered `--fig` id, registry order.
+fn fig_ids() -> Vec<&'static str> {
+    FIGS.iter().map(|&(id, _)| id).collect()
+}
+
 struct Args {
     fig: String,
     scenario: String,
     policies: Option<Vec<String>>,
     list_policies: bool,
+    list_figs: bool,
     functions: Option<usize>,
     seed: u64,
     out: PathBuf,
@@ -59,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         scenario: "paper-default".to_owned(),
         policies: None,
         list_policies: false,
+        list_figs: false,
         functions: None,
         seed: 0xC0FFEE,
         out: PathBuf::from("results"),
@@ -81,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--list-policies" => args.list_policies = true,
+            "--list-figs" => args.list_figs = true,
             "--functions" => {
                 args.functions = Some(
                     value("--functions")?
@@ -104,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
                 }
                 println!("\nregistered policies (see also --list-policies):");
                 print_policy_registry();
+                println!("\nregistered figures (see also --list-figs):");
+                print_fig_registry();
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -118,6 +156,12 @@ fn print_policy_registry() {
         println!("  {marker} {:<19} {}", p.name, p.summary);
     }
     println!("  (* = in the default comparison suite)");
+}
+
+fn print_fig_registry() {
+    for (id, summary) in FIGS {
+        println!("  {id:<11} {summary}");
+    }
 }
 
 fn save_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
@@ -150,6 +194,20 @@ fn run() -> Result<(), String> {
         println!("registered policies:");
         print_policy_registry();
         return Ok(());
+    }
+    if args.list_figs {
+        println!("registered figures:");
+        print_fig_registry();
+        return Ok(());
+    }
+    // Validate the figure id up front so a typo fails in milliseconds,
+    // with the same exit-code convention as unknown policy names.
+    if !fig_ids().contains(&args.fig.as_str()) {
+        return Err(format!(
+            "unknown figure {:?}; registered: {}",
+            args.fig,
+            fig_ids().join(", ")
+        ));
     }
     let wants = |id: &str| args.fig == "all" || args.fig == id;
     if args.quick && args.trace.is_some() {

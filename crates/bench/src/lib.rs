@@ -19,7 +19,8 @@ pub use matrix::{
     run_named_matrix_streaming, MatrixCell, MatrixOutcome, MatrixSummary, PolicyAggregate,
 };
 pub use perf::{
-    bench_engine, gate_against_baseline, EngineBenchReport, EngineBenchRow, GateReport,
+    bench_engine, bench_serve, gate_against_baseline, EngineBenchReport, EngineBenchRow,
+    GateReport, ServeBenchReport, ServeBenchRow,
 };
 pub use policies::{
     default_suite, policy_names, spec_of, suite_of, RegisteredPolicy, UnknownPolicy, REGISTRY,

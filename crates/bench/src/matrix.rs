@@ -97,7 +97,10 @@ impl PolicyFold {
     }
 
     fn push(&mut self, cell: &MatrixCell) {
-        let run = cell.comparison.run_of(&self.policy);
+        let run = cell
+            .comparison
+            .try_run_of(&self.policy)
+            .expect("matrix policies come from the comparison");
         // A cell with no invoked functions has no CSR distribution; skip
         // it rather than record a spuriously perfect 0.0.
         if let Some(q3) = run.csr_percentile(75.0) {

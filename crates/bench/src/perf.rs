@@ -154,6 +154,152 @@ pub fn bench_engine(
     Ok(rows)
 }
 
+/// One measured (scenario, policy) cell of the serving-latency benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchRow {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Policy registry name.
+    pub policy: String,
+    /// Functions in the replayed trace.
+    pub n_functions: usize,
+    /// Slots stepped through the driver (each step is one decision).
+    pub slots: u64,
+    /// Invocation events replayed across those slots.
+    pub events: u64,
+    /// Total wall-clock seconds spent inside [`spes_sim::SimDriver::step`].
+    pub secs: f64,
+    /// Median per-step decision latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-step decision latency, microseconds.
+    pub p99_us: f64,
+    /// Worst per-step decision latency, microseconds.
+    pub max_us: f64,
+    /// Invocation events ingested per second of stepping time.
+    pub events_per_sec: f64,
+}
+
+/// The `BENCH_serve.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Every measured cell, scenario-major.
+    pub rows: Vec<ServeBenchRow>,
+}
+
+impl ServeBenchReport {
+    /// The row of one (scenario, policy) cell, if measured.
+    #[must_use]
+    pub fn row_of(&self, scenario: &str, policy: &str) -> Option<&ServeBenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.policy == policy)
+    }
+}
+
+/// Measures per-slot decision latency on the serving path: the scenario's
+/// trace is pre-parsed into per-slot invocation buckets (the daemon's
+/// post-parse state), then every slot is stepped through a
+/// [`spes_sim::SimDriver`] with each `step` call timed individually. The
+/// percentiles are over those per-decision latencies, so they capture
+/// what a serve-protocol client waits per closed slot, excluding JSON
+/// parse and I/O.
+///
+/// # Errors
+/// Returns a message for unknown scenario/policy names, or when a step
+/// fails inside the measured loop.
+pub fn bench_serve(
+    scenario: &str,
+    n_functions: usize,
+    seed: u64,
+    policy_names: &[&str],
+    quick: bool,
+) -> Result<Vec<ServeBenchRow>, String> {
+    let mut cfg =
+        synth::scenario_config(scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+    if quick {
+        cfg = cfg.quick();
+    }
+    cfg.n_functions = if quick {
+        n_functions.min(200)
+    } else {
+        n_functions
+    };
+    cfg.seed = seed;
+    let data = synth::generate(&cfg);
+    let trace = &data.trace;
+    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(data.train_end);
+
+    // The daemon's post-parse state: one invocation bucket per slot.
+    let mut buckets: Vec<Vec<(spes_trace::FunctionId, u32)>> =
+        vec![Vec::new(); trace.n_slots as usize];
+    let mut events: u64 = 0;
+    for f in 0..trace.n_functions() {
+        let id = spes_trace::FunctionId(f as u32);
+        for &(slot, count) in trace.series_of(id).events_in(0, trace.n_slots) {
+            buckets[slot as usize].push((id, count));
+            events += 1;
+        }
+    }
+
+    let spes_cfg = SpesConfig::default();
+    let mut rows = Vec::new();
+    for &name in policy_names {
+        let spec = policies::spec_of(name, &spes_cfg).ok_or_else(|| {
+            format!(
+                "unknown policy {name:?}; registered: {}",
+                policies::policy_names().join(", ")
+            )
+        })?;
+        if !spec.capacity().is_self_contained() {
+            return Err(format!(
+                "policy {name:?} needs a capacity donor and cannot be benchmarked standalone"
+            ));
+        }
+        let ctx = FitContext {
+            trace,
+            train_start: 0,
+            train_end: data.train_end,
+            prior: &[],
+        };
+        let mut policy = spec.build(&ctx);
+        let mut driver =
+            spes_sim::SimDriver::new(trace.n_functions(), window, policy.as_mut(), Vec::new())
+                .map_err(|e| e.to_string())?;
+        let mut samples_ns = Vec::with_capacity(trace.n_slots as usize);
+        for (slot, bucket) in buckets.iter().enumerate() {
+            let begin = Instant::now();
+            let outcome = driver
+                .step(slot as spes_trace::Slot, bucket)
+                .map_err(|e| e.to_string())?;
+            let elapsed = begin.elapsed().as_nanos();
+            // Keep the optimiser honest about the decision happening.
+            assert_eq!(outcome.slot, slot as spes_trace::Slot);
+            samples_ns.push(elapsed as u64);
+        }
+        let run = driver.finish();
+        assert_eq!(run.n_slots(), u64::from(trace.n_slots - data.train_end));
+        samples_ns.sort_unstable();
+        let total_secs: f64 = samples_ns.iter().map(|&ns| ns as f64).sum::<f64>() / 1e9;
+        let pct = |p: f64| -> f64 {
+            let idx = ((samples_ns.len() - 1) as f64 * p / 100.0).round() as usize;
+            samples_ns[idx] as f64 / 1e3
+        };
+        rows.push(ServeBenchRow {
+            scenario: scenario.to_owned(),
+            policy: name.to_owned(),
+            n_functions: trace.n_functions(),
+            slots: u64::from(trace.n_slots),
+            events,
+            secs: total_secs,
+            p50_us: pct(50.0),
+            p99_us: pct(99.0),
+            max_us: *samples_ns.last().expect("at least one slot") as f64 / 1e3,
+            events_per_sec: events as f64 / total_secs.max(f64::MIN_POSITIVE),
+        });
+    }
+    Ok(rows)
+}
+
 /// Mean, min, max, and population standard deviation of a non-empty
 /// sample set (mean/stddev via the same [`OnlineStats`] the matrix
 /// aggregates use — one variance definition across the workspace).
@@ -329,6 +475,53 @@ mod tests {
         // FaaSCache's capacity depends on a SPES run.
         let err = bench_engine("quick", 10, 1, &["faascache"], false, 1).unwrap_err();
         assert!(err.contains("capacity donor"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_measures_every_requested_policy() {
+        let rows = bench_serve("quick", 40, 3, &["keep-forever", "no-keep-alive"], false).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.scenario, "quick");
+            assert!(row.slots > 0);
+            assert!(row.events > 0);
+            assert!(row.events_per_sec > 0.0, "{row:?}");
+            assert!(
+                row.p50_us <= row.p99_us && row.p99_us <= row.max_us,
+                "{row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_bench_rejects_unknown_names_and_donors() {
+        assert!(bench_serve("no-such", 10, 1, &["keep-forever"], false).is_err());
+        assert!(bench_serve("quick", 10, 1, &["no-such"], false).is_err());
+        let err = bench_serve("quick", 10, 1, &["faascache"], false).unwrap_err();
+        assert!(err.contains("capacity donor"), "{err}");
+    }
+
+    #[test]
+    fn serve_report_round_trips_through_json() {
+        let report = ServeBenchReport {
+            rows: vec![ServeBenchRow {
+                scenario: "quick".into(),
+                policy: "keep-forever".into(),
+                n_functions: 40,
+                slots: 10_080,
+                events: 12_345,
+                secs: 0.01,
+                p50_us: 0.8,
+                p99_us: 2.5,
+                max_us: 40.0,
+                events_per_sec: 1_234_500.0,
+            }],
+        };
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: ServeBenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert!(report.row_of("quick", "keep-forever").is_some());
+        assert!(report.row_of("quick", "spes").is_none());
     }
 
     #[test]

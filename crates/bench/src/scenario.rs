@@ -117,6 +117,7 @@ impl ComparisonRun {
     /// Panics if the policy is not part of the comparison; use
     /// [`ComparisonRun::try_run_of`] for a fallible lookup.
     #[must_use]
+    #[deprecated(note = "use `try_run_of` and handle the missing-policy case instead of panicking")]
     pub fn run_of(&self, name: &str) -> &RunResult {
         self.try_run_of(name)
             .unwrap_or_else(|| panic!("no run for policy {name}"))
@@ -260,7 +261,7 @@ mod tests {
         let cmp = run_comparison(&data, &SpesConfig::default());
         assert_eq!(cmp.runs.len(), POLICY_ORDER.len());
         for name in POLICY_ORDER {
-            assert_eq!(cmp.run_of(name).policy_name, name);
+            assert_eq!(cmp.try_run_of(name).unwrap().policy_name, name);
         }
         assert_eq!(cmp.spes_labels.len(), 120);
         assert!(cmp.fit_summary.is_some());
@@ -277,6 +278,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "no run for policy oracle")]
+    #[allow(deprecated)]
     fn run_of_still_panics_on_missing_policies() {
         let data = Experiment::sized(60, 7).generate();
         let cmp = run_comparison(&data, &SpesConfig::default());
@@ -325,8 +327,8 @@ mod tests {
     fn faascache_respects_spes_peak_budget() {
         let data = Experiment::sized(150, 11).generate();
         let cmp = run_comparison(&data, &SpesConfig::default());
-        let spes_peak = cmp.run_of("spes").peak_loaded;
-        let fc_peak = cmp.run_of("faascache").peak_loaded;
+        let spes_peak = cmp.try_run_of("spes").unwrap().peak_loaded;
+        let fc_peak = cmp.try_run_of("faascache").unwrap().peak_loaded;
         assert!(
             fc_peak <= spes_peak.max(1),
             "fc {fc_peak} > spes {spes_peak}"

@@ -136,7 +136,7 @@ fn arbitrary_subsets_including_the_oracle_run() {
     let cmp = run_suite_comparison(&data, &suite).unwrap();
     let names: Vec<&str> = cmp.runs.iter().map(|r| r.policy_name.as_str()).collect();
     assert_eq!(names, ["spes", "defuse", "oracle"]);
-    assert_eq!(cmp.run_of("oracle").total_cold_starts(), 0);
+    assert_eq!(cmp.try_run_of("oracle").unwrap().total_cold_starts(), 0);
     // SPES details are still available because spes is in the suite.
     assert!(cmp.fit_summary.is_some());
     assert_eq!(cmp.spes_labels.len(), 60);

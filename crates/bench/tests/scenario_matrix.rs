@@ -49,7 +49,10 @@ fn headline_ordering_holds_on_every_cell() {
     assert_eq!(out.cells.len(), SCENARIOS.len() * SEEDS.len());
 
     for cell in &out.cells {
-        let spes = cell.comparison.run_of("spes");
+        let spes = cell
+            .comparison
+            .try_run_of("spes")
+            .expect("spes runs in every cell");
         let spes_q3 = spes.csr_percentile(75.0).expect("invoked functions");
         let label = format!("{} seed {}", cell.scenario, cell.seed);
 
@@ -58,7 +61,8 @@ fn headline_ordering_holds_on_every_cell() {
         for policy in POLICY_ORDER.iter().filter(|&&p| p != "spes") {
             let baseline_q3 = cell
                 .comparison
-                .run_of(policy)
+                .try_run_of(policy)
+                .expect("registered policy")
                 .csr_percentile(75.0)
                 .expect("invoked functions");
             assert!(
@@ -70,7 +74,10 @@ fn headline_ordering_holds_on_every_cell() {
         // And it beats fixed keep-alive on both sides of the trade-off,
         // strictly, on every cell: less wasted memory and a lower overall
         // cold-start rate.
-        let fixed = cell.comparison.run_of("fixed-keep-alive");
+        let fixed = cell
+            .comparison
+            .try_run_of("fixed-keep-alive")
+            .expect("fixed keep-alive runs in every cell");
         assert!(
             spes.total_wmt() < fixed.total_wmt(),
             "{label}: SPES WMT {} >= fixed keep-alive {}",

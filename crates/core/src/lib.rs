@@ -18,13 +18,13 @@
 //!
 //! ```
 //! use spes_core::{SpesConfig, SpesPolicy};
-//! use spes_sim::{simulate, SimConfig};
+//! use spes_sim::{try_simulate, SimConfig};
 //! use spes_trace::synth;
 //!
 //! let data = synth::small_test_trace(50, 42);
 //! let train_end = 12 * spes_trace::SLOTS_PER_DAY;
 //! let mut policy = SpesPolicy::fit(&data.trace, 0, train_end, SpesConfig::default());
-//! let result = simulate(&data.trace, &mut policy, SimConfig::new(train_end, data.trace.n_slots));
+//! let result = try_simulate(&data.trace, &mut policy, SimConfig::new(train_end, data.trace.n_slots)).unwrap();
 //! println!("Q3-CSR = {:?}", result.csr_percentile(75.0));
 //! ```
 

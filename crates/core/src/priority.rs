@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn critical_policy_reduces_cold_starts_at_memory_cost() {
         use crate::SpesPolicy;
-        use spes_sim::{simulate, SimConfig};
+        use spes_sim::{try_simulate, SimConfig};
         use spes_trace::{synth, SynthConfig};
 
         let data = synth::generate(&SynthConfig {
@@ -207,9 +207,9 @@ mod tests {
 
         let window = SimConfig::new(0, data.trace.n_slots).with_metrics_start(train_end);
         let mut standard = SpesPolicy::fit(&data.trace, 0, train_end, base);
-        let standard_run = simulate(&data.trace, &mut standard, window);
+        let standard_run = try_simulate(&data.trace, &mut standard, window).unwrap();
         let mut critical = SpesPolicy::fit(&data.trace, 0, train_end, critical_cfg);
-        let critical_run = simulate(&data.trace, &mut critical, window);
+        let critical_run = try_simulate(&data.trace, &mut critical, window).unwrap();
 
         assert!(critical_run.total_cold_starts() <= standard_run.total_cold_starts());
         assert!(critical_run.mean_loaded() >= standard_run.mean_loaded());

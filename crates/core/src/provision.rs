@@ -58,7 +58,7 @@ pub struct OnlineStatsCounters {
     pub unseen_registered: usize,
 }
 
-/// The SPES scheduler, ready to drive [`spes_sim::simulate`].
+/// The SPES scheduler, ready to drive [`spes_sim::try_simulate`].
 #[derive(Debug, Clone)]
 pub struct SpesPolicy {
     config: SpesConfig,
@@ -641,7 +641,7 @@ impl spes_sim::suite::PolicyFactory for SpesFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spes_sim::{simulate, SimConfig};
+    use spes_sim::{try_simulate, SimConfig};
     use spes_trace::{AppId, FunctionMeta, SparseSeries, Trace, UserId};
 
     fn meta(trigger: TriggerType) -> FunctionMeta {
@@ -683,7 +683,7 @@ mod tests {
         let train_end = 3 * spes_trace::SLOTS_PER_DAY;
         let horizon = trace.n_slots;
         let mut policy = SpesPolicy::fit(&trace, 0, train_end, SpesConfig::default());
-        let result = simulate(&trace, &mut policy, SimConfig::new(train_end, horizon));
+        let result = try_simulate(&trace, &mut policy, SimConfig::new(train_end, horizon)).unwrap();
         // 24 invocations on the simulated day; pre-warming makes nearly
         // all of them warm (the first may be cold).
         let csr = result.csr_of(0).unwrap();
@@ -707,7 +707,8 @@ mod tests {
         );
         let mut policy = SpesPolicy::fit(&trace, 0, horizon / 2, SpesConfig::default());
         assert_eq!(policy.type_of(FunctionId(0)), FunctionType::AlwaysWarm);
-        let result = simulate(&trace, &mut policy, SimConfig::new(horizon / 2, horizon));
+        let result =
+            try_simulate(&trace, &mut policy, SimConfig::new(horizon / 2, horizon)).unwrap();
         assert_eq!(result.total_cold_starts(), 0);
     }
 
@@ -730,7 +731,8 @@ mod tests {
         );
         let mut policy = SpesPolicy::fit(&trace, 0, horizon / 2, SpesConfig::default());
         assert_eq!(policy.type_of(FunctionId(0)), FunctionType::Dense);
-        let result = simulate(&trace, &mut policy, SimConfig::new(horizon / 2, horizon));
+        let result =
+            try_simulate(&trace, &mut policy, SimConfig::new(horizon / 2, horizon)).unwrap();
         let csr = result.csr_of(0).unwrap();
         // Idle gaps never exceed the give-up threshold of 5, so after the
         // first load the function stays warm.
@@ -758,7 +760,8 @@ mod tests {
         );
         let mut policy = SpesPolicy::fit(&trace, 0, horizon / 2, SpesConfig::default());
         assert_eq!(policy.type_of(FunctionId(0)), FunctionType::Successive);
-        let result = simulate(&trace, &mut policy, SimConfig::new(horizon / 2, horizon));
+        let result =
+            try_simulate(&trace, &mut policy, SimConfig::new(horizon / 2, horizon)).unwrap();
         // One cold start per wave, 6 slots (18 invocations) per wave:
         // CSR ~ 1/18.
         let csr = result.csr_of(0).unwrap();
@@ -794,7 +797,7 @@ mod tests {
         // The child's irregular gaps defeat the deterministic types; the
         // parent link should categorise it "correlated".
         assert_eq!(policy.type_of(FunctionId(1)), FunctionType::Correlated);
-        let result = simulate(&trace, &mut policy, SimConfig::new(train_end, horizon));
+        let result = try_simulate(&trace, &mut policy, SimConfig::new(train_end, horizon)).unwrap();
         let csr = result.csr_of(1).unwrap();
         assert!(csr < 0.1, "child csr = {csr}");
     }
@@ -804,11 +807,12 @@ mod tests {
         let trace = small_trace();
         let train_end = 3 * spes_trace::SLOTS_PER_DAY;
         let mut policy = SpesPolicy::fit(&trace, 0, train_end, SpesConfig::default());
-        let result = simulate(
+        let result = try_simulate(
             &trace,
             &mut policy,
             SimConfig::new(train_end, trace.n_slots),
-        );
+        )
+        .unwrap();
         // The silent function is never invoked or loaded.
         assert_eq!(result.invocations[1], 0);
         assert_eq!(result.wmt[1], 0);
@@ -839,7 +843,7 @@ mod tests {
             policy.values_of(FunctionId(0)),
             &PredictiveValues::Discrete(vec![29])
         );
-        let _ = simulate(&trace, &mut policy, SimConfig::new(train_end, horizon));
+        let _ = try_simulate(&trace, &mut policy, SimConfig::new(train_end, horizon)).unwrap();
         assert!(policy.online_stats().adjustments > 0, "no adjustment fired");
         match policy.values_of(FunctionId(0)) {
             PredictiveValues::Discrete(v) => {
@@ -871,7 +875,7 @@ mod tests {
         );
         let mut policy = SpesPolicy::fit(&trace, 0, train_end, SpesConfig::default());
         assert!(policy.fit_stats().unseen >= 1);
-        let result = simulate(&trace, &mut policy, SimConfig::new(train_end, horizon));
+        let result = try_simulate(&trace, &mut policy, SimConfig::new(train_end, horizon)).unwrap();
         assert!(policy.online_stats().unseen_registered >= 1);
         let csr = result.csr_of(1).unwrap();
         // After the first (tolerated) cold start the candidate's
@@ -888,7 +892,8 @@ mod tests {
             ..SpesConfig::default()
         };
         let mut ablated = SpesPolicy::fit(&trace, 0, train_end, cfg);
-        let ablated_result = simulate(&trace, &mut ablated, SimConfig::new(train_end, horizon));
+        let ablated_result =
+            try_simulate(&trace, &mut ablated, SimConfig::new(train_end, horizon)).unwrap();
         assert!(ablated_result.csr_of(1).unwrap() > csr);
     }
 
@@ -905,7 +910,7 @@ mod tests {
             vec![SparseSeries::from_pairs(pairs)],
         );
         let mut policy = SpesPolicy::fit(&trace, 0, train_end, SpesConfig::default());
-        let result = simulate(&trace, &mut policy, SimConfig::new(train_end, horizon));
+        let result = try_simulate(&trace, &mut policy, SimConfig::new(train_end, horizon)).unwrap();
         // After the function stops, at most one stale pre-warm window
         // burns memory; WMT stays tiny relative to the idle tail.
         assert!(

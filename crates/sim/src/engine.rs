@@ -13,18 +13,30 @@
 //!    metric);
 //! 3. emits [`SimEvent::SlotEnd`] with snapshot access to the pool.
 //!
+//! The slot loop itself is resumable: [`SimDriver`] owns the run state
+//! (pool, policy borrow, observers) and exposes it one slot at a time —
+//! [`SimDriver::step`] consumes a slot's invocations and returns a
+//! [`SlotOutcome`] describing every decision made during the slot, and
+//! [`SimDriver::finish`] closes the run into a [`RunResult`]. Batch
+//! simulation ([`Simulation::run`], [`try_simulate`]) is a thin loop over
+//! `step` across a trace window — bit-identical to the pre-driver engine
+//! by the step-parity property tests — while an online consumer (the
+//! `spes_sim::serve` line protocol) feeds the same driver from a socket
+//! with no window known in advance.
+//!
 //! All accounting lives in observers ([`crate::events`]): the engine
 //! itself only drives the policy and narrates what happened. A run is
 //! assembled with the [`Simulation`] builder; [`try_simulate`] is the
-//! one-observer convenience that returns the paper's [`RunResult`], and
-//! [`simulate`] its panicking twin for call sites that know their window
-//! is valid.
+//! one-observer convenience that returns the paper's [`RunResult`].
 
-use crate::events::{EventCtx, EvictCause, LoadCause, Observer, RunCollector, RunMeta, SimEvent};
+use crate::events::{
+    DynObserver, EventCtx, EvictCause, LoadCause, Observer, ObserverSet, RunCollector, RunMeta,
+    SimEvent,
+};
 use crate::memory::{MemoryPool, PoolOp};
 use crate::metrics::RunResult;
 use crate::policy::Policy;
-use spes_trace::{Slot, Trace};
+use spes_trace::{FunctionId, Slot, Trace};
 use std::time::Instant;
 
 /// Configuration of one simulation run.
@@ -32,7 +44,9 @@ use std::time::Instant;
 pub struct SimConfig {
     /// First simulated slot (inclusive).
     pub start: Slot,
-    /// End of the simulated window (exclusive).
+    /// End of the simulated window (exclusive). Step-driven runs that do
+    /// not know their end in advance use a far-future end (e.g.
+    /// `Slot::MAX`) and simply stop stepping.
     pub end: Slot,
     /// First slot contributing to metrics; slots in `[start,
     /// metrics_start)` are simulated as warm-up (policies act, nothing is
@@ -90,7 +104,7 @@ impl SimConfig {
     }
 }
 
-/// Why a simulation could not run.
+/// Why a simulation could not run (or a step could not be taken).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimError {
     /// `start > end`.
@@ -116,6 +130,23 @@ pub enum SimError {
         /// Requested window end.
         end: Slot,
     },
+    /// [`SimDriver::step`] was called with a slot other than the next
+    /// expected one — slots must be stepped contiguously so that every
+    /// policy hook fires exactly once per simulated minute.
+    StepOutOfOrder {
+        /// The slot the driver expected next.
+        expected: Slot,
+        /// The slot that was passed.
+        got: Slot,
+    },
+    /// [`SimDriver::step`] was called at or past the configured window
+    /// end, or after the driver was closed.
+    StepAfterEnd {
+        /// The slot that was passed.
+        slot: Slot,
+        /// The first slot that can no longer be stepped.
+        end: Slot,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -139,6 +170,12 @@ impl std::fmt::Display for SimError {
                 "metrics_start outside the simulated window: \
                  {metrics_start} not in [{start}, {end}]"
             ),
+            Self::StepOutOfOrder { expected, got } => {
+                write!(f, "out-of-order step: expected slot {expected}, got {got}")
+            }
+            Self::StepAfterEnd { slot, end } => {
+                write!(f, "step at slot {slot} beyond the run end {end}")
+            }
         }
     }
 }
@@ -146,8 +183,10 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// A configured run: the trace, the window, and any number of attached
-/// observers. Built with [`Simulation::new`] + [`Simulation::observe`],
-/// executed with [`Simulation::run`].
+/// observers. Built with [`Simulation::new`] plus [`Simulation::observe`]
+/// (borrowed observers) and/or [`Simulation::with_observer`] (owned
+/// observers, recovered from the returned [`ObserverSet`]); executed with
+/// [`Simulation::run`].
 ///
 /// ```
 /// use spes_sim::{KeepForever, RunCollector, SimConfig, Simulation, SlotSeries};
@@ -155,20 +194,21 @@ impl std::error::Error for SimError {}
 /// # let meta = FunctionMeta { app: AppId(0), user: UserId(0), trigger: TriggerType::Http };
 /// # let trace = Trace::new(4, vec![meta], vec![SparseSeries::from_pairs(vec![(1, 2)])]);
 /// let mut metrics = RunCollector::new();
-/// let mut series = SlotSeries::new();
-/// Simulation::new(&trace, SimConfig::new(0, 4))
+/// let mut observers = Simulation::new(&trace, SimConfig::new(0, 4))
 ///     .observe(&mut metrics)
-///     .observe(&mut series)
+///     .with_observer(Box::new(SlotSeries::new()))
 ///     .run(&mut KeepForever)
 ///     .unwrap();
 /// let run = metrics.into_result();
 /// assert_eq!(run.total_cold_starts(), 1);
+/// let series: SlotSeries = observers.take().unwrap();
 /// assert_eq!(series.n_slots(), 4);
 /// ```
 pub struct Simulation<'t, 'o> {
     trace: &'t Trace,
     config: SimConfig,
-    observers: Vec<&'o mut dyn Observer>,
+    borrowed: Vec<&'o mut dyn Observer>,
+    owned: Vec<Box<dyn DynObserver>>,
 }
 
 impl<'t, 'o> Simulation<'t, 'o> {
@@ -178,30 +218,36 @@ impl<'t, 'o> Simulation<'t, 'o> {
         Self {
             trace,
             config,
-            observers: Vec::new(),
+            borrowed: Vec::new(),
+            owned: Vec::new(),
         }
     }
 
-    /// Attaches an observer; events are delivered in attachment order.
+    /// Attaches a borrowed observer; events are delivered in attachment
+    /// order (borrowed observers first, then owned ones).
     #[must_use]
     pub fn observe(mut self, observer: &'o mut dyn Observer) -> Self {
-        self.observers.push(observer);
+        self.borrowed.push(observer);
         self
     }
 
-    /// Drives `policy` over the trace, feeding every attached observer.
+    /// Attaches an owned observer; it rides the run and comes back in the
+    /// [`ObserverSet`] returned by [`Simulation::run`], recoverable by
+    /// concrete type via [`ObserverSet::take`].
+    #[must_use]
+    pub fn with_observer(mut self, observer: Box<dyn DynObserver>) -> Self {
+        self.owned.push(observer);
+        self
+    }
+
+    /// Drives `policy` over the trace, feeding every attached observer —
+    /// a thin loop over [`SimDriver::step`]. Returns the owned observers.
     ///
     /// # Errors
     /// Returns a [`SimError`] when the window is malformed or extends
     /// beyond the trace horizon. Nothing is simulated in that case.
-    pub fn run(mut self, policy: &mut dyn Policy) -> Result<(), SimError> {
-        let SimConfig {
-            start,
-            end,
-            metrics_start,
-            capacity,
-            pressure_budget,
-        } = self.config;
+    pub fn run(self, policy: &mut dyn Policy) -> Result<ObserverSet, SimError> {
+        let SimConfig { start, end, .. } = self.config;
         if start > end {
             return Err(SimError::InvalidWindow { start, end });
         }
@@ -211,6 +257,227 @@ impl<'t, 'o> Simulation<'t, 'o> {
                 n_slots: self.trace.n_slots,
             });
         }
+        let buckets = self.trace.bucket_by_slot(start, end);
+        let mut driver = SimDriver::assemble(
+            self.trace.n_functions(),
+            self.config,
+            policy,
+            self.borrowed,
+            self.owned,
+            false,
+        )?;
+        for t in start..end {
+            driver
+                .step(t, &buckets[(t - start) as usize])
+                .expect("contiguous in-window steps cannot fail");
+        }
+        driver.close();
+        Ok(ObserverSet::new(std::mem::take(&mut driver.sinks.owned)))
+    }
+}
+
+/// Everything that happened during one stepped slot, borrowed from the
+/// driver's scratch space (so stepping allocates nothing per slot once
+/// the buffers are warm). The borrows are valid until the next call to
+/// [`SimDriver::step`].
+///
+/// Pre-warm loads a policy makes in `on_start` (before the first slot)
+/// are folded into the first step's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotOutcome<'a> {
+    /// The stepped slot.
+    pub slot: Slot,
+    /// Whether the slot is inside the metrics window.
+    pub measured: bool,
+    /// Invocations served this slot (sum of per-function counts).
+    pub invocations: u64,
+    /// Functions whose first arrival found them unloaded.
+    pub cold_starts: u32,
+    /// Functions served warm.
+    pub warm_starts: u32,
+    /// Demand loads forced by cold starts, in event order.
+    pub demand_loads: &'a [FunctionId],
+    /// Pre-warm loads the policy made, in event order.
+    pub policy_loads: &'a [FunctionId],
+    /// Evictions the policy decided, in event order.
+    pub policy_evictions: &'a [FunctionId],
+    /// Evictions forced by pool capacity to admit demand loads.
+    pub capacity_evictions: &'a [FunctionId],
+    /// Policy loads refused by pressure admission control.
+    pub rejected_loads: &'a [FunctionId],
+    /// Loaded instances at the end of the slot.
+    pub occupancy: usize,
+    /// Wall-clock seconds the policy's decision hook took this slot.
+    pub policy_secs: f64,
+}
+
+/// Per-slot decision scratch, reused across steps.
+#[derive(Debug, Default)]
+struct OutcomeScratch {
+    invocations: u64,
+    cold_starts: u32,
+    warm_starts: u32,
+    demand_loads: Vec<FunctionId>,
+    policy_loads: Vec<FunctionId>,
+    policy_evictions: Vec<FunctionId>,
+    capacity_evictions: Vec<FunctionId>,
+    rejected_loads: Vec<FunctionId>,
+}
+
+impl OutcomeScratch {
+    fn clear(&mut self) {
+        self.invocations = 0;
+        self.cold_starts = 0;
+        self.warm_starts = 0;
+        self.demand_loads.clear();
+        self.policy_loads.clear();
+        self.policy_evictions.clear();
+        self.capacity_evictions.clear();
+        self.rejected_loads.clear();
+    }
+}
+
+/// The attached event sinks of one run: borrowed observers, owned
+/// observers, and the driver's own optional metrics collector.
+struct Sinks<'o> {
+    borrowed: Vec<&'o mut dyn Observer>,
+    owned: Vec<Box<dyn DynObserver>>,
+    collector: Option<RunCollector>,
+}
+
+impl Sinks<'_> {
+    fn run_start(&mut self, meta: &RunMeta<'_>, pool: &MemoryPool) {
+        for observer in self.borrowed.iter_mut() {
+            observer.on_run_start(meta, pool);
+        }
+        for observer in self.owned.iter_mut() {
+            observer.on_run_start(meta, pool);
+        }
+        if let Some(collector) = self.collector.as_mut() {
+            collector.on_run_start(meta, pool);
+        }
+    }
+
+    fn emit(&mut self, pool: &MemoryPool, slot: Slot, measured: bool, event: &SimEvent) {
+        let ctx = EventCtx {
+            slot,
+            measured,
+            pool,
+        };
+        for observer in self.borrowed.iter_mut() {
+            observer.on_event(&ctx, event);
+        }
+        for observer in self.owned.iter_mut() {
+            observer.on_event(&ctx, event);
+        }
+        if let Some(collector) = self.collector.as_mut() {
+            collector.on_event(&ctx, event);
+        }
+    }
+
+    fn run_end(&mut self, end: Slot, pool: &MemoryPool) {
+        for observer in self.borrowed.iter_mut() {
+            observer.on_run_end(end, pool);
+        }
+        for observer in self.owned.iter_mut() {
+            observer.on_run_end(end, pool);
+        }
+        if let Some(collector) = self.collector.as_mut() {
+            collector.on_run_end(end, pool);
+        }
+    }
+}
+
+/// A resumable simulation: the engine's slot loop, externally driven.
+///
+/// Where [`Simulation::run`] consumes a whole trace window at once, a
+/// `SimDriver` is fed one slot at a time — the caller decides when the
+/// next slot's invocations are complete (e.g. when a later-slot event
+/// arrives on a socket) and calls [`SimDriver::step`]. Slots must be
+/// stepped contiguously from `config.start`; the run may stop anywhere
+/// short of `config.end`, so open-ended serving uses a far-future end.
+///
+/// ```
+/// use spes_sim::{MemoryPressure, NoKeepAlive, SimConfig, SimDriver};
+/// use spes_trace::{FunctionId, Slot};
+/// let mut policy = NoKeepAlive;
+/// let mut driver = SimDriver::new(
+///     2,
+///     SimConfig::new(0, Slot::MAX),
+///     &mut policy,
+///     vec![Box::new(MemoryPressure::new())],
+/// )
+/// .unwrap();
+/// let outcome = driver.step(0, &[(FunctionId(1), 3)]).unwrap();
+/// assert_eq!((outcome.cold_starts, outcome.invocations), (1, 3));
+/// let run = driver.finish();
+/// assert_eq!(run.total_cold_starts(), 1);
+/// assert_eq!(run.end, 1); // the run ended where stepping stopped
+/// ```
+pub struct SimDriver<'p, 'o> {
+    config: SimConfig,
+    policy: &'p mut dyn Policy,
+    sinks: Sinks<'o>,
+    pool: MemoryPool,
+    ops: Vec<PoolOp>,
+    scratch: OutcomeScratch,
+    /// Whether `step` must clear the scratch before recording (false only
+    /// while it still holds the pre-start flush, folded into step one).
+    clear_scratch: bool,
+    next_slot: Slot,
+    finished: bool,
+}
+
+impl std::fmt::Debug for SimDriver<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimDriver")
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .field("next_slot", &self.next_slot)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p, 'o> SimDriver<'p, 'o> {
+    /// Builds a driver over `n_functions` functions with owned observers,
+    /// fires `on_run_start` and the policy's `on_start` hook, and installs
+    /// an internal [`RunCollector`] behind [`SimDriver::finish`].
+    ///
+    /// # Errors
+    /// Returns a [`SimError`] when the window is malformed. There is no
+    /// trace here, so no horizon check: the caller owns the decision of
+    /// how far to step.
+    pub fn new(
+        n_functions: usize,
+        config: SimConfig,
+        policy: &'p mut dyn Policy,
+        observers: Vec<Box<dyn DynObserver>>,
+    ) -> Result<Self, SimError> {
+        Self::assemble(n_functions, config, policy, Vec::new(), observers, true)
+    }
+
+    /// The shared constructor behind [`SimDriver::new`] (with an internal
+    /// collector) and [`Simulation::run`] (without one — batch callers
+    /// attach their own [`RunCollector`]).
+    fn assemble(
+        n_functions: usize,
+        config: SimConfig,
+        policy: &'p mut dyn Policy,
+        borrowed: Vec<&'o mut dyn Observer>,
+        owned: Vec<Box<dyn DynObserver>>,
+        collect: bool,
+    ) -> Result<Self, SimError> {
+        let SimConfig {
+            start,
+            end,
+            metrics_start,
+            capacity,
+            pressure_budget,
+        } = config;
+        if start > end {
+            return Err(SimError::InvalidWindow { start, end });
+        }
         if !(start..=end).contains(&metrics_start) {
             return Err(SimError::MetricsStartOutsideWindow {
                 metrics_start,
@@ -218,153 +485,240 @@ impl<'t, 'o> Simulation<'t, 'o> {
                 end,
             });
         }
-
-        let n = self.trace.n_functions();
-        let buckets = self.trace.bucket_by_slot(start, end);
-        let mut pool = MemoryPool::with_capacity(n, capacity);
+        let mut pool = MemoryPool::with_capacity(n_functions, capacity);
         pool.enable_journal();
         pool.set_admission_budget(pressure_budget);
-        let mut ops: Vec<PoolOp> = Vec::new();
-
+        let mut driver = Self {
+            config,
+            policy,
+            sinks: Sinks {
+                borrowed,
+                owned,
+                collector: collect.then(RunCollector::new),
+            },
+            pool,
+            ops: Vec::new(),
+            scratch: OutcomeScratch::default(),
+            clear_scratch: false,
+            next_slot: start,
+            finished: false,
+        };
         let meta = RunMeta {
-            policy_name: policy.name(),
+            policy_name: driver.policy.name(),
             start,
             metrics_start,
             end,
         };
-        for observer in &mut self.observers {
-            observer.on_run_start(&meta, &pool);
-        }
+        driver.sinks.run_start(&meta, &driver.pool);
 
         // Pre-run pre-warming: anything the policy loads in `on_start`
         // becomes a policy Load at the first slot.
-        policy.on_start(start, &mut pool);
-        flush_pool_ops(
-            &mut pool,
-            &mut ops,
-            &mut self.observers,
+        driver.policy.on_start(start, &mut driver.pool);
+        driver.flush(
             start,
             start >= metrics_start,
             LoadCause::Policy,
             EvictCause::Policy,
         );
+        Ok(driver)
+    }
 
-        for t in start..end {
-            let invoked = &buckets[(t - start) as usize];
-            let measured = t >= metrics_start;
+    /// The next slot [`SimDriver::step`] expects.
+    #[must_use]
+    pub fn next_slot(&self) -> Slot {
+        self.next_slot
+    }
 
-            // 1. Serve invocations: first arrival on an unloaded function
-            // is a cold start; the instance is then resident for the rest
-            // of the minute (and beyond, until the policy evicts it).
-            for &(f, count) in invoked {
-                if pool.contains(f) {
-                    emit(
-                        &mut self.observers,
-                        &pool,
-                        t,
-                        measured,
-                        &SimEvent::WarmStart { f, count },
-                    );
-                } else {
-                    emit(
-                        &mut self.observers,
-                        &pool,
-                        t,
-                        measured,
-                        &SimEvent::ColdStart { f, count },
-                    );
-                    make_room(policy, &mut pool);
-                    pool.demand_load(f, t);
-                    flush_pool_ops(
-                        &mut pool,
-                        &mut ops,
-                        &mut self.observers,
-                        t,
-                        measured,
-                        LoadCause::Demand,
-                        EvictCause::Capacity,
-                    );
-                }
+    /// The run's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The driven policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Read-only view of the pool as it currently stands.
+    #[must_use]
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// A shared reference to the first owned observer of concrete type
+    /// `T` — lets an online consumer snapshot observer state mid-run.
+    #[must_use]
+    pub fn observer<T: Observer + 'static>(&self) -> Option<&T> {
+        self.sinks
+            .owned
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Simulates one slot: serves `invoked` (cold/warm classification,
+    /// demand loads, capacity evictions), runs the policy's timed
+    /// decision hook, and emits `SlotEnd`. Slots must be stepped in
+    /// order, starting at `config.start`.
+    ///
+    /// # Errors
+    /// [`SimError::StepOutOfOrder`] when `slot` is not the next expected
+    /// slot; [`SimError::StepAfterEnd`] at or past the window end or
+    /// after the driver was closed.
+    pub fn step(
+        &mut self,
+        slot: Slot,
+        invoked: &[(FunctionId, u32)],
+    ) -> Result<SlotOutcome<'_>, SimError> {
+        if self.finished {
+            return Err(SimError::StepAfterEnd {
+                slot,
+                end: self.next_slot,
+            });
+        }
+        if slot >= self.config.end {
+            return Err(SimError::StepAfterEnd {
+                slot,
+                end: self.config.end,
+            });
+        }
+        if slot != self.next_slot {
+            return Err(SimError::StepOutOfOrder {
+                expected: self.next_slot,
+                got: slot,
+            });
+        }
+        if self.clear_scratch {
+            self.scratch.clear();
+        }
+        self.clear_scratch = true;
+        let measured = slot >= self.config.metrics_start;
+
+        // 1. Serve invocations: first arrival on an unloaded function is a
+        // cold start; the instance is then resident for the rest of the
+        // minute (and beyond, until the policy evicts it).
+        for &(f, count) in invoked {
+            self.scratch.invocations += u64::from(count);
+            if self.pool.contains(f) {
+                self.scratch.warm_starts += 1;
+                self.sinks.emit(
+                    &self.pool,
+                    slot,
+                    measured,
+                    &SimEvent::WarmStart { f, count },
+                );
+            } else {
+                self.scratch.cold_starts += 1;
+                self.sinks.emit(
+                    &self.pool,
+                    slot,
+                    measured,
+                    &SimEvent::ColdStart { f, count },
+                );
+                make_room(&mut *self.policy, &mut self.pool);
+                self.pool.demand_load(f, slot);
+                self.flush(slot, measured, LoadCause::Demand, EvictCause::Capacity);
             }
-
-            // 2. Policy decision hook (timed for the RQ2 overhead
-            // comparison); its pool transitions become policy events.
-            let begin = Instant::now();
-            policy.on_slot(t, invoked, &mut pool);
-            let policy_secs = begin.elapsed().as_secs_f64();
-            flush_pool_ops(
-                &mut pool,
-                &mut ops,
-                &mut self.observers,
-                t,
-                measured,
-                LoadCause::Policy,
-                EvictCause::Policy,
-            );
-
-            // 3. The slot is over; observers account against the pool
-            // snapshot.
-            emit(
-                &mut self.observers,
-                &pool,
-                t,
-                measured,
-                &SimEvent::SlotEnd { policy_secs },
-            );
         }
 
-        for observer in &mut self.observers {
-            observer.on_run_end(end, &pool);
+        // 2. Policy decision hook (timed for the RQ2 overhead
+        // comparison); its pool transitions become policy events.
+        let begin = Instant::now();
+        self.policy.on_slot(slot, invoked, &mut self.pool);
+        let policy_secs = begin.elapsed().as_secs_f64();
+        self.flush(slot, measured, LoadCause::Policy, EvictCause::Policy);
+
+        // 3. The slot is over; observers account against the pool
+        // snapshot.
+        self.sinks.emit(
+            &self.pool,
+            slot,
+            measured,
+            &SimEvent::SlotEnd { policy_secs },
+        );
+        self.next_slot = slot + 1;
+        Ok(SlotOutcome {
+            slot,
+            measured,
+            invocations: self.scratch.invocations,
+            cold_starts: self.scratch.cold_starts,
+            warm_starts: self.scratch.warm_starts,
+            demand_loads: &self.scratch.demand_loads,
+            policy_loads: &self.scratch.policy_loads,
+            policy_evictions: &self.scratch.policy_evictions,
+            capacity_evictions: &self.scratch.capacity_evictions,
+            rejected_loads: &self.scratch.rejected_loads,
+            occupancy: self.pool.loaded_count(),
+            policy_secs,
+        })
+    }
+
+    /// Drains the pool's transition journal, emits it as Load/Evict
+    /// events with the given causes (preserving transition order), and
+    /// records every decision in the slot scratch.
+    fn flush(
+        &mut self,
+        slot: Slot,
+        measured: bool,
+        load_cause: LoadCause,
+        evict_cause: EvictCause,
+    ) {
+        self.pool.drain_journal_into(&mut self.ops);
+        for op in &self.ops {
+            let event = match *op {
+                PoolOp::Load(f) => {
+                    match load_cause {
+                        LoadCause::Demand => self.scratch.demand_loads.push(f),
+                        LoadCause::Policy => self.scratch.policy_loads.push(f),
+                    }
+                    SimEvent::Load {
+                        f,
+                        cause: load_cause,
+                    }
+                }
+                PoolOp::Evict(f) => {
+                    match evict_cause {
+                        EvictCause::Capacity => self.scratch.capacity_evictions.push(f),
+                        EvictCause::Policy => self.scratch.policy_evictions.push(f),
+                    }
+                    SimEvent::Evict {
+                        f,
+                        cause: evict_cause,
+                    }
+                }
+                PoolOp::Reject(f) => {
+                    self.scratch.rejected_loads.push(f);
+                    SimEvent::LoadRejected { f }
+                }
+            };
+            self.sinks.emit(&self.pool, slot, measured, &event);
         }
-        Ok(())
+        self.ops.clear();
     }
-}
 
-/// Delivers one event to every observer.
-fn emit(
-    observers: &mut [&mut dyn Observer],
-    pool: &MemoryPool,
-    slot: Slot,
-    measured: bool,
-    event: &SimEvent,
-) {
-    let ctx = EventCtx {
-        slot,
-        measured,
-        pool,
-    };
-    for observer in observers.iter_mut() {
-        observer.on_event(&ctx, event);
+    /// Fires `on_run_end` on every sink at the current position. Safe to
+    /// call once; later `step` calls fail with [`SimError::StepAfterEnd`].
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.sinks.run_end(self.next_slot, &self.pool);
     }
-}
 
-/// Drains the pool's transition journal and emits it as Load/Evict events
-/// with the given causes, preserving transition order.
-fn flush_pool_ops(
-    pool: &mut MemoryPool,
-    scratch: &mut Vec<PoolOp>,
-    observers: &mut [&mut dyn Observer],
-    slot: Slot,
-    measured: bool,
-    load_cause: LoadCause,
-    evict_cause: EvictCause,
-) {
-    pool.drain_journal_into(scratch);
-    for op in scratch.iter() {
-        let event = match *op {
-            PoolOp::Load(f) => SimEvent::Load {
-                f,
-                cause: load_cause,
-            },
-            PoolOp::Evict(f) => SimEvent::Evict {
-                f,
-                cause: evict_cause,
-            },
-            PoolOp::Reject(f) => SimEvent::LoadRejected { f },
-        };
-        emit(observers, pool, slot, measured, &event);
+    /// Ends the run where stepping stopped and returns the paper's
+    /// metrics over the slots actually simulated (the result's `end` is
+    /// the first unstepped slot, not the configured window end).
+    #[must_use]
+    pub fn finish(mut self) -> RunResult {
+        self.close();
+        self.sinks
+            .collector
+            .take()
+            .expect("SimDriver::new always installs a collector")
+            .into_result()
     }
-    scratch.clear();
 }
 
 /// Runs `policy` over `trace` for the window in `config`, collecting the
@@ -388,8 +742,8 @@ pub fn try_simulate(
 /// Runs `policy` over `trace` for the window in `config`.
 ///
 /// # Panics
-/// Panics if the window is invalid or extends beyond the trace horizon;
-/// use [`try_simulate`] for a fallible variant.
+/// Panics if the window is invalid or extends beyond the trace horizon.
+#[deprecated(note = "use `try_simulate` and handle the `SimError` instead of panicking")]
 pub fn simulate(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> RunResult {
     try_simulate(trace, policy, config).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -415,6 +769,7 @@ fn make_room(policy: &mut dyn Policy, pool: &mut MemoryPool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{EventLog, MemoryPressure, SlotSeries};
     use crate::policy::{KeepForever, NoKeepAlive};
     use spes_trace::{AppId, FunctionId, FunctionMeta, SparseSeries, TriggerType, UserId};
 
@@ -426,6 +781,10 @@ mod tests {
         };
         let n = series.len();
         Trace::new(n_slots, vec![meta; n], series)
+    }
+
+    fn run_of(trace: &Trace, policy: &mut dyn Policy, config: SimConfig) -> RunResult {
+        try_simulate(trace, policy, config).unwrap()
     }
 
     /// Keep-alive for a fixed number of slots after the last invocation —
@@ -470,7 +829,7 @@ mod tests {
     #[test]
     fn first_invocation_is_cold() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(2, 3)])], 5);
-        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 5));
+        let r = run_of(&trace, &mut KeepForever, SimConfig::new(0, 5));
         assert_eq!(r.invocations[0], 3);
         assert_eq!(r.cold_starts[0], 1);
     }
@@ -481,7 +840,7 @@ mod tests {
             vec![SparseSeries::from_pairs(vec![(0, 1), (3, 1), (4, 1)])],
             6,
         );
-        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 6));
+        let r = run_of(&trace, &mut KeepForever, SimConfig::new(0, 6));
         assert_eq!(r.cold_starts[0], 1);
         // WMT: loaded at 0, idle at slots 1, 2, 5 -> 3.
         assert_eq!(r.wmt[0], 3);
@@ -494,7 +853,7 @@ mod tests {
             vec![SparseSeries::from_pairs(vec![(0, 2), (1, 2), (5, 1)])],
             6,
         );
-        let r = simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 6));
+        let r = run_of(&trace, &mut NoKeepAlive, SimConfig::new(0, 6));
         // 3 active slots, each cold (instance dropped immediately).
         assert_eq!(r.cold_starts[0], 3);
         assert_eq!(r.invocations[0], 5);
@@ -506,7 +865,7 @@ mod tests {
     fn tiny_keep_alive_wmt_accounting() {
         // Invocations at slots 0 and 4; keep-alive 2 slots.
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1), (4, 1)])], 8);
-        let r = simulate(&trace, &mut TinyKeepAlive::new(1, 2), SimConfig::new(0, 8));
+        let r = run_of(&trace, &mut TinyKeepAlive::new(1, 2), SimConfig::new(0, 8));
         // Slot 0: invoked (cold). Slot 1: idle (wmt). Slot 2: evicted at
         // on_slot since now-last=2. Slot 4: invoked again -> cold. Slot 5
         // idle, slot 6 evicted.
@@ -520,7 +879,7 @@ mod tests {
             vec![SparseSeries::from_pairs(vec![(0, 1), (1, 1), (2, 1)])],
             4,
         );
-        let r = simulate(&trace, &mut TinyKeepAlive::new(1, 3), SimConfig::new(0, 4));
+        let r = run_of(&trace, &mut TinyKeepAlive::new(1, 3), SimConfig::new(0, 4));
         assert_eq!(r.cold_starts[0], 1);
         assert_eq!(r.invocations[0], 3);
     }
@@ -535,7 +894,7 @@ mod tests {
             ],
             4,
         );
-        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 4));
+        let r = run_of(&trace, &mut KeepForever, SimConfig::new(0, 4));
         // Slot 0: both invoked & loaded -> EMCR 1.0. Slots 1-3: f0 invoked,
         // f1 idle -> EMCR 0.5. Mean = (1.0 + 3 * 0.5) / 4.
         assert!((r.emcr() - 0.625).abs() < 1e-12);
@@ -555,7 +914,7 @@ mod tests {
             ],
             4,
         );
-        let r = simulate(
+        let r = run_of(
             &trace,
             &mut KeepForever,
             SimConfig::new(0, 4).with_capacity(2),
@@ -571,7 +930,7 @@ mod tests {
     #[test]
     fn window_restricts_accounting() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 5), (8, 5)])], 10);
-        let r = simulate(&trace, &mut KeepForever, SimConfig::new(5, 10));
+        let r = run_of(&trace, &mut KeepForever, SimConfig::new(5, 10));
         // Only the slot-8 invocation is inside the window.
         assert_eq!(r.total_invocations(), 5);
         assert_eq!(r.total_cold_starts(), 1);
@@ -581,7 +940,7 @@ mod tests {
     #[test]
     fn empty_window_is_empty_result() {
         let trace = trace_of(vec![SparseSeries::new()], 10);
-        let r = simulate(&trace, &mut KeepForever, SimConfig::new(3, 3));
+        let r = run_of(&trace, &mut KeepForever, SimConfig::new(3, 3));
         assert_eq!(r.n_slots(), 0);
         assert_eq!(r.total_invocations(), 0);
         assert_eq!(r.mean_loaded(), 0.0);
@@ -594,7 +953,7 @@ mod tests {
         // during warm-up -> warm, and the warm-up invocation is not
         // counted.
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(2, 4), (6, 1)])], 10);
-        let r = simulate(
+        let r = run_of(
             &trace,
             &mut KeepForever,
             SimConfig::new(0, 10).with_metrics_start(5),
@@ -646,8 +1005,11 @@ mod tests {
         assert!(matches!(err, SimError::InvalidWindow { .. }));
     }
 
+    // The deprecated wrapper keeps its panicking contract for downstream
+    // callers that still compile against it.
     #[test]
     #[should_panic(expected = "metrics_start outside")]
+    #[allow(deprecated)]
     fn rejects_bad_metrics_start() {
         let trace = trace_of(vec![SparseSeries::new()], 10);
         let _ = simulate(
@@ -659,6 +1021,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "window beyond trace horizon")]
+    #[allow(deprecated)]
     fn rejects_window_beyond_horizon() {
         let trace = trace_of(vec![SparseSeries::new()], 10);
         let _ = simulate(&trace, &mut KeepForever, SimConfig::new(0, 11));
@@ -753,8 +1116,191 @@ mod tests {
     #[test]
     fn overhead_is_recorded() {
         let trace = trace_of(vec![SparseSeries::from_pairs(vec![(0, 1)])], 100);
-        let r = simulate(&trace, &mut KeepForever, SimConfig::new(0, 100));
+        let r = run_of(&trace, &mut KeepForever, SimConfig::new(0, 100));
         assert!(r.overhead_secs >= 0.0);
         assert!(r.overhead_per_slot() >= 0.0);
+    }
+
+    // -----------------------------------------------------------------
+    // SimDriver: the step-driven path
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn driver_steps_match_batch_simulation() {
+        let trace = trace_of(
+            vec![
+                SparseSeries::from_pairs(vec![(0, 2), (2, 1), (5, 3)]),
+                SparseSeries::from_pairs(vec![(1, 1), (2, 2)]),
+            ],
+            6,
+        );
+        let config = SimConfig::new(0, 6);
+        let mut batch = run_of(&trace, &mut TinyKeepAlive::new(2, 2), config);
+
+        let mut policy = TinyKeepAlive::new(2, 2);
+        let mut driver = SimDriver::new(2, config, &mut policy, Vec::new()).unwrap();
+        let buckets = trace.bucket_by_slot(0, 6);
+        for (t, bucket) in buckets.iter().enumerate() {
+            driver.step(t as Slot, bucket).unwrap();
+        }
+        let mut stepped = driver.finish();
+        // The policy-overhead stopwatch is wall-clock and thus never
+        // reproducible; everything else must agree exactly.
+        batch.overhead_secs = 0.0;
+        stepped.overhead_secs = 0.0;
+        assert_eq!(stepped, batch);
+    }
+
+    #[test]
+    fn driver_rejects_out_of_order_and_late_steps() {
+        let mut policy = KeepForever;
+        let mut driver = SimDriver::new(1, SimConfig::new(0, 3), &mut policy, Vec::new()).unwrap();
+        assert_eq!(
+            driver.step(1, &[]).unwrap_err(),
+            SimError::StepOutOfOrder {
+                expected: 0,
+                got: 1
+            }
+        );
+        driver.step(0, &[]).unwrap();
+        // Repeating a slot is out of order too.
+        assert_eq!(
+            driver.step(0, &[]).unwrap_err(),
+            SimError::StepOutOfOrder {
+                expected: 1,
+                got: 0
+            }
+        );
+        assert_eq!(
+            driver.step(3, &[]).unwrap_err(),
+            SimError::StepAfterEnd { slot: 3, end: 3 }
+        );
+        let err = SimError::StepOutOfOrder {
+            expected: 1,
+            got: 0,
+        };
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+    }
+
+    #[test]
+    fn driver_rejects_bad_windows_like_the_batch_path() {
+        let mut policy = KeepForever;
+        assert!(matches!(
+            SimDriver::new(1, SimConfig::new(5, 3), &mut policy, Vec::new()).unwrap_err(),
+            SimError::InvalidWindow { .. }
+        ));
+        assert!(matches!(
+            SimDriver::new(
+                1,
+                SimConfig::new(0, 8).with_metrics_start(9),
+                &mut policy,
+                Vec::new()
+            )
+            .unwrap_err(),
+            SimError::MetricsStartOutsideWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn partial_run_ends_where_stepping_stopped() {
+        let mut policy = KeepForever;
+        let mut driver =
+            SimDriver::new(1, SimConfig::new(0, Slot::MAX), &mut policy, Vec::new()).unwrap();
+        driver.step(0, &[(FunctionId(0), 2)]).unwrap();
+        driver.step(1, &[]).unwrap();
+        driver.step(2, &[]).unwrap();
+        let run = driver.finish();
+        assert_eq!((run.start, run.end), (0, 3));
+        assert_eq!(run.n_slots(), 3);
+        assert_eq!(run.total_invocations(), 2);
+        // Loaded at slot 0, idle at 1 and 2.
+        assert_eq!(run.wmt[0], 2);
+    }
+
+    #[test]
+    fn slot_outcome_reports_decisions_and_occupancy() {
+        let mut policy = NoKeepAlive;
+        let mut driver =
+            SimDriver::new(2, SimConfig::new(0, Slot::MAX), &mut policy, Vec::new()).unwrap();
+        let outcome = driver.step(0, &[(FunctionId(1), 4)]).unwrap();
+        assert_eq!(outcome.slot, 0);
+        assert!(outcome.measured);
+        assert_eq!(outcome.invocations, 4);
+        assert_eq!((outcome.cold_starts, outcome.warm_starts), (1, 0));
+        assert_eq!(outcome.demand_loads, &[FunctionId(1)]);
+        // No-keep-alive dropped the instance in its decision hook.
+        assert_eq!(outcome.policy_evictions, &[FunctionId(1)]);
+        assert_eq!(outcome.occupancy, 0);
+        assert!(outcome.policy_secs >= 0.0);
+        // The next slot's outcome starts from clean scratch.
+        let outcome = driver.step(1, &[]).unwrap();
+        assert_eq!(outcome.invocations, 0);
+        assert!(outcome.demand_loads.is_empty());
+    }
+
+    /// Loads a fixed set in `on_start` and never evicts.
+    struct StandingSet(Vec<FunctionId>);
+
+    impl Policy for StandingSet {
+        fn name(&self) -> &str {
+            "standing-set"
+        }
+
+        fn on_start(&mut self, start: Slot, pool: &mut MemoryPool) {
+            for &f in &self.0 {
+                pool.load(f, start);
+            }
+        }
+
+        fn on_slot(&mut self, _now: Slot, _invoked: &[(FunctionId, u32)], _pool: &mut MemoryPool) {}
+    }
+
+    #[test]
+    fn prestart_loads_fold_into_the_first_outcome() {
+        let mut policy = StandingSet(vec![FunctionId(0), FunctionId(2)]);
+        let mut driver =
+            SimDriver::new(3, SimConfig::new(0, Slot::MAX), &mut policy, Vec::new()).unwrap();
+        let outcome = driver.step(0, &[]).unwrap();
+        assert_eq!(outcome.policy_loads, &[FunctionId(0), FunctionId(2)]);
+        assert_eq!(outcome.occupancy, 2);
+    }
+
+    #[test]
+    fn driver_exposes_owned_observers_mid_run() {
+        let mut policy = KeepForever;
+        let mut driver = SimDriver::new(
+            2,
+            SimConfig::new(0, Slot::MAX).with_pressure_budget(5),
+            &mut policy,
+            vec![Box::new(MemoryPressure::new()), Box::new(EventLog::new())],
+        )
+        .unwrap();
+        driver.step(0, &[(FunctionId(0), 1)]).unwrap();
+        let pressure = driver.observer::<MemoryPressure>().unwrap();
+        assert_eq!(pressure.budget(), Some(5));
+        assert_eq!(pressure.peak_occupancy, 1);
+        let log = driver.observer::<EventLog>().unwrap();
+        assert!(!log.events.is_empty());
+        assert!(driver.observer::<SlotSeries>().is_none());
+        assert_eq!(driver.next_slot(), 1);
+        assert_eq!(driver.pool().loaded_count(), 1);
+    }
+
+    #[test]
+    fn observer_set_takes_by_concrete_type() {
+        let trace = trace_of(vec![SparseSeries::from_pairs(vec![(1, 2)])], 3);
+        let mut observers = Simulation::new(&trace, SimConfig::new(0, 3))
+            .with_observer(Box::new(SlotSeries::new()))
+            .with_observer(Box::new(EventLog::new()))
+            .run(&mut KeepForever)
+            .unwrap();
+        assert_eq!(observers.len(), 2);
+        assert!(observers.get::<EventLog>().is_some());
+        let series: SlotSeries = observers.take().unwrap();
+        assert_eq!(series.n_slots(), 3);
+        assert!(observers.take::<SlotSeries>().is_none());
+        let log: EventLog = observers.take().unwrap();
+        assert_eq!(log.end, 3);
+        assert!(observers.is_empty());
     }
 }

@@ -149,7 +149,94 @@ pub trait Observer {
     fn on_event(&mut self, ctx: &EventCtx<'_>, event: &SimEvent);
 
     /// Called once after the last slot, with the pool in its final state.
+    /// `end` is the first unsimulated slot — the configured window end for
+    /// batch runs, or wherever a step-driven run actually stopped.
     fn on_run_end(&mut self, _end: Slot, _pool: &MemoryPool) {}
+}
+
+/// An [`Observer`] that can be recovered by concrete type after the run.
+///
+/// Blanket-implemented for every `'static` observer, so any observer can
+/// be handed to [`crate::engine::Simulation::with_observer`] /
+/// [`crate::engine::SimDriver::new`] by value and taken back out of the
+/// resulting [`ObserverSet`] (or peeked mid-run via
+/// [`crate::engine::SimDriver::observer`]) without implementing anything
+/// beyond [`Observer`] itself.
+pub trait DynObserver: Observer {
+    /// Type-erased view, for downcasting by reference.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Type-erased conversion, for downcasting by value.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+impl<T: Observer + 'static> DynObserver for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// The owned observers of a completed run, recoverable by concrete type.
+///
+/// Returned by [`crate::engine::Simulation::run`]: every observer that
+/// was attached by value via
+/// [`crate::engine::Simulation::with_observer`] comes back here, in
+/// attachment order, and [`ObserverSet::take`] moves one out by type.
+#[derive(Default)]
+pub struct ObserverSet {
+    observers: Vec<Box<dyn DynObserver>>,
+}
+
+impl ObserverSet {
+    pub(crate) fn new(observers: Vec<Box<dyn DynObserver>>) -> Self {
+        Self { observers }
+    }
+
+    /// Number of owned observers still in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Whether the set holds no observers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// A shared reference to the first observer of concrete type `T`.
+    #[must_use]
+    pub fn get<T: Observer + 'static>(&self) -> Option<&T> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<T>())
+    }
+
+    /// Removes and returns the first observer of concrete type `T`.
+    /// Attachment order is preserved for the rest, so repeated calls
+    /// recover same-typed observers in the order they were attached.
+    pub fn take<T: Observer + 'static>(&mut self) -> Option<T> {
+        let index = self.observers.iter().position(|o| o.as_any().is::<T>())?;
+        let boxed = self.observers.remove(index);
+        Some(
+            *boxed
+                .into_any()
+                .downcast::<T>()
+                .expect("position() matched this concrete type"),
+        )
+    }
+}
+
+impl std::fmt::Debug for ObserverSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverSet")
+            .field("len", &self.observers.len())
+            .finish()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -291,6 +378,10 @@ impl Observer for RunCollector {
     }
 
     fn on_run_end(&mut self, end: Slot, pool: &MemoryPool) {
+        // Adopt the actual end: step-driven runs may stop short of (or be
+        // configured without) a meaningful window end. For batch runs this
+        // is the configured end, so nothing changes there.
+        self.end = end;
         // Close the residency span of everything still loaded.
         for &f in pool.loaded() {
             let span = self.span_slots(self.span_start[f.index()], end);
@@ -351,7 +442,9 @@ impl SlotSeries {
 impl Observer for SlotSeries {
     fn on_run_start(&mut self, meta: &RunMeta<'_>, _pool: &MemoryPool) {
         self.start = meta.metrics_start;
-        let measured = (meta.end - meta.metrics_start) as usize;
+        // Cap the guess: an open-ended (step-driven) run declares a huge
+        // window end, and a pre-allocation of that size would be absurd.
+        let measured = ((meta.end - meta.metrics_start) as usize).min(1 << 20);
         self.loaded = Vec::with_capacity(measured);
         self.cold = Vec::with_capacity(measured);
         self.warm = Vec::with_capacity(measured);

@@ -23,18 +23,23 @@ pub mod memory;
 pub mod metrics;
 pub mod policy;
 pub mod report;
+pub mod serve;
 pub mod suite;
 
 pub use cluster::{run_on_cluster, Cluster, ClusterObserver, ClusterReport, PlacementStrategy};
-pub use engine::{simulate, try_simulate, SimConfig, SimError, Simulation};
+#[allow(deprecated)]
+pub use engine::simulate;
+pub use engine::{try_simulate, SimConfig, SimDriver, SimError, Simulation, SlotOutcome};
 pub use events::{
-    AppShare, EventCtx, EventLog, EvictCause, EvictionAudit, Fairness, LoadCause, LoggedEvent,
-    MemoryPressure, Observer, RunCollector, RunMeta, SimEvent, SlotSeries,
+    AppShare, DynObserver, EventCtx, EventLog, EvictCause, EvictionAudit, Fairness, LoadCause,
+    LoggedEvent, MemoryPressure, Observer, ObserverSet, RunCollector, RunMeta, SimEvent,
+    SlotSeries,
 };
 pub use memory::MemoryPool;
 pub use metrics::RunResult;
 pub use policy::{KeepForever, NoKeepAlive, Policy};
 pub use report::{per_category_stats, text_table, CategoryStats, NormalizedComparison};
+pub use serve::{serve, InitRecord, ServeConfig, ServeError, ServeSummary};
 pub use suite::{
     run_suite, validate_suite, CapacityRule, FitContext, KeepForeverFactory, NoKeepAliveFactory,
     PolicyFactory, PolicySpec, SuiteEntry, SuiteError, SuiteOutcome, PREMATURE_RELOAD_WINDOW,

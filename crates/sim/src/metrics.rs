@@ -15,7 +15,7 @@
 use spes_trace::Slot;
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Name of the policy that produced the run.
     pub policy_name: String,

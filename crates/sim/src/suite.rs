@@ -354,26 +354,22 @@ pub fn run_suite(data: &SynthTrace, specs: &[PolicySpec]) -> Result<SuiteOutcome
             Some(budget) => window.with_capacity(budget),
             None => window,
         };
-        let mut collector = RunCollector::new();
-        let mut series = SlotSeries::new();
-        let mut audit = EvictionAudit::new(PREMATURE_RELOAD_WINDOW);
-        let mut fairness = Fairness::from_trace(trace);
-        let mut pressure = MemoryPressure::new();
-        Simulation::new(trace, config)
-            .observe(&mut collector)
-            .observe(&mut series)
-            .observe(&mut audit)
-            .observe(&mut fairness)
-            .observe(&mut pressure)
+        let mut observers = Simulation::new(trace, config)
+            .with_observer(Box::new(RunCollector::new()))
+            .with_observer(Box::new(SlotSeries::new()))
+            .with_observer(Box::new(EvictionAudit::new(PREMATURE_RELOAD_WINDOW)))
+            .with_observer(Box::new(Fairness::from_trace(trace)))
+            .with_observer(Box::new(MemoryPressure::new()))
             .run(policy.as_mut())
             .expect("the trace-carried window is valid");
+        let collector: RunCollector = observers.take().expect("attached above");
         SuiteEntry {
             name: spec.name().to_owned(),
             run: collector.into_result(),
-            series,
-            audit,
-            fairness,
-            pressure,
+            series: observers.take().expect("attached above"),
+            audit: observers.take().expect("attached above"),
+            fairness: observers.take().expect("attached above"),
+            pressure: observers.take().expect("attached above"),
             resolved_capacity,
             policy,
         }

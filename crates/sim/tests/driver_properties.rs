@@ -1,0 +1,247 @@
+//! Step/batch parity: driving [`SimDriver::step`] slot-by-slot is the
+//! same engine as the batch `Simulation::run` loop.
+//!
+//! The batch path is now itself a thin loop over the driver, so these
+//! properties pin the *public* stepping contract: an external caller
+//! feeding slots one at a time (the serving path) reproduces the
+//! `RunResult` and the full `EventLog` of `try_simulate` bit-identically
+//! — including on capacity-limited and admission-limited runs, where the
+//! engine's make-room fallback and pressure rejections fire mid-slot.
+//! Only the wall-clock policy-overhead stopwatch is exempt (normalised
+//! to zero on both sides before comparison).
+
+use proptest::prelude::*;
+use spes_sim::{
+    try_simulate, DynObserver, EventLog, MemoryPool, Policy, SimConfig, SimDriver, SimEvent,
+    Simulation,
+};
+use spes_trace::{AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
+
+fn trace_strategy(n_functions: usize, horizon: Slot) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        prop::collection::vec((0..horizon, 1u32..20), 0..40),
+        n_functions,
+    )
+    .prop_map(move |all| {
+        let meta = FunctionMeta {
+            app: AppId(0),
+            user: UserId(0),
+            trigger: TriggerType::Http,
+        };
+        let series = all.into_iter().map(SparseSeries::from_pairs).collect();
+        Trace::new(horizon, vec![meta; n_functions], series)
+    })
+}
+
+/// Keep-alive for a fixed number of slots after the last invocation.
+struct FixedKeepAlive {
+    last_invoked: Vec<Option<Slot>>,
+    keep: u32,
+}
+
+impl FixedKeepAlive {
+    fn new(n: usize, keep: u32) -> Self {
+        Self {
+            last_invoked: vec![None; n],
+            keep,
+        }
+    }
+}
+
+impl Policy for FixedKeepAlive {
+    fn name(&self) -> &str {
+        "fixed-keep-alive"
+    }
+
+    fn on_slot(&mut self, now: Slot, invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+        for &(f, _) in invoked {
+            self.last_invoked[f.index()] = Some(now);
+        }
+        for f in pool.loaded().to_vec() {
+            match self.last_invoked[f.index()] {
+                Some(last) if now - last >= self.keep => {
+                    pool.evict(f);
+                }
+                None => {
+                    pool.evict(f);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Pre-warms a rotating window of functions on top of fixed keep-alive
+/// eviction — exercises pressure-admission rejections and, under a hard
+/// capacity, the engine's make-room fallback.
+struct ChurningPrewarm {
+    keep: FixedKeepAlive,
+    width: u32,
+}
+
+impl Policy for ChurningPrewarm {
+    fn name(&self) -> &str {
+        "churning-prewarm"
+    }
+
+    fn on_slot(&mut self, now: Slot, invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+        let n = pool.n_functions() as u32;
+        for i in 0..self.width.min(n) {
+            if pool.is_full() {
+                break;
+            }
+            pool.load(FunctionId((now + i) % n), now);
+        }
+        self.keep.on_slot(now, invoked, pool);
+    }
+}
+
+fn make_policy(kind: u8, n: usize, keep: u32) -> Box<dyn Policy> {
+    match kind {
+        0 => Box::new(spes_sim::NoKeepAlive),
+        1 => Box::new(spes_sim::KeepForever),
+        2 => Box::new(FixedKeepAlive::new(n, keep)),
+        _ => Box::new(ChurningPrewarm {
+            keep: FixedKeepAlive::new(n, keep),
+            width: 3,
+        }),
+    }
+}
+
+/// The wall-clock stopwatch inside `SlotEnd` is the one non-reproducible
+/// bit of the stream; zero it on both sides.
+fn normalised_events(log: &EventLog) -> Vec<(Slot, bool, SimEvent)> {
+    log.events
+        .iter()
+        .map(|logged| {
+            let event = match logged.event {
+                SimEvent::SlotEnd { .. } => SimEvent::SlotEnd { policy_secs: 0.0 },
+                other => other,
+            };
+            (logged.slot, logged.measured, event)
+        })
+        .collect()
+}
+
+/// Runs the batch path and the hand-stepped driver path over the same
+/// trace/config/policy and asserts `RunResult` + `EventLog` parity.
+fn assert_step_parity(trace: &Trace, config: SimConfig, kind: u8, keep: u32) {
+    let n = trace.n_functions();
+
+    // Batch side: try_simulate's metrics plus a recorded stream.
+    let mut batch_log = EventLog::new();
+    let mut batch_policy = make_policy(kind, n, keep);
+    let mut batch = {
+        let mut collector = spes_sim::RunCollector::new();
+        Simulation::new(trace, config)
+            .observe(&mut collector)
+            .observe(&mut batch_log)
+            .run(batch_policy.as_mut())
+            .unwrap();
+        collector.into_result()
+    };
+
+    // Stepped side: an externally driven SimDriver over the same slots.
+    let mut stepped_policy = make_policy(kind, n, keep);
+    let observers: Vec<Box<dyn DynObserver>> = vec![Box::new(EventLog::new())];
+    let mut driver = SimDriver::new(n, config, stepped_policy.as_mut(), observers).unwrap();
+    let buckets = trace.bucket_by_slot(config.start, config.end);
+    for (i, bucket) in buckets.iter().enumerate() {
+        let slot = config.start + i as Slot;
+        let outcome = driver.step(slot, bucket).unwrap();
+        assert_eq!(outcome.slot, slot);
+        let expected: u64 = bucket.iter().map(|&(_, c)| u64::from(c)).sum();
+        assert_eq!(outcome.invocations, expected);
+    }
+    let stepped_log = driver.observer::<EventLog>().cloned().unwrap();
+    let mut stepped = driver.finish();
+
+    batch.overhead_secs = 0.0;
+    stepped.overhead_secs = 0.0;
+    assert_eq!(stepped, batch, "RunResult diverged (kind {kind})");
+
+    assert_eq!(
+        normalised_events(&stepped_log),
+        normalised_events(&batch_log),
+        "event stream diverged (kind {kind})"
+    );
+    assert_eq!(stepped_log.policy_name, batch_log.policy_name);
+    assert_eq!(stepped_log.start, batch_log.start);
+    assert_eq!(stepped_log.metrics_start, batch_log.metrics_start);
+    assert_eq!(stepped_log.end, batch_log.end);
+    assert_eq!(stepped_log.n_functions, batch_log.n_functions);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unlimited-memory runs, with and without a warm-up window.
+    #[test]
+    fn stepping_matches_batch_unlimited(
+        trace in trace_strategy(6, 40),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        warmup in 0u32..10,
+    ) {
+        let config = SimConfig::new(0, 40).with_metrics_start(warmup);
+        assert_step_parity(&trace, config, kind, keep);
+    }
+
+    /// Capacity-limited runs: the make-room fallback (oldest-loaded
+    /// eviction) fires inside `step` exactly as it did inside the batch
+    /// loop.
+    #[test]
+    fn stepping_matches_batch_with_capacity(
+        trace in trace_strategy(6, 40),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        capacity in 1usize..4,
+    ) {
+        let config = SimConfig::new(0, 40).with_capacity(capacity);
+        assert_step_parity(&trace, config, kind, keep);
+    }
+
+    /// Admission-limited runs: pressure rejections of pre-warm loads are
+    /// emitted at the same points of the stream.
+    #[test]
+    fn stepping_matches_batch_with_admission_budget(
+        trace in trace_strategy(6, 40),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        budget in 1usize..4,
+    ) {
+        let config = SimConfig::new(0, 40).with_pressure_budget(budget);
+        assert_step_parity(&trace, config, kind, keep);
+    }
+}
+
+/// A non-property pin of the fallible wrappers' agreement: `try_simulate`
+/// is the batch loop, and a driver stepped over the same window returns
+/// the same `RunResult` through `finish`.
+#[test]
+fn try_simulate_is_the_stepped_driver() {
+    let meta = FunctionMeta {
+        app: AppId(0),
+        user: UserId(0),
+        trigger: TriggerType::Http,
+    };
+    let trace = Trace::new(
+        8,
+        vec![meta; 2],
+        vec![
+            SparseSeries::from_pairs(vec![(0, 3), (4, 1)]),
+            SparseSeries::from_pairs(vec![(2, 2)]),
+        ],
+    );
+    let config = SimConfig::new(0, 8).with_capacity(1);
+    let mut batch = try_simulate(&trace, &mut spes_sim::KeepForever, config).unwrap();
+    let mut policy = spes_sim::KeepForever;
+    let mut driver = SimDriver::new(2, config, &mut policy, Vec::new()).unwrap();
+    for (i, bucket) in trace.bucket_by_slot(0, 8).iter().enumerate() {
+        driver.step(i as Slot, bucket).unwrap();
+    }
+    let mut stepped = driver.finish();
+    batch.overhead_secs = 0.0;
+    stepped.overhead_secs = 0.0;
+    assert_eq!(stepped, batch);
+}

@@ -2,7 +2,7 @@
 //! engine accounting invariants under arbitrary workloads and policies.
 
 use proptest::prelude::*;
-use spes_sim::{simulate, KeepForever, MemoryPool, NoKeepAlive, Policy, SimConfig};
+use spes_sim::{try_simulate, KeepForever, MemoryPool, NoKeepAlive, Policy, SimConfig};
 use spes_trace::{AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
 
 fn trace_strategy(n_functions: usize, horizon: Slot) -> impl Strategy<Value = Trace> {
@@ -90,7 +90,7 @@ proptest! {
     #[test]
     fn engine_accounting_invariants(trace in trace_strategy(12, 120), seed in 1u64..5000) {
         let mut policy = ChaoticPolicy { state: seed };
-        let run = simulate(&trace, &mut policy, SimConfig::new(0, 120));
+        let run = try_simulate(&trace, &mut policy, SimConfig::new(0, 120)).unwrap();
         let window = 120u64;
         for f in 0..trace.n_functions() {
             let invoked_slots =
@@ -111,7 +111,7 @@ proptest! {
     fn keep_forever_is_cold_start_optimal(trace in trace_strategy(8, 100)) {
         // No policy can have fewer cold starts than keep-forever with
         // unbounded memory: exactly one per invoked function.
-        let run = simulate(&trace, &mut KeepForever, SimConfig::new(0, 100));
+        let run = try_simulate(&trace, &mut KeepForever, SimConfig::new(0, 100)).unwrap();
         for f in 0..trace.n_functions() {
             let expected = u64::from(!trace.series_of(FunctionId(f as u32)).is_empty());
             prop_assert_eq!(run.cold_starts[f], expected);
@@ -122,7 +122,7 @@ proptest! {
     fn no_keep_alive_is_memory_optimal(trace in trace_strategy(8, 100)) {
         // Dropping everything immediately wastes zero memory and pays a
         // cold start for every active slot.
-        let run = simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 100));
+        let run = try_simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 100)).unwrap();
         prop_assert_eq!(run.total_wmt(), 0);
         for f in 0..trace.n_functions() {
             let active = trace.series_of(FunctionId(f as u32)).active_slots() as u64;
@@ -137,23 +137,25 @@ proptest! {
     ) {
         // Cold starts measured in [split, 100) can never exceed the
         // full-window count for a stateless-warmup policy.
-        let full = simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 100));
-        let windowed = simulate(
+        let full = try_simulate(&trace, &mut NoKeepAlive, SimConfig::new(0, 100)).unwrap();
+        let windowed = try_simulate(
             &trace,
             &mut NoKeepAlive,
             SimConfig::new(0, 100).with_metrics_start(split),
-        );
+        )
+        .unwrap();
         prop_assert!(windowed.total_cold_starts() <= full.total_cold_starts());
         prop_assert!(windowed.total_invocations() <= full.total_invocations());
     }
 
     #[test]
     fn capacity_bounds_peak(trace in trace_strategy(10, 80), cap in 1usize..10) {
-        let run = simulate(
+        let run = try_simulate(
             &trace,
             &mut KeepForever,
             SimConfig::new(0, 80).with_capacity(cap),
-        );
+        )
+        .unwrap();
         prop_assert!(run.peak_loaded <= cap);
         // Same invocations are served regardless of memory.
         let direct: u64 = trace.series.iter().map(|s| s.total_invocations()).sum();

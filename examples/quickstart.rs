@@ -7,7 +7,7 @@
 
 use spes::baselines::FixedKeepAlive;
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, SimConfig};
+use spes::sim::{try_simulate, SimConfig};
 use spes::trace::{synth, SynthConfig, SLOTS_PER_DAY};
 
 fn main() {
@@ -42,10 +42,10 @@ fn main() {
     // 3. Replay the full trace, measuring the final 2 days (warm state
     // carries over the boundary, as in the paper's protocol).
     let window = SimConfig::new(0, trace.n_slots).with_metrics_start(train_end);
-    let spes_run = simulate(trace, &mut spes, window);
+    let spes_run = try_simulate(trace, &mut spes, window).unwrap();
 
     let mut fixed = FixedKeepAlive::paper_default(trace.n_functions());
-    let fixed_run = simulate(trace, &mut fixed, window);
+    let fixed_run = try_simulate(trace, &mut fixed, window).unwrap();
 
     // 4. Headline metrics.
     println!(

@@ -16,7 +16,7 @@
 
 use spes::baselines::{Granularity, HybridHistogram};
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, SimConfig};
+use spes::sim::{try_simulate, SimConfig};
 use spes::trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY};
 
 fn main() {
@@ -93,10 +93,10 @@ fn main() {
             spes.values_of(f)
         );
     }
-    let spes_run = simulate(&trace, &mut spes, window);
+    let spes_run = try_simulate(&trace, &mut spes, window).unwrap();
 
     let mut hybrid = HybridHistogram::fit(&trace, 0, train_end, Granularity::Function);
-    let hybrid_run = simulate(&trace, &mut hybrid, window);
+    let hybrid_run = try_simulate(&trace, &mut hybrid, window).unwrap();
 
     println!("\nper-function results over the final 2 days:");
     println!(

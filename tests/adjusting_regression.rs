@@ -12,7 +12,7 @@
 //! item for good.
 
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, SimConfig};
+use spes::sim::{try_simulate, SimConfig};
 use spes::trace::{synth, SynthConfig, SynthTrace};
 
 fn chain_heavy(seed: u64) -> SynthTrace {
@@ -25,11 +25,12 @@ fn chain_heavy(seed: u64) -> SynthTrace {
 
 fn q3_csr(data: &SynthTrace, cfg: SpesConfig) -> f64 {
     let mut policy = SpesPolicy::fit(&data.trace, 0, data.train_end, cfg);
-    simulate(
+    try_simulate(
         &data.trace,
         &mut policy,
         SimConfig::new(0, data.trace.n_slots).with_metrics_start(data.train_end),
     )
+    .unwrap()
     .csr_percentile(75.0)
     .expect("invoked functions")
 }

@@ -3,7 +3,7 @@
 //! Figs. 14-15 must hold end to end.
 
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, RunResult, SimConfig};
+use spes::sim::{try_simulate, RunResult, SimConfig};
 use spes::trace::{synth, SynthConfig, SynthTrace, SLOTS_PER_DAY};
 
 fn workload(seed: u64) -> SynthTrace {
@@ -17,11 +17,12 @@ fn workload(seed: u64) -> SynthTrace {
 fn run_with(data: &SynthTrace, cfg: SpesConfig) -> RunResult {
     let train_end = 12 * SLOTS_PER_DAY;
     let mut spes = SpesPolicy::fit(&data.trace, 0, train_end, cfg);
-    simulate(
+    try_simulate(
         &data.trace,
         &mut spes,
         SimConfig::new(0, data.trace.n_slots).with_metrics_start(train_end),
     )
+    .unwrap()
 }
 
 /// Fig. 13a direction: larger pre-warm windows spend more memory and

@@ -4,7 +4,7 @@
 
 use spes::baselines::{FixedKeepAlive, Oracle};
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, KeepForever, SimConfig};
+use spes::sim::{try_simulate, KeepForever, SimConfig};
 use spes::trace::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY};
 
 fn meta() -> FunctionMeta {
@@ -23,11 +23,12 @@ fn all_silent_trace_runs_cleanly() {
         vec![SparseSeries::new(); 10],
     );
     let mut spes = SpesPolicy::fit(&trace, 0, 2 * SLOTS_PER_DAY, SpesConfig::default());
-    let run = simulate(
+    let run = try_simulate(
         &trace,
         &mut spes,
         SimConfig::new(0, trace.n_slots).with_metrics_start(2 * SLOTS_PER_DAY),
-    );
+    )
+    .unwrap();
     assert_eq!(run.total_invocations(), 0);
     assert_eq!(run.total_cold_starts(), 0);
     assert_eq!(run.total_wmt(), 0);
@@ -43,7 +44,7 @@ fn single_slot_horizon() {
         vec![SparseSeries::from_pairs(vec![(1, 3)])],
     );
     let mut spes = SpesPolicy::fit(&trace, 0, 1, SpesConfig::default());
-    let run = simulate(&trace, &mut spes, SimConfig::new(1, 2));
+    let run = try_simulate(&trace, &mut spes, SimConfig::new(1, 2)).unwrap();
     assert_eq!(run.total_invocations(), 3);
     assert_eq!(run.total_cold_starts(), 1);
 }
@@ -56,7 +57,7 @@ fn capacity_one_pool_thrashes_but_accounts_correctly() {
     let b = SparseSeries::from_pairs((1..40).step_by(2).map(|s| (s, 1)).collect());
     let trace = Trace::new(40, vec![meta(); 2], vec![a, b]);
     let mut keep = KeepForever;
-    let run = simulate(&trace, &mut keep, SimConfig::new(0, 40).with_capacity(1));
+    let run = try_simulate(&trace, &mut keep, SimConfig::new(0, 40).with_capacity(1)).unwrap();
     assert_eq!(run.peak_loaded, 1);
     assert_eq!(run.total_cold_starts(), 40);
 }
@@ -68,7 +69,7 @@ fn hyperactive_single_function() {
     let series = SparseSeries::from_pairs((0..2000).map(|s| (s, 10_000)).collect());
     let trace = Trace::new(2000, vec![meta()], vec![series]);
     let mut spes = SpesPolicy::fit(&trace, 0, 1000, SpesConfig::default());
-    let run = simulate(&trace, &mut spes, SimConfig::new(1000, 2000));
+    let run = try_simulate(&trace, &mut spes, SimConfig::new(1000, 2000)).unwrap();
     assert_eq!(run.total_invocations(), 1000 * 10_000);
     assert!(run.csr_of(0).unwrap() < 1e-3);
 }
@@ -80,7 +81,7 @@ fn function_that_stops_forever() {
     let series = SparseSeries::from_pairs((0..1000).step_by(10).map(|s| (s, 1)).collect());
     let trace = Trace::new(3000, vec![meta()], vec![series]);
     let mut spes = SpesPolicy::fit(&trace, 0, 1500, SpesConfig::default());
-    let run = simulate(&trace, &mut spes, SimConfig::new(1500, 3000));
+    let run = try_simulate(&trace, &mut spes, SimConfig::new(1500, 3000)).unwrap();
     assert_eq!(run.total_invocations(), 0);
     // At most a handful of stale pre-warm slots, never the whole window.
     assert!(run.total_wmt() < 20, "leaked wmt = {}", run.total_wmt());
@@ -93,7 +94,7 @@ fn function_born_in_simulation_window() {
     let trace = Trace::new(3000, vec![meta()], vec![series]);
     let mut spes = SpesPolicy::fit(&trace, 0, 1500, SpesConfig::default());
     assert_eq!(spes.fit_stats().unseen, 1);
-    let run = simulate(&trace, &mut spes, SimConfig::new(1500, 3000));
+    let run = try_simulate(&trace, &mut spes, SimConfig::new(1500, 3000)).unwrap();
     // One cold start, then the active run keeps it warm.
     assert_eq!(run.total_cold_starts(), 1);
 }
@@ -105,7 +106,7 @@ fn training_window_shorter_than_validation_suffix() {
     let trace = Trace::new(1000, vec![meta()], vec![series]);
     let cfg = SpesConfig::default(); // validation_slots = 2 days > 500
     let mut spes = SpesPolicy::fit(&trace, 0, 500, cfg);
-    let run = simulate(&trace, &mut spes, SimConfig::new(500, 1000));
+    let run = try_simulate(&trace, &mut spes, SimConfig::new(500, 1000)).unwrap();
     assert!(run.csr_of(0).is_some());
 }
 
@@ -113,9 +114,9 @@ fn training_window_shorter_than_validation_suffix() {
 fn oracle_and_fixed_agree_on_empty_window() {
     let trace = Trace::new(100, vec![meta()], vec![SparseSeries::new()]);
     let mut oracle = Oracle::frugal(&trace);
-    let o = simulate(&trace, &mut oracle, SimConfig::new(50, 50));
+    let o = try_simulate(&trace, &mut oracle, SimConfig::new(50, 50)).unwrap();
     let mut fixed = FixedKeepAlive::paper_default(1);
-    let f = simulate(&trace, &mut fixed, SimConfig::new(50, 50));
+    let f = try_simulate(&trace, &mut fixed, SimConfig::new(50, 50)).unwrap();
     assert_eq!(o.n_slots(), 0);
     assert_eq!(f.n_slots(), 0);
 }

@@ -3,7 +3,7 @@
 
 use spes::baselines::{Defuse, FaasCache, FixedKeepAlive, Granularity, HybridHistogram};
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, Policy, RunResult, SimConfig};
+use spes::sim::{try_simulate, Policy, RunResult, SimConfig};
 use spes::trace::{synth, SynthConfig, SynthTrace, SLOTS_PER_DAY};
 
 fn workload(n: usize, seed: u64) -> SynthTrace {
@@ -16,11 +16,12 @@ fn workload(n: usize, seed: u64) -> SynthTrace {
 
 fn run_policy(data: &SynthTrace, policy: &mut dyn Policy) -> RunResult {
     let train_end = 12 * SLOTS_PER_DAY;
-    simulate(
+    try_simulate(
         &data.trace,
         policy,
         SimConfig::new(0, data.trace.n_slots).with_metrics_start(train_end),
     )
+    .unwrap()
 }
 
 /// Per-function accounting invariants hold for every policy.
@@ -161,13 +162,14 @@ fn faascache_respects_budget() {
     let budget = spes_run.peak_loaded.max(1);
 
     let mut faascache = FaasCache::new(trace.n_functions());
-    let run = simulate(
+    let run = try_simulate(
         trace,
         &mut faascache,
         SimConfig::new(0, trace.n_slots)
             .with_metrics_start(train_end)
             .with_capacity(budget),
-    );
+    )
+    .unwrap();
     assert!(run.peak_loaded <= budget);
     // With bounded memory it serves the same workload, worse or equal.
     assert_eq!(run.total_invocations(), spes_run.total_invocations());

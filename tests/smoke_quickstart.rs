@@ -3,7 +3,7 @@
 //! rather than any single crate's units.
 
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, SimConfig};
+use spes::sim::{try_simulate, SimConfig};
 use spes::trace::{synth, SLOTS_PER_DAY};
 
 #[test]
@@ -20,7 +20,7 @@ fn quickstart_path_produces_sane_metrics() {
     );
 
     let mut policy = SpesPolicy::fit(trace, 0, train_end, SpesConfig::default());
-    let result = simulate(trace, &mut policy, SimConfig::new(train_end, horizon));
+    let result = try_simulate(trace, &mut policy, SimConfig::new(train_end, horizon)).unwrap();
 
     // Aggregate metrics must be finite and within their definitions.
     let mean_loaded = result.mean_loaded();

@@ -2,7 +2,7 @@
 //! drive every policy to identical results.
 
 use spes::core::{SpesConfig, SpesPolicy};
-use spes::sim::{simulate, SimConfig};
+use spes::sim::{try_simulate, SimConfig};
 use spes::trace::{io, synth, SynthConfig, SLOTS_PER_DAY};
 
 #[test]
@@ -26,9 +26,9 @@ fn round_tripped_trace_reproduces_simulation() {
     let window = SimConfig::new(0, original.n_slots).with_metrics_start(train_end);
 
     let mut spes_a = SpesPolicy::fit(original, 0, train_end, SpesConfig::default());
-    let run_a = simulate(original, &mut spes_a, window);
+    let run_a = try_simulate(original, &mut spes_a, window).unwrap();
     let mut spes_b = SpesPolicy::fit(&reloaded, 0, train_end, SpesConfig::default());
-    let run_b = simulate(&reloaded, &mut spes_b, window);
+    let run_b = try_simulate(&reloaded, &mut spes_b, window).unwrap();
 
     assert_eq!(run_a.cold_starts, run_b.cold_starts);
     assert_eq!(run_a.wmt, run_b.wmt);
@@ -45,6 +45,6 @@ fn empty_and_tiny_traces_are_handled() {
     let csv = "user,app,func,trigger,slot,count\n0,0,0,http,5,1\n";
     let tiny = io::read_csv(csv.as_bytes(), Some(20)).expect("parse tiny");
     let mut spes = SpesPolicy::fit(&tiny, 0, 10, SpesConfig::default());
-    let run = simulate(&tiny, &mut spes, SimConfig::new(10, 20));
+    let run = try_simulate(&tiny, &mut spes, SimConfig::new(10, 20)).unwrap();
     assert_eq!(run.total_invocations(), 0); // invocation was in training
 }
