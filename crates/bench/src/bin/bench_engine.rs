@@ -200,9 +200,9 @@ fn run() -> Result<ExitCode, String> {
             vec![
                 r.scenario.clone(),
                 r.policy.clone(),
-                r.baseline_slots_per_sec
+                r.baseline_throughput
                     .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}")),
-                format!("{:.0}", r.current_slots_per_sec),
+                format!("{:.0}", r.current_throughput),
                 r.delta_pct
                     .map_or_else(|| "-".to_owned(), |v| format!("{v:+.1}%")),
                 r.status.to_string(),
@@ -225,9 +225,9 @@ fn run() -> Result<ExitCode, String> {
                 failure.policy,
                 failure.status,
                 failure
-                    .baseline_slots_per_sec
+                    .baseline_throughput
                     .map_or_else(|| "absent".to_owned(), |v| format!("{v:.0}")),
-                failure.current_slots_per_sec,
+                failure.current_throughput,
             );
         }
         eprintln!(

@@ -4,11 +4,17 @@
 //!
 //! ```text
 //! bench_serve [--functions N] [--seed S] [--out DIR] [--quick]
+//!             [--baseline FILE] [--gate PCT]
 //!
 //!   --functions  population size of each replayed trace (default 800)
 //!   --seed       workload seed (default 7)
 //!   --out        directory for BENCH_serve.json (default: .)
 //!   --quick      CI mode: shrink scenarios to tiny 7-day traces
+//!   --baseline   committed BENCH_serve.json to diff against; prints the
+//!                per-cell events/sec delta table
+//!   --gate       with --baseline: exit non-zero when any cell ingests
+//!                more than PCT percent slower than the baseline (or the
+//!                baseline is missing/stale for a measured cell)
 //! ```
 //!
 //! Each cell replays the scenario's pre-parsed invocation stream through
@@ -18,7 +24,7 @@
 //! set as `bench_engine` keeps the numbers about the serving path, not a
 //! policy's own cost.
 
-use spes_bench::perf::{bench_serve, ServeBenchReport};
+use spes_bench::perf::{bench_serve, gate_serve_against_baseline, ServeBenchReport};
 use spes_sim::text_table;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -32,6 +38,8 @@ struct Args {
     seed: u64,
     out: PathBuf,
     quick: bool,
+    baseline: Option<PathBuf>,
+    gate_pct: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         out: PathBuf::from("."),
         quick: false,
+        baseline: None,
+        gate_pct: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,13 +61,20 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => args.out = PathBuf::from(value()?),
             "--quick" => args.quick = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value()?)),
+            "--gate" => {
+                args.gate_pct = Some(value()?.parse().map_err(|e| format!("--gate: {e}"))?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.gate_pct.is_some() && args.baseline.is_none() {
+        return Err("--gate needs --baseline".into());
     }
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let mut rows = Vec::new();
     for scenario in SCENARIOS {
@@ -101,12 +118,78 @@ fn run() -> Result<(), String> {
     file.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
     file.write_all(b"\n").map_err(|e| e.to_string())?;
     eprintln!("wrote {}", path.display());
-    Ok(())
+
+    let Some(baseline_path) = &args.baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read baseline {baseline_path:?}: {e}"))?;
+    let baseline: ServeBenchReport = serde_json::from_str(&baseline_text)
+        .map_err(|e| format!("parse baseline {baseline_path:?}: {e:?}"))?;
+    // The gate tolerance only decides the exit code; the delta table is
+    // printed either way so the trajectory stays visible in every log.
+    let tolerance = args.gate_pct.unwrap_or(f64::INFINITY);
+    let gate = gate_serve_against_baseline(&baseline, &report, tolerance);
+
+    println!(
+        "\n== events/sec delta vs baseline {} (tolerance {}%) ==",
+        baseline_path.display(),
+        if tolerance.is_finite() {
+            format!("{tolerance:.0}")
+        } else {
+            "off".to_owned()
+        }
+    );
+    let table: Vec<Vec<String>> = gate
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.policy.clone(),
+                r.baseline_throughput
+                    .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}")),
+                format!("{:.0}", r.current_throughput),
+                r.delta_pct
+                    .map_or_else(|| "-".to_owned(), |v| format!("{v:+.1}%")),
+                r.status.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["scenario", "policy", "baseline", "current", "delta", "status"],
+            &table
+        )
+    );
+
+    if args.gate_pct.is_some() && !gate.passed() {
+        for failure in gate.failures() {
+            eprintln!(
+                "serve gate: {}/{} {} (baseline {}, current {:.0} events/sec)",
+                failure.scenario,
+                failure.policy,
+                failure.status,
+                failure
+                    .baseline_throughput
+                    .map_or_else(|| "absent".to_owned(), |v| format!("{v:.0}")),
+                failure.current_throughput,
+            );
+        }
+        eprintln!(
+            "serve gate failed; if the trace shape legitimately changed, regenerate the \
+             committed BENCH_serve.json with `cargo run --release --bin bench_serve -- --quick \
+             --functions 120`"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE

@@ -9,18 +9,23 @@
 pub mod figures_main;
 pub mod figures_sweep;
 pub mod figures_trace;
+pub mod fuzz;
 pub mod matrix;
 pub mod perf;
 pub mod policies;
 pub mod scenario;
 
+pub use fuzz::{
+    evaluate_point, minimise_finding, run_fuzz, scenario_snippet, validate_report, BestPoint,
+    FuzzConfig, FuzzFinding, FuzzReport, KnobPoint, PointScore,
+};
 pub use matrix::{
     aggregate_cells, fold_matrix, run_matrix, run_matrix_streaming, run_named_matrix,
     run_named_matrix_streaming, MatrixCell, MatrixOutcome, MatrixSummary, PolicyAggregate,
 };
 pub use perf::{
-    bench_engine, bench_serve, gate_against_baseline, EngineBenchReport, EngineBenchRow,
-    GateReport, ServeBenchReport, ServeBenchRow,
+    bench_engine, bench_serve, gate_against_baseline, gate_serve_against_baseline,
+    EngineBenchReport, EngineBenchRow, GateReport, ServeBenchReport, ServeBenchRow,
 };
 pub use policies::{
     default_suite, policy_names, spec_of, suite_of, RegisteredPolicy, UnknownPolicy, REGISTRY,

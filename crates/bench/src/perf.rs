@@ -14,6 +14,8 @@
 //! `BENCH_engine.json` into an actual regression gate: CI re-measures,
 //! prints the per-cell delta table, and fails the job when any cell
 //! regresses beyond the (deliberately generous) tolerance.
+//! [`gate_serve_against_baseline`] applies the same semantics to the
+//! serving-latency rows of `BENCH_serve.json`, gating on events/sec.
 
 use crate::policies;
 use serde::{Deserialize, Serialize};
@@ -345,17 +347,18 @@ impl std::fmt::Display for GateStatus {
     }
 }
 
-/// One row of the gate's delta table.
+/// One row of the gate's delta table. The throughput metric is
+/// slots/sec for the engine gate and events/sec for the serve gate.
 #[derive(Debug, Clone)]
 pub struct GateRow {
     /// Scenario registry name.
     pub scenario: String,
     /// Policy registry name.
     pub policy: String,
-    /// Baseline slots/sec (`None` when the baseline lacks the cell).
-    pub baseline_slots_per_sec: Option<f64>,
-    /// Freshly measured slots/sec.
-    pub current_slots_per_sec: f64,
+    /// Baseline throughput (`None` when the baseline lacks the cell).
+    pub baseline_throughput: Option<f64>,
+    /// Freshly measured throughput.
+    pub current_throughput: f64,
     /// Relative throughput change in percent (positive = faster);
     /// `None` without a comparable baseline.
     pub delta_pct: Option<f64>,
@@ -390,6 +393,39 @@ impl GateReport {
     }
 }
 
+/// Verdict for one cell given the baseline lookup: `base` is `None`
+/// when the baseline lacks the cell, `Some((throughput, stale))` with
+/// `stale` set when the baseline measured a different trace shape.
+fn gate_cell(
+    scenario: &str,
+    policy: &str,
+    base: Option<(f64, bool)>,
+    current: f64,
+    tolerance_pct: f64,
+) -> GateRow {
+    let (baseline_throughput, delta_pct, status) = match base {
+        None => (None, None, GateStatus::BaselineMissing),
+        Some((b, true)) => (Some(b), None, GateStatus::StaleBaseline),
+        Some((b, false)) => {
+            let delta = (current - b) / b * 100.0;
+            let status = if delta < -tolerance_pct {
+                GateStatus::Regression
+            } else {
+                GateStatus::Ok
+            };
+            (Some(b), Some(delta), status)
+        }
+    };
+    GateRow {
+        scenario: scenario.to_owned(),
+        policy: policy.to_owned(),
+        baseline_throughput,
+        current_throughput: current,
+        delta_pct,
+        status,
+    }
+}
+
 /// Compares a fresh measurement against the committed baseline cell by
 /// cell. A cell regresses when its slots/sec drops more than
 /// `tolerance_pct` percent below the baseline; baseline rows that are
@@ -406,30 +442,53 @@ pub fn gate_against_baseline(
         .rows
         .iter()
         .map(|cell| {
-            let base = baseline.row_of(&cell.scenario, &cell.policy);
-            let (baseline_slots_per_sec, delta_pct, status) = match base {
-                None => (None, None, GateStatus::BaselineMissing),
-                Some(b) if b.slots != cell.slots || b.n_functions != cell.n_functions => {
-                    (Some(b.slots_per_sec), None, GateStatus::StaleBaseline)
-                }
-                Some(b) => {
-                    let delta = (cell.slots_per_sec - b.slots_per_sec) / b.slots_per_sec * 100.0;
-                    let status = if delta < -tolerance_pct {
-                        GateStatus::Regression
-                    } else {
-                        GateStatus::Ok
-                    };
-                    (Some(b.slots_per_sec), Some(delta), status)
-                }
-            };
-            GateRow {
-                scenario: cell.scenario.clone(),
-                policy: cell.policy.clone(),
-                baseline_slots_per_sec,
-                current_slots_per_sec: cell.slots_per_sec,
-                delta_pct,
-                status,
-            }
+            let base = baseline.row_of(&cell.scenario, &cell.policy).map(|b| {
+                let stale = b.slots != cell.slots || b.n_functions != cell.n_functions;
+                (b.slots_per_sec, stale)
+            });
+            gate_cell(
+                &cell.scenario,
+                &cell.policy,
+                base,
+                cell.slots_per_sec,
+                tolerance_pct,
+            )
+        })
+        .collect();
+    GateReport {
+        rows,
+        tolerance_pct,
+    }
+}
+
+/// The serving-path counterpart of [`gate_against_baseline`]: compares a
+/// fresh `bench_serve` run against the committed `BENCH_serve.json` on
+/// ingest throughput (events/sec, the inverse of total per-decision
+/// latency, so percentile jitter in any single slot cannot flip the
+/// gate). Staleness means the baseline replayed a different trace shape
+/// (slots or population changed); the fix, as for the engine gate, is
+/// regenerating the committed baseline.
+#[must_use]
+pub fn gate_serve_against_baseline(
+    baseline: &ServeBenchReport,
+    current: &ServeBenchReport,
+    tolerance_pct: f64,
+) -> GateReport {
+    let rows = current
+        .rows
+        .iter()
+        .map(|cell| {
+            let base = baseline.row_of(&cell.scenario, &cell.policy).map(|b| {
+                let stale = b.slots != cell.slots || b.n_functions != cell.n_functions;
+                (b.events_per_sec, stale)
+            });
+            gate_cell(
+                &cell.scenario,
+                &cell.policy,
+                base,
+                cell.events_per_sec,
+                tolerance_pct,
+            )
         })
         .collect();
     GateReport {
@@ -620,6 +679,61 @@ mod tests {
         );
         assert!(report.passed());
         assert_eq!(report.rows.len(), 1);
+    }
+
+    fn serve_row(scenario: &str, policy: &str, events_per_sec: f64) -> ServeBenchRow {
+        ServeBenchRow {
+            scenario: scenario.into(),
+            policy: policy.into(),
+            n_functions: 120,
+            slots: 10_080,
+            events: 50_000,
+            secs: 50_000.0 / events_per_sec,
+            p50_us: 1.0,
+            p99_us: 3.0,
+            max_us: 50.0,
+            events_per_sec,
+        }
+    }
+
+    #[test]
+    fn serve_gate_mirrors_the_engine_gate_semantics() {
+        let baseline = ServeBenchReport {
+            rows: vec![serve_row("quick", "keep-forever", 1_000_000.0)],
+        };
+        // 10% slower: inside a 25% tolerance.
+        let ok = ServeBenchReport {
+            rows: vec![serve_row("quick", "keep-forever", 900_000.0)],
+        };
+        let report = gate_serve_against_baseline(&baseline, &ok, 25.0);
+        assert!(report.passed(), "{:?}", report.rows);
+        assert!((report.rows[0].delta_pct.unwrap() + 10.0).abs() < 1e-9);
+
+        // 40% slower: regression.
+        let slow = ServeBenchReport {
+            rows: vec![serve_row("quick", "keep-forever", 600_000.0)],
+        };
+        let report = gate_serve_against_baseline(&baseline, &slow, 25.0);
+        assert!(!report.passed());
+        assert_eq!(report.rows[0].status, GateStatus::Regression);
+
+        // Unknown cell and reshaped trace both fail until the committed
+        // baseline is regenerated.
+        let current = ServeBenchReport {
+            rows: vec![serve_row("quick", "no-keep-alive", 1_000_000.0)],
+        };
+        let report = gate_serve_against_baseline(&baseline, &current, 25.0);
+        assert_eq!(report.rows[0].status, GateStatus::BaselineMissing);
+        let mut resized = serve_row("quick", "keep-forever", 1_000_000.0);
+        resized.slots = 20_160;
+        let report = gate_serve_against_baseline(
+            &baseline,
+            &ServeBenchReport {
+                rows: vec![resized],
+            },
+            25.0,
+        );
+        assert_eq!(report.rows[0].status, GateStatus::StaleBaseline);
     }
 
     #[test]

@@ -57,14 +57,27 @@ fn unknown_policy_names_are_rejected() {
     assert_eq!(err, policies::UnknownPolicy("nope".to_owned()));
 }
 
-/// The pinned pre-registry result: `run_comparison` on
-/// `Experiment::sized(120, 7)` produced exactly these per-policy metrics
-/// before the suite refactor. The registry redesign must not move a
+/// The pinned comparison: `run_comparison` on `Experiment::sized(120, 7)`
+/// produces exactly these per-policy metrics. Refactors must not move a
 /// single count — the comparison is the paper's headline artefact.
+///
+/// Re-pinned when S2 adjusting stopped chasing chain echoes on Regular
+/// functions: spes improved to 597 cold starts / Q3-CSR 0.2414 (from
+/// 604 / 0.25), and faascache follows because its capacity budget is
+/// donated from the SPES peak (29 -> 30). Every other policy is
+/// untouched by the SPES-internal change, which this pin also proves.
 const PINNED: [(&str, u64, u64, u64, usize, u64, f64); 6] = [
     // (policy, invocations, cold starts, WMT, peak loaded,
     //  loaded-slot integral, Q3-CSR)
-    ("spes", 90_796, 604, 25_026, 29, 47_440, 0.25),
+    (
+        "spes",
+        90_796,
+        597,
+        25_868,
+        30,
+        48_282,
+        0.241_379_310_344_827_6,
+    ),
     (
         "defuse",
         90_796,
@@ -85,7 +98,7 @@ const PINNED: [(&str, u64, u64, u64, usize, u64, f64); 6] = [
         0.310_344_827_586_206_9,
     ),
     ("fixed-keep-alive", 90_796, 2_111, 41_218, 35, 63_632, 1.0),
-    ("faascache", 90_796, 1_388, 61_513, 29, 83_520, 1.0),
+    ("faascache", 90_796, 1_320, 64_368, 30, 86_400, 1.0),
 ];
 
 #[test]

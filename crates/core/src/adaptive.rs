@@ -25,10 +25,49 @@ pub enum AdjustOutcome {
     Updated,
 }
 
+/// Maximum size of a "possible" function's predictive-value set once it
+/// grows online (the paper's possible functions use duplicated WTs only).
+/// Offline-fitted sets may legitimately be larger; they are never shrunk,
+/// only stopped from growing.
+const POSSIBLE_VALUE_CAP: usize = 5;
+
+/// Whether `wt` is explained by the chain echo of a known cadence `base`:
+/// a chained child that misses `m - 1` consecutive parent firings waits
+/// `m*base + (m - 1)` slots (each skipped period contributes `base + 1`
+/// slots), so such WTs carry no drift information about the cadence
+/// itself. Skip multiples up to `harmonics` are tested; below 2 the test
+/// is disabled.
+fn echoes_value(wt: u32, base: u32, tol: f64, harmonics: u32) -> bool {
+    (2..=harmonics).any(|m| {
+        let echo = f64::from(m) * f64::from(base) + f64::from(m - 1);
+        (f64::from(wt) - echo).abs() <= tol
+    })
+}
+
 /// Applies the S2 adjusting rule to one function's predictive values.
 ///
 /// `offline_std` is the standard deviation of the training-window WTs; a
 /// drift larger than it (with a floor of 1 slot) triggers the update.
+///
+/// The **regular** drift test is chain-aware: intra-app chained children
+/// fire with WTs that mirror the parent's cadence, and when the chain
+/// occasionally skips a firing the buffer becomes a mixture of the true
+/// period and its skip echoes (`2p + 1`, `3p + 2`, ...). The regular
+/// recipe blends its *single* cadence toward the median, so an
+/// echo-contaminated median destroys the one value that still predicts
+/// most invocations. Two guards prevent that: a median supported by less
+/// than [`SpesConfig::adjust_new_support`] of the buffer (the
+/// interpolated midpoint of a bimodal mixture) is ignored, and an
+/// echo-valued median is ignored **while the old cadence is still the
+/// common case in the buffer** — after a genuine shift onto a
+/// near-harmonic period (`p -> 2p + 1`) the old period decays to a few
+/// stragglers and the update proceeds.
+///
+/// The appro-regular and dense recipes are deliberately *not* guarded:
+/// they extend a value set / range rather than moving a single point, and
+/// for a thinned chain the echo slots are genuinely predictive (the child
+/// really does wait `2p + 1` when it misses a parent firing), so adopting
+/// them reduces cold starts.
 pub fn adjust_values(
     ty: FunctionType,
     values: &mut PredictiveValues,
@@ -40,22 +79,57 @@ pub fn adjust_values(
         return AdjustOutcome::Unchanged;
     }
     let drift_threshold = offline_std.max(1.0);
+    let harmonics = config.adjust_echo_harmonics;
+    // Whether a known cadence is still the common case in the online
+    // buffer (at least a quarter of it). Echo discounting only applies
+    // while it is: a thinned chain keeps firing at the parent period so
+    // its cadence stays dominant, whereas after a real shift the old
+    // period decays to a few stragglers — however harmonic the new
+    // period looks, the update must then proceed.
+    let live = |base: u32| {
+        let near = online_wts
+            .iter()
+            .filter(|&&wt| (f64::from(wt) - f64::from(base)).abs() <= drift_threshold)
+            .count();
+        near * 4 >= online_wts.len()
+    };
     match (ty, &mut *values) {
         (FunctionType::Regular, PredictiveValues::Discrete(vals)) if vals.len() == 1 => {
             let old = f64::from(vals[0]);
             let new = percentile(online_wts, 50.0).expect("non-empty online wts");
-            if (new - old).abs() > drift_threshold {
-                vals[0] = ((old + new) / 2.0).round() as u32;
-                AdjustOutcome::Updated
-            } else {
-                AdjustOutcome::Unchanged
+            if (new - old).abs() <= drift_threshold {
+                return AdjustOutcome::Unchanged;
             }
+            if live(vals[0])
+                && echoes_value(new.round() as u32, vals[0], drift_threshold, harmonics)
+            {
+                return AdjustOutcome::Unchanged;
+            }
+            // A chained child that sporadically misses parent firings has
+            // a bimodal WT buffer (period + skip echoes) whose median
+            // interpolates between the clusters; only blend toward a
+            // cadence the buffer actually supports. A genuine concept
+            // shift concentrates the buffer on the new period and passes.
+            let support = online_wts
+                .iter()
+                .filter(|&&wt| (f64::from(wt) - new).abs() <= drift_threshold)
+                .count();
+            if (support as f64) < config.adjust_new_support * online_wts.len() as f64 {
+                return AdjustOutcome::Unchanged;
+            }
+            vals[0] = ((old + new) / 2.0).round() as u32;
+            AdjustOutcome::Updated
         }
         (FunctionType::ApproRegular, PredictiveValues::Discrete(vals)) => {
             let fresh: Vec<u32> = modes::top_modes(online_wts, config.appro_n_modes)
                 .into_iter()
                 .map(|m| m.value)
                 .collect();
+            // A fresh mode counts as drift when it is far from every known
+            // value. Chain echoes are allowed through on purpose: the
+            // replacement keeps the dominant (parent-period) modes and the
+            // echo slots it adds are genuinely predictive for a thinned
+            // chain.
             let drifted = fresh.iter().any(|&nv| {
                 vals.iter()
                     .all(|&ov| f64::from(nv.abs_diff(ov)) > drift_threshold)
@@ -71,8 +145,8 @@ pub fn adjust_values(
             let fresh = modes::top_modes(online_wts, config.dense_k_modes);
             let new_lo = fresh.iter().map(|m| m.value).min().expect("non-empty");
             let new_hi = fresh.iter().map(|m| m.value).max().expect("non-empty");
-            let drifted = f64::from(new_lo.abs_diff(*lo)) > drift_threshold
-                || f64::from(new_hi.abs_diff(*hi)) > drift_threshold;
+            let bound_drifted = |nv: u32, ov: u32| f64::from(nv.abs_diff(ov)) > drift_threshold;
+            let drifted = bound_drifted(new_lo, *lo) || bound_drifted(new_hi, *hi);
             if drifted {
                 *lo = (f64::from(*lo) + f64::from(new_lo)).div_euclid(2.0).round() as u32;
                 *hi = ((f64::from(*hi) + f64::from(new_hi)) / 2.0).round() as u32;
@@ -90,16 +164,18 @@ pub fn adjust_values(
         ) => {
             let fresh = modes::repeated_values(online_wts);
             let mut changed = false;
+            // Grow the value set up to the cap but never shrink it:
+            // offline-fitted "possible" sets can legitimately hold far
+            // more values, and truncating them on the first online
+            // adjustment would destroy the predictive set wholesale.
             for v in fresh {
+                if vals.len() >= POSSIBLE_VALUE_CAP {
+                    break;
+                }
                 if !vals.contains(&v) {
                     vals.push(v);
                     changed = true;
                 }
-            }
-            // Keep the value set small: the paper's possible functions use
-            // duplicated WTs only, so cap at a handful of values.
-            if vals.len() > 5 {
-                vals.truncate(5);
             }
             if changed {
                 AdjustOutcome::Updated
@@ -222,6 +298,102 @@ mod tests {
                 assert!(lo >= 1 && hi <= 10 && lo <= hi, "[{lo}, {hi}]");
                 // Blended towards the online values.
                 assert!(hi > 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn regular_ignores_interpolated_chain_mixture_median() {
+        // Chained child on a 704-slot parent cadence, thinned so the
+        // buffer is a period/skip-echo mixture (1409 = 2*704 + 1). The
+        // median interpolates between the clusters; no actual WT supports
+        // it, so the blend must not fire.
+        let mut values = PredictiveValues::Discrete(vec![704]);
+        let online = vec![704, 1409, 704, 1409, 704, 1409];
+        let out = adjust_values(FunctionType::Regular, &mut values, &online, 2.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Unchanged);
+        assert_eq!(values, PredictiveValues::Discrete(vec![704]));
+    }
+
+    #[test]
+    fn regular_ignores_echo_majority_while_cadence_live() {
+        // Heavier thinning: echoes outnumber the period, so the median
+        // lands on 2p + 1 with majority support — but the old cadence is
+        // still the common case in the buffer, so the drift is chaining,
+        // not a shift.
+        let mut values = PredictiveValues::Discrete(vec![704]);
+        let online = vec![1409, 1409, 1409, 1409, 1409, 704, 704, 704];
+        let out = adjust_values(FunctionType::Regular, &mut values, &online, 2.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Unchanged);
+        assert_eq!(values, PredictiveValues::Discrete(vec![704]));
+    }
+
+    #[test]
+    fn regular_adjusts_on_genuine_shift_to_harmonic_period() {
+        // The new period happens to be the chain echo of the old one, but
+        // the old cadence has vanished from the buffer: that is a real
+        // concept shift and must still blend.
+        let mut values = PredictiveValues::Discrete(vec![704]);
+        let online = vec![1409, 1409, 1409, 1409, 1409, 1409];
+        let out = adjust_values(FunctionType::Regular, &mut values, &online, 2.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Updated);
+        assert_eq!(values, PredictiveValues::Discrete(vec![1057])); // mean(704, 1409)
+    }
+
+    #[test]
+    fn appro_regular_parent_echo_modes_not_spurious_drift() {
+        // A chained appro-regular child whose value set already covers the
+        // parent period and its skip echo: the same mixture online carries
+        // no drift, so the set must not be reset.
+        let mut values = PredictiveValues::Discrete(vec![10, 21]);
+        let online = vec![10, 21, 10, 10, 21, 10];
+        let out = adjust_values(
+            FunctionType::ApproRegular,
+            &mut values,
+            &online,
+            1.0,
+            &cfg(),
+        );
+        assert_eq!(out, AdjustOutcome::Unchanged);
+        assert_eq!(values, PredictiveValues::Discrete(vec![10, 21]));
+    }
+
+    #[test]
+    fn dense_parent_echo_tail_not_spurious_drift() {
+        // A dense function with an occasional chain-echo straggler: the
+        // straggler is too rare to make the top modes, so the range must
+        // hold still.
+        let mut values = PredictiveValues::Range(1, 4);
+        let online = vec![1, 2, 3, 1, 2, 3, 9];
+        let out = adjust_values(FunctionType::Dense, &mut values, &online, 1.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Unchanged);
+        assert_eq!(values, PredictiveValues::Range(1, 4));
+    }
+
+    #[test]
+    fn possible_never_truncates_offline_fitted_sets() {
+        // Offline-fitted "possible" sets may hold many values; an online
+        // adjustment must never shrink them (the old recipe truncated to
+        // the first five, destroying the predictive set wholesale).
+        let offline: Vec<u32> = vec![10, 20, 30, 40, 50, 60, 70];
+        let mut values = PredictiveValues::Discrete(offline.clone());
+        let online = vec![80, 80, 15, 80, 90];
+        let out = adjust_values(FunctionType::Possible, &mut values, &online, 1.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Unchanged);
+        assert_eq!(values, PredictiveValues::Discrete(offline));
+    }
+
+    #[test]
+    fn possible_growth_stops_at_cap() {
+        let mut values = PredictiveValues::Discrete(vec![10, 20, 30, 40]);
+        let online = vec![80, 80, 90, 90, 95, 95];
+        let out = adjust_values(FunctionType::Possible, &mut values, &online, 1.0, &cfg());
+        assert_eq!(out, AdjustOutcome::Updated);
+        match &values {
+            PredictiveValues::Discrete(v) => {
+                assert_eq!(v.len(), POSSIBLE_VALUE_CAP);
+                assert_eq!(v[..4], [10, 20, 30, 40]);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -95,6 +95,22 @@ pub struct SpesConfig {
     /// Number of online WTs required before adaptive updates fire
     /// ("if there are enough WTs").
     pub adjust_min_samples: usize,
+    /// Chain-echo awareness of the S2 *regular* drift test: a median
+    /// within the drift threshold of `m*v + (m-1)` for the known cadence
+    /// `v` and a skip multiple `m <= adjust_echo_harmonics` is attributed
+    /// to intra-app chaining (the child missed `m-1` parent firings)
+    /// rather than to drift — provided the old cadence is still the
+    /// common case in the buffer — so it cannot drag the single regular
+    /// cadence toward the chain echo. Values below 2 disable the echo
+    /// test. Appro-regular and dense updates are deliberately unguarded:
+    /// they extend a set/range and chain echoes are predictive there.
+    pub adjust_echo_harmonics: u32,
+    /// Fraction of the online WT buffer that must sit within the drift
+    /// threshold of the new median before a "regular" blend fires. The
+    /// median of a bimodal chain-mixture buffer (parent period plus skip
+    /// echoes) interpolates between the clusters and is supported by
+    /// neither; requiring majority support rejects it.
+    pub adjust_new_support: f64,
     /// Online-correlation candidate pruning: a candidate is suspended when
     /// its COR falls this far below the current maximum.
     pub online_corr_drop_gap: f64,
@@ -146,6 +162,8 @@ impl Default for SpesConfig {
             givenup_scaler: 1,
             possible_range_threshold: 10,
             adjust_min_samples: 5,
+            adjust_echo_harmonics: 3,
+            adjust_new_support: 0.5,
             online_corr_drop_gap: 0.3,
             online_corr_max_candidates: 20,
             enable_correlated: true,
@@ -206,6 +224,12 @@ impl SpesConfig {
         }
         if self.appro_n_modes == 0 || self.dense_k_modes == 0 {
             return Err("mode counts must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.adjust_new_support) {
+            return Err(format!(
+                "adjust_new_support must be a fraction, got {}",
+                self.adjust_new_support
+            ));
         }
         Ok(())
     }

@@ -4,11 +4,17 @@
 //! macro, range/tuple/collection strategies, `prop_map`, `any::<bool>()`,
 //! and the `prop_assert*` / `prop_assume!` macros. Inputs are drawn from
 //! a deterministic RNG seeded from the test name, so failures reproduce
-//! exactly on re-run. Unlike real proptest there is **no shrinking**: a
-//! failing case reports the case number plus the Debug rendering of every
-//! generated input (unshrunk), which keeps matrix-test failures
-//! diagnosable offline. As in upstream proptest, generated values must
-//! implement `Debug`.
+//! exactly on re-run.
+//!
+//! Failing cases are **shrunk** before reporting: integer (and float)
+//! strategies halve toward the range start, `Vec` strategies truncate
+//! toward their minimum length and shrink elements in place, and tuples
+//! shrink one component at a time ([`Strategy::shrink`]). The greedy
+//! loop keeps any candidate that still fails, so the reported inputs are
+//! a local minimum of the failure, not the first random hit. Strategies
+//! without a meaningful simplification order (`prop_map`, `Just`) report
+//! unshrunk. As in upstream proptest, generated values must implement
+//! `Debug`, and (for the shrinking re-runs) `Clone`.
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SampleUniform, SeedableRng, StandardUniform};
@@ -67,6 +73,18 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes simpler candidates for a failing `value`, simplest first.
+    ///
+    /// The runner keeps any candidate that still fails and calls `shrink`
+    /// again on it, so one call only needs a few local steps (origin,
+    /// halfway, one-off), not the whole chain. The default proposes
+    /// nothing: strategies without a simplification order (`prop_map`,
+    /// `Just`) report the failing value unshrunk.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -83,21 +101,105 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
-impl<T: SampleUniform + Copy> Strategy for Range<T> {
+/// Per-type simplification order used by the range and [`any`]
+/// strategies: integers halve toward the origin, floats bisect, booleans
+/// fall to `false`.
+pub trait ShrinkStep: Copy {
+    /// The simplest value of the type (`0`, `0.0`, `false`); the shrink
+    /// target of [`any`], which has no range start to aim for.
+    fn shrink_origin() -> Self;
+
+    /// Candidates simpler than `value` on the path to `origin`, simplest
+    /// first. Empty once `value` reaches `origin`.
+    fn shrink_toward(origin: Self, value: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_step_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkStep for $t {
+            fn shrink_origin() -> Self {
+                0
+            }
+
+            fn shrink_toward(origin: Self, value: Self) -> Vec<Self> {
+                if value == origin {
+                    return Vec::new();
+                }
+                let mut out = vec![origin];
+                let mid = origin.midpoint(value);
+                if mid != origin && mid != value {
+                    out.push(mid);
+                }
+                let step = if value > origin { value - 1 } else { value + 1 };
+                if step != origin && out.last() != Some(&step) {
+                    out.push(step);
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_step_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_step_float {
+    ($($t:ty),*) => {$(
+        impl ShrinkStep for $t {
+            fn shrink_origin() -> Self {
+                0.0
+            }
+
+            fn shrink_toward(origin: Self, value: Self) -> Vec<Self> {
+                if !value.is_finite() || (value - origin).abs() < 1e-9 {
+                    return Vec::new();
+                }
+                vec![origin, origin + (value - origin) / 2.0]
+            }
+        }
+    )*};
+}
+impl_shrink_step_float!(f32, f64);
+
+impl ShrinkStep for bool {
+    fn shrink_origin() -> Self {
+        false
+    }
+
+    fn shrink_toward(origin: Self, value: Self) -> Vec<Self> {
+        if value && !origin {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: SampleUniform + ShrinkStep> Strategy for Range<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut TestRng) -> T {
         rand::SampleRange::sample_from(self.clone(), rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(self.start, *value)
+    }
 }
 
-impl<T: SampleUniform + Copy> Strategy for RangeInclusive<T> {
+impl<T: SampleUniform + ShrinkStep> Strategy for RangeInclusive<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut TestRng) -> T {
         rand::SampleRange::sample_from(self.clone(), rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(*self.start(), *value)
     }
 }
 
@@ -142,30 +244,57 @@ pub fn any<T: StandardUniform>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-impl<T: StandardUniform> Strategy for Any<T> {
+impl<T: StandardUniform + ShrinkStep> Strategy for Any<T> {
     type Value = T;
 
     fn sample(&self, rng: &mut TestRng) -> T {
         rng.next_u64(); // decorrelate consecutive `any` draws from ranges
         T::sample_standard(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(T::shrink_origin(), *value)
+    }
 }
 
 macro_rules! impl_strategy_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
-        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+)
+        where
+            $($t::Value: Clone),+
+        {
             type Value = ($($t::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$n.sample(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time; the greedy runner interleaves
+                // the components by re-shrinking whichever candidate
+                // stuck.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$n.shrink(&value.$n) {
+                        let mut next = value.clone();
+                        next.$n = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 impl_strategy_tuple! {
+    (0 A)
     (0 A, 1 B)
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
 }
 
 pub mod collection {
@@ -223,7 +352,10 @@ pub mod collection {
         len: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
@@ -233,6 +365,33 @@ pub mod collection {
                 rng.random_range(self.len.min..=self.len.max)
             };
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            // Truncation first (shortest prefix, halfway, drop-one), then
+            // in-place element shrinks; lengths never fall below the
+            // strategy's minimum, so candidates stay valid samples.
+            let mut out = Vec::new();
+            let len = value.len();
+            let min = self.len.min;
+            if len > min {
+                out.push(value[..min].to_vec());
+                let half = min + (len - min) / 2;
+                if half > min && half < len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 > min {
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -246,13 +405,74 @@ pub mod prelude {
     //! The usual `use proptest::prelude::*` surface.
     pub use super::{
         any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
-        Any, Just, ProptestConfig, Strategy, TestCaseError,
+        Any, Just, ProptestConfig, ShrinkStep, Strategy, TestCaseError,
     };
 }
 
+/// Outcome of one generated case after shrinking, returned by
+/// [`run_case`].
+#[doc(hidden)]
+pub enum CaseOutcome<V> {
+    /// The case passed or was rejected by `prop_assume!`.
+    Pass,
+    /// The case failed; `minimal` is the greedily shrunk counterexample.
+    Failed {
+        minimal: V,
+        message: String,
+        shrinks: u32,
+    },
+}
+
+/// Samples one case and, on failure, drives the greedy shrink loop: keep
+/// any simpler candidate that still fails, re-shrink from there, stop
+/// when none do or the re-run budget runs out. Rejected candidates count
+/// as passing, so `prop_assume!` filters survive shrinking. Used by
+/// [`proptest!`]; a plain function so the case closure gets its argument
+/// type from this signature.
+#[doc(hidden)]
+pub fn run_case<S: Strategy>(
+    strategy: &S,
+    rng: &mut TestRng,
+    run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) -> CaseOutcome<S::Value> {
+    let value = strategy.sample(rng);
+    let msg = match run(&value) {
+        Ok(()) | Err(TestCaseError::Reject) => return CaseOutcome::Pass,
+        Err(TestCaseError::Fail(msg)) => msg,
+    };
+    let mut best = value;
+    let mut best_msg = msg;
+    let mut shrinks = 0u32;
+    let mut budget = 256u32;
+    loop {
+        let mut progress = false;
+        for candidate in strategy.shrink(&best) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = run(&candidate) {
+                best = candidate;
+                best_msg = m;
+                shrinks += 1;
+                progress = true;
+                break;
+            }
+        }
+        if !progress || budget == 0 {
+            break;
+        }
+    }
+    CaseOutcome::Failed {
+        minimal: best,
+        message: best_msg,
+        shrinks,
+    }
+}
+
 /// Defines deterministic property tests; see the crate docs for the
-/// supported subset (no shrinking, no `#[test]` injection — write the
-/// attribute yourself, as upstream proptest's examples do).
+/// supported subset (greedy shrinking, no `#[test]` injection — write
+/// the attribute yourself, as upstream proptest's examples do).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -266,36 +486,30 @@ macro_rules! proptest {
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            // All params fold into one tuple strategy so a failing draw
+            // can be shrunk as a unit.
+            let __strategy = ($(($strat),)*);
             for case in 0..config.cases {
-                // Debug-render each input as it is drawn so a failure can
-                // report the exact generated values (no shrinking).
-                let mut __case_inputs = ::std::string::String::new();
-                $(
-                    let __value = $crate::Strategy::sample(&($strat), &mut rng);
-                    if !__case_inputs.is_empty() {
-                        __case_inputs.push_str(", ");
-                    }
-                    __case_inputs.push_str(&::std::format!(
-                        "{} = {:?}",
-                        stringify!($param),
-                        &__value
-                    ));
-                    let $param = __value;
-                )*
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                let __outcome = $crate::run_case(&__strategy, &mut rng, |__input| {
+                    let ($($param,)*) = ::std::clone::Clone::clone(__input);
                     $body
                     ::std::result::Result::Ok(())
-                })();
-                match outcome {
-                    ::std::result::Result::Ok(()) => {}
-                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
-                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                        panic!(
-                            "[{}] case {case}/{} failed: {msg}\n  inputs: {__case_inputs}",
-                            stringify!($name),
-                            config.cases
-                        )
-                    }
+                });
+                if let $crate::CaseOutcome::Failed {
+                    minimal: __minimal,
+                    message: __message,
+                    shrinks: __shrinks,
+                } = __outcome
+                {
+                    panic!(
+                        "[{}] case {case}/{} failed: {}\n  inputs ({} shrinks): {} = {:?}",
+                        stringify!($name),
+                        config.cases,
+                        __message,
+                        __shrinks,
+                        stringify!(($($param),*)),
+                        &__minimal
+                    )
                 }
             }
         }
@@ -426,7 +640,7 @@ mod tests {
     }
 
     #[test]
-    fn failures_report_generated_inputs() {
+    fn failures_report_shrunk_inputs() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
             #[allow(unused)]
@@ -438,12 +652,72 @@ mod tests {
         let msg = panic
             .downcast_ref::<String>()
             .expect("panic carries a message");
-        // The Debug-rendered tuple and the bool both appear, labelled by
-        // their binding patterns.
-        assert!(msg.contains("inputs: pair = ("), "missing inputs: {msg}");
+        // An always-failing body shrinks every component to its minimum:
+        // both range starts and `false`.
         assert!(
-            msg.contains("flag = true") || msg.contains("flag = false"),
-            "missing flag value: {msg}"
+            msg.contains("(pair, flag) = ((10, 30), false)"),
+            "inputs not fully shrunk: {msg}"
+        );
+    }
+
+    #[test]
+    fn integers_shrink_to_the_failure_boundary() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[allow(unused)]
+            fn inner(x in 7u32..1000) {
+                prop_assert!(x < 25, "x = {x}");
+            }
+        }
+        let panic = std::panic::catch_unwind(inner).expect_err("inner must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        // 25 is the smallest failing value; halving plus the decrement
+        // step must land exactly on it, not merely near it.
+        assert!(
+            msg.contains("(x) = (25,)"),
+            "not shrunk to the boundary: {msg}"
+        );
+    }
+
+    #[test]
+    fn vecs_shrink_by_truncation_and_element_shrinks() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[allow(unused)]
+            fn inner(v in collection::vec(0u32..100, 0..30)) {
+                prop_assert!(v.len() < 3, "len = {}", v.len());
+            }
+        }
+        let panic = std::panic::catch_unwind(inner).expect_err("inner must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        // Minimal counterexample: shortest failing length with every
+        // element shrunk to the range start.
+        assert!(msg.contains("(v) = ([0, 0, 0],)"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn shrinking_respects_assume_filters() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[allow(unused)]
+            fn inner(x in 0u32..1000) {
+                prop_assume!(x >= 10);
+                prop_assert!(x < 40, "x = {x}");
+            }
+        }
+        let panic = std::panic::catch_unwind(inner).expect_err("inner must fail");
+        let msg = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        // Candidates below the assume threshold are rejected, not
+        // counted as failures, so the minimum stays in the valid region.
+        assert!(
+            msg.contains("(x) = (40,)"),
+            "shrink crossed the assume filter: {msg}"
         );
     }
 }

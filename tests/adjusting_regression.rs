@@ -1,15 +1,17 @@
-//! Regression coverage for the ROADMAP open item "Adaptive adjusting can
-//! hurt on chain-heavy traces": with strong intra-app chaining, the
-//! `w/o Adjusting` ablation can *beat* full SPES on Q3-CSR, suggesting S2
-//! adjustments misfire on chained children whose waiting times mirror the
-//! parent's cadence.
+//! Regression coverage for the (closed) ROADMAP item "Adaptive adjusting
+//! can hurt on chain-heavy traces": with strong intra-app chaining, the
+//! `w/o Adjusting` ablation used to *beat* full SPES on Q3-CSR (~0.200 vs
+//! ~0.222 on the chain-heavy scenario at seed 57), because S2 adjustments
+//! misfired on chained children whose waiting times mirror the parent's
+//! cadence.
 //!
-//! The inversion is real and deterministic (chain-heavy scenario, seed
-//! 57); fixing the adjusting algorithm is out of scope here, so the
-//! known-bad case is pinned as `#[should_panic]`. When the misfire is
-//! fixed, that test starts failing ("should panic but didn't") — delete
-//! it, keep `adjusting_inversion_stays_bounded`, and close the ROADMAP
-//! item for good.
+//! Two misfires were root-caused and fixed in `crates/core/src/adaptive.rs`:
+//! the "possible" recipe truncated large offline-fitted value sets to the
+//! first five entries on any online adjustment, and the "regular" blend
+//! dragged a chained child's single cadence toward the interpolated median
+//! of its bimodal period/chain-echo WT mixture. The former pin — a
+//! `#[should_panic]` expecting the inversion — now runs as a plain
+//! assertion, and the guard-rail band is tightened from +0.05 to +0.005.
 
 use spes::core::{SpesConfig, SpesPolicy};
 use spes::sim::{try_simulate, SimConfig};
@@ -53,11 +55,9 @@ fn q3_pair() -> (f64, f64) {
     })
 }
 
-/// KNOWN BAD (ROADMAP: "Adaptive adjusting can hurt on chain-heavy
-/// traces"): full SPES *should* be no worse than the `w/o Adjusting`
-/// ablation, but on this workload it is (~0.222 vs ~0.200 Q3-CSR).
+/// The paper's Section IV-C1 ablation ordering holds on the workload that
+/// used to invert it: full SPES is no worse than `w/o Adjusting`.
 #[test]
-#[should_panic(expected = "adjusting misfire")]
 fn adjusting_should_not_hurt_on_chain_heavy_seed_57() {
     let (full, without) = q3_pair();
     assert!(
@@ -66,14 +66,14 @@ fn adjusting_should_not_hurt_on_chain_heavy_seed_57() {
     );
 }
 
-/// Guard-rail while the misfire stands: the inversion stays small. If a
-/// change widens the gap past this band, adjusting has regressed further
-/// and the open item needs attention before merging.
+/// Guard-rail with slack for harmless jitter: if a change pushes full
+/// SPES more than half a CSR point above the ablation, the S2 misfire is
+/// back and needs attention before merging.
 #[test]
 fn adjusting_inversion_stays_bounded() {
     let (full, without) = q3_pair();
     assert!(
-        full <= without + 0.05,
-        "adjusting misfire grew: full {full:.4} vs w/o Adjusting {without:.4}"
+        full <= without + 0.005,
+        "adjusting misfire returned: full {full:.4} vs w/o Adjusting {without:.4}"
     );
 }
