@@ -245,15 +245,17 @@ fn run() -> Result<(), String> {
     let data: SynthTrace = if let Some(path) = &args.trace {
         let file = std::fs::File::open(path).map_err(|e| format!("open trace file: {e}"))?;
         let trace = spes_trace::io::read_csv(std::io::BufReader::new(file), None)
-            .map_err(|e| format!("parse trace CSV: {e:?}"))?;
+            .map_err(|e| format!("parse trace CSV: {e}"))?;
         println!(
             "loaded real trace: {} functions, {} slots",
             trace.n_functions(),
             trace.n_slots
         );
         // Real traces carry no generator metadata: placeholder specs plus
-        // the scaled fallback training boundary.
-        SynthTrace::from_external(trace)
+        // the scaled fallback training boundary. Degenerate files (empty,
+        // or too short to split into train/measure windows) are user
+        // errors, not panics.
+        SynthTrace::try_from_external(trace).map_err(|e| format!("unusable trace: {e}"))?
     } else {
         let mut synth_cfg = synth::scenario_config(&args.scenario).ok_or_else(|| {
             format!(

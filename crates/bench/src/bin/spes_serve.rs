@@ -5,6 +5,7 @@
 //! spes-serve [--policy NAME] [--fit-scenario NAME] [--functions N]
 //!            [--fit-seed S] [--quick] [--capacity N] [--budget N]
 //!            [--snapshot-every K] [--all-slots] [--listen ADDR] [--once]
+//!            [--journal PATH] [--resume PATH] [--snapshot-out PATH]
 //! spes-serve --emit-trace SCENARIO [--functions N] [--fit-seed S] [--quick]
 //!
 //!   --policy         registered policy to serve (default fixed-keep-alive;
@@ -23,9 +24,21 @@
 //!   --listen ADDR    serve the line protocol on a TCP socket instead of
 //!                    stdin/stdout; one session per connection
 //!   --once           with --listen: exit after the first session
+//!   --journal PATH   write every session's event stream through to a
+//!                    binary journal at PATH (created/truncated per
+//!                    session; inspect with spes-replay)
+//!   --resume PATH    resume the session from a snapshot blob written by
+//!                    --snapshot-out (the init record must declare the
+//!                    snapshotted population)
+//!   --snapshot-out   write a snapshot of the final driver state at
+//!                    stream end, for a later --resume
 //!   --emit-trace     print a registered scenario as protocol lines and
 //!                    exit (for piping into another spes-serve)
 //! ```
+//!
+//! Crash-safe serving is the combination: `--journal` makes the session
+//! replayable after the fact, `--snapshot-out` + `--resume` splits it
+//! across process restarts without replaying from slot zero.
 //!
 //! Without `--listen` the daemon reads one session from stdin and writes
 //! newline-JSON records to stdout, so a replay is a plain pipe:
@@ -56,6 +69,9 @@ struct Args {
     listen: Option<String>,
     once: bool,
     emit_trace: Option<String>,
+    journal: Option<std::path::PathBuf>,
+    resume: Option<std::path::PathBuf>,
+    snapshot_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
         listen: None,
         once: false,
         emit_trace: None,
+        journal: None,
+        resume: None,
+        snapshot_out: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
@@ -117,6 +136,9 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => args.listen = Some(value("--listen", &mut it)?),
             "--once" => args.once = true,
             "--emit-trace" => args.emit_trace = Some(value("--emit-trace", &mut it)?),
+            "--journal" => args.journal = Some(value("--journal", &mut it)?.into()),
+            "--resume" => args.resume = Some(value("--resume", &mut it)?.into()),
+            "--snapshot-out" => args.snapshot_out = Some(value("--snapshot-out", &mut it)?.into()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -125,6 +147,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.once && args.listen.is_none() {
         return Err("--once only applies with --listen".to_owned());
+    }
+    if args.resume.is_some() && args.listen.is_some() {
+        // A snapshot is one session's state; it cannot seed an open-ended
+        // sequence of TCP sessions.
+        return Err("--resume only applies to a single stdio session".to_owned());
     }
     Ok(args)
 }
@@ -211,7 +238,7 @@ fn build_policy(args: &Args, init: &InitRecord) -> Result<Box<dyn Policy>, Strin
     Ok(spec.build(&ctx))
 }
 
-fn serve_config(args: &Args) -> ServeConfig {
+fn serve_config(args: &Args) -> Result<ServeConfig, String> {
     let mut sim = SimConfig::new(0, Slot::MAX);
     if let Some(capacity) = args.capacity {
         sim = sim.with_capacity(capacity);
@@ -219,16 +246,24 @@ fn serve_config(args: &Args) -> ServeConfig {
     if let Some(budget) = args.budget {
         sim = sim.with_pressure_budget(budget);
     }
-    ServeConfig {
+    let resume = args
+        .resume
+        .as_ref()
+        .map(|path| std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display())))
+        .transpose()?;
+    Ok(ServeConfig {
         sim,
         snapshot_every: args.snapshot_every,
         emit_idle_slots: args.all_slots,
-    }
+        journal: args.journal.clone(),
+        resume,
+        snapshot_out: args.snapshot_out.clone(),
+    })
 }
 
 /// One stdin/stdout session.
 fn serve_stdio(args: &Args) -> Result<(), String> {
-    let config = serve_config(args);
+    let config = serve_config(args)?;
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
@@ -255,7 +290,7 @@ fn serve_tcp(args: &Args, addr: &str) -> Result<(), String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     eprintln!("spes-serve listening on {local} (policy {})", args.policy);
-    let config = serve_config(args);
+    let config = serve_config(args)?;
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,

@@ -13,6 +13,7 @@ pub mod fuzz;
 pub mod matrix;
 pub mod perf;
 pub mod policies;
+pub mod replay;
 pub mod scenario;
 
 pub use fuzz::{
@@ -24,11 +25,16 @@ pub use matrix::{
     run_named_matrix_streaming, MatrixCell, MatrixOutcome, MatrixSummary, PolicyAggregate,
 };
 pub use perf::{
-    bench_engine, bench_serve, gate_against_baseline, gate_serve_against_baseline,
-    EngineBenchReport, EngineBenchRow, GateReport, ServeBenchReport, ServeBenchRow,
+    bench_engine, bench_journal, bench_serve, gate_against_baseline, gate_serve_against_baseline,
+    EngineBenchReport, EngineBenchRow, GateReport, JournalBenchReport, JournalBenchRow,
+    ServeBenchReport, ServeBenchRow,
 };
 pub use policies::{
     default_suite, policy_names, spec_of, suite_of, RegisteredPolicy, UnknownPolicy, REGISTRY,
+};
+pub use replay::{
+    check, describe_event, record, slot_events, summarize, why_evict, CheckReport, Divergence,
+    EvictExplanation, JournalSummary, RecordConfig, Recording,
 };
 pub use scenario::{
     run_comparison, run_spes_only, run_suite_comparison, ComparisonRun, Experiment, POLICY_ORDER,

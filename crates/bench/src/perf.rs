@@ -21,9 +21,12 @@ use crate::policies;
 use serde::{Deserialize, Serialize};
 use spes_core::SpesConfig;
 use spes_sim::suite::FitContext;
-use spes_sim::{try_simulate, SimConfig};
+use spes_sim::{
+    try_simulate, EventLog, EvictCause, JournalMeta, JournalReader, JournalWriter, LoadCause,
+    SimConfig, SimEvent, Simulation,
+};
 use spes_stats::online::OnlineStats;
-use spes_trace::synth;
+use spes_trace::{synth, FunctionId, Slot};
 use std::time::Instant;
 
 /// One measured (scenario, policy) cell.
@@ -318,6 +321,321 @@ fn sample_stats(samples: &[f64]) -> (f64, f64, f64, f64) {
 }
 
 // ---------------------------------------------------------------------
+// Journal codec benchmark
+// ---------------------------------------------------------------------
+
+/// One measured (scenario, policy) cell of the journal codec benchmark:
+/// the binary event codec against the serde-shim JSON-lines path over
+/// the identical event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalBenchRow {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Policy registry name.
+    pub policy: String,
+    /// Functions in the generated trace.
+    pub n_functions: usize,
+    /// Simulated slots behind the event stream.
+    pub slots: u64,
+    /// Events encoded per iteration (both formats carry the same set).
+    pub events: u64,
+    /// Size of the complete binary journal, header included.
+    pub binary_bytes: u64,
+    /// Size of the same stream as serde-shim JSON lines.
+    pub json_bytes: u64,
+    /// `json_bytes / binary_bytes`.
+    pub size_ratio: f64,
+    /// Mean seconds to encode the stream into the binary journal.
+    pub binary_encode_secs: f64,
+    /// Mean seconds to decode the binary journal back into events.
+    pub binary_decode_secs: f64,
+    /// Mean seconds to encode the stream as JSON lines.
+    pub json_encode_secs: f64,
+    /// Mean seconds to parse the JSON lines back into events.
+    pub json_decode_secs: f64,
+    /// `json_encode_secs / binary_encode_secs`.
+    pub encode_speedup: f64,
+    /// `json_decode_secs / binary_decode_secs`.
+    pub decode_speedup: f64,
+}
+
+/// The `BENCH_journal.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalBenchReport {
+    /// Every measured cell, scenario-major.
+    pub rows: Vec<JournalBenchRow>,
+}
+
+impl JournalBenchReport {
+    /// The row of one (scenario, policy) cell, if measured.
+    #[must_use]
+    pub fn row_of(&self, scenario: &str, policy: &str) -> Option<&JournalBenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.policy == policy)
+    }
+}
+
+/// One event as a flat JSON-lines record — the shape the repo would use
+/// if it journalled through the serde shim instead of the binary codec.
+/// All fields are present on every line; `measured` is header-derived in
+/// both formats and therefore carried by neither.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JsonEventLine {
+    slot: Slot,
+    kind: String,
+    f: u32,
+    count: u32,
+    cause: String,
+    policy_secs: f64,
+}
+
+impl JsonEventLine {
+    fn of(slot: Slot, event: &SimEvent) -> Self {
+        let (kind, f, count, cause, policy_secs) = match *event {
+            SimEvent::ColdStart { f, count } => ("cold", f.0, count, "", 0.0),
+            SimEvent::WarmStart { f, count } => ("warm", f.0, count, "", 0.0),
+            SimEvent::Load { f, cause } => (
+                "load",
+                f.0,
+                0,
+                match cause {
+                    LoadCause::Demand => "demand",
+                    LoadCause::Policy => "policy",
+                },
+                0.0,
+            ),
+            SimEvent::Evict { f, cause } => (
+                "evict",
+                f.0,
+                0,
+                match cause {
+                    EvictCause::Policy => "policy",
+                    EvictCause::Capacity => "capacity",
+                },
+                0.0,
+            ),
+            SimEvent::LoadRejected { f } => ("reject", f.0, 0, "", 0.0),
+            SimEvent::SlotEnd { policy_secs } => ("end", 0, 0, "", policy_secs),
+        };
+        Self {
+            slot,
+            kind: kind.to_owned(),
+            f,
+            count,
+            cause: cause.to_owned(),
+            policy_secs,
+        }
+    }
+
+    fn into_event(self) -> Result<(Slot, SimEvent), String> {
+        let f = FunctionId(self.f);
+        let event = match self.kind.as_str() {
+            "cold" => SimEvent::ColdStart {
+                f,
+                count: self.count,
+            },
+            "warm" => SimEvent::WarmStart {
+                f,
+                count: self.count,
+            },
+            "load" => SimEvent::Load {
+                f,
+                cause: match self.cause.as_str() {
+                    "demand" => LoadCause::Demand,
+                    "policy" => LoadCause::Policy,
+                    other => return Err(format!("bad load cause {other:?}")),
+                },
+            },
+            "evict" => SimEvent::Evict {
+                f,
+                cause: match self.cause.as_str() {
+                    "policy" => EvictCause::Policy,
+                    "capacity" => EvictCause::Capacity,
+                    other => return Err(format!("bad evict cause {other:?}")),
+                },
+            },
+            "reject" => SimEvent::LoadRejected { f },
+            "end" => SimEvent::SlotEnd {
+                policy_secs: self.policy_secs,
+            },
+            other => return Err(format!("bad event kind {other:?}")),
+        };
+        Ok((self.slot, event))
+    }
+}
+
+fn encode_binary(events: &[(Slot, SimEvent)], meta: &JournalMeta) -> Result<Vec<u8>, String> {
+    let mut writer =
+        JournalWriter::new(Vec::with_capacity(64 * 1024), meta).map_err(|e| e.to_string())?;
+    for &(slot, ref event) in events {
+        writer.append(slot, event).map_err(|e| e.to_string())?;
+    }
+    writer.finish().map_err(|e| e.to_string())
+}
+
+fn encode_json(events: &[(Slot, SimEvent)]) -> Result<String, String> {
+    let mut out = String::with_capacity(events.len() * 64);
+    for &(slot, ref event) in events {
+        out.push_str(
+            &serde_json::to_string(&JsonEventLine::of(slot, event)).map_err(|e| e.to_string())?,
+        );
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn decode_json(text: &str) -> Result<Vec<(Slot, SimEvent)>, String> {
+    text.lines()
+        .map(|line| {
+            serde_json::from_str::<JsonEventLine>(line)
+                .map_err(|e| format!("{e:?}"))?
+                .into_event()
+        })
+        .collect()
+}
+
+/// Measures the binary journal codec against the serde-shim JSON-lines
+/// path on the identical event stream: each (scenario, policy) cell runs
+/// the engine once to capture its events, then times `iters` iterations
+/// of encode and decode for both formats and compares sizes. Decoded
+/// streams are verified equal to the original before anything is timed,
+/// so the speedups compare codecs that demonstrably round-trip.
+///
+/// # Errors
+/// Returns a message for unknown scenario/policy names, a zero `iters`,
+/// or a codec failure.
+pub fn bench_journal(
+    scenario: &str,
+    n_functions: usize,
+    seed: u64,
+    policy_names: &[&str],
+    quick: bool,
+    iters: u32,
+) -> Result<Vec<JournalBenchRow>, String> {
+    if iters == 0 {
+        return Err("iters must be at least 1".to_owned());
+    }
+    let mut cfg =
+        synth::scenario_config(scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+    if quick {
+        cfg = cfg.quick();
+    }
+    cfg.n_functions = if quick {
+        n_functions.min(200)
+    } else {
+        n_functions
+    };
+    cfg.seed = seed;
+    let data = synth::generate(&cfg);
+    let trace = &data.trace;
+    let window = SimConfig::new(0, trace.n_slots).with_metrics_start(data.train_end);
+
+    let spes_cfg = SpesConfig::default();
+    let mut rows = Vec::new();
+    for &name in policy_names {
+        let spec = policies::spec_of(name, &spes_cfg).ok_or_else(|| {
+            format!(
+                "unknown policy {name:?}; registered: {}",
+                policies::policy_names().join(", ")
+            )
+        })?;
+        if !spec.capacity().is_self_contained() {
+            return Err(format!(
+                "policy {name:?} needs a capacity donor and cannot be benchmarked standalone"
+            ));
+        }
+        let ctx = FitContext {
+            trace,
+            train_start: 0,
+            train_end: data.train_end,
+            prior: &[],
+        };
+        let mut policy = spec.build(&ctx);
+        let mut log = EventLog::new();
+        Simulation::new(trace, window)
+            .observe(&mut log)
+            .run(policy.as_mut())
+            .map_err(|e| e.to_string())?;
+        let events: Vec<(Slot, SimEvent)> = log.events.iter().map(|e| (e.slot, e.event)).collect();
+        let meta = JournalMeta {
+            policy_name: name.to_owned(),
+            n_functions: trace.n_functions(),
+            config: window,
+            trace_digest: trace.digest64(),
+            seed,
+            extra: Vec::new(),
+        };
+
+        // Round-trip verification up front: both codecs must reproduce
+        // the stream exactly before their timings mean anything.
+        let binary = encode_binary(&events, &meta)?;
+        let decoded: Vec<(Slot, SimEvent)> = JournalReader::new(binary.as_slice())
+            .and_then(JournalReader::read_all)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|e| (e.slot, e.event))
+            .collect();
+        if decoded != events {
+            return Err(format!("binary codec round-trip diverged for {name:?}"));
+        }
+        let json = encode_json(&events)?;
+        if decode_json(&json)? != events {
+            return Err(format!("JSON round-trip diverged for {name:?}"));
+        }
+
+        let mut binary_encode = Vec::with_capacity(iters as usize);
+        let mut binary_decode = Vec::with_capacity(iters as usize);
+        let mut json_encode = Vec::with_capacity(iters as usize);
+        let mut json_decode = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let begin = Instant::now();
+            let encoded = encode_binary(&events, &meta)?;
+            binary_encode.push(begin.elapsed().as_secs_f64());
+            assert_eq!(encoded.len(), binary.len());
+
+            let begin = Instant::now();
+            let back = JournalReader::new(encoded.as_slice())
+                .and_then(JournalReader::read_all)
+                .map_err(|e| e.to_string())?;
+            binary_decode.push(begin.elapsed().as_secs_f64());
+            assert_eq!(back.len(), events.len());
+
+            let begin = Instant::now();
+            let text = encode_json(&events)?;
+            json_encode.push(begin.elapsed().as_secs_f64());
+            assert_eq!(text.len(), json.len());
+
+            let begin = Instant::now();
+            let back = decode_json(&text)?;
+            json_decode.push(begin.elapsed().as_secs_f64());
+            assert_eq!(back.len(), events.len());
+        }
+        let (binary_encode_secs, ..) = sample_stats(&binary_encode);
+        let (binary_decode_secs, ..) = sample_stats(&binary_decode);
+        let (json_encode_secs, ..) = sample_stats(&json_encode);
+        let (json_decode_secs, ..) = sample_stats(&json_decode);
+        rows.push(JournalBenchRow {
+            scenario: scenario.to_owned(),
+            policy: name.to_owned(),
+            n_functions: trace.n_functions(),
+            slots: u64::from(trace.n_slots),
+            events: events.len() as u64,
+            binary_bytes: binary.len() as u64,
+            json_bytes: json.len() as u64,
+            size_ratio: json.len() as f64 / (binary.len() as f64).max(f64::MIN_POSITIVE),
+            binary_encode_secs,
+            binary_decode_secs,
+            json_encode_secs,
+            json_decode_secs,
+            encode_speedup: json_encode_secs / binary_encode_secs.max(f64::MIN_POSITIVE),
+            decode_speedup: json_decode_secs / binary_decode_secs.max(f64::MIN_POSITIVE),
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
 // The perf-regression gate
 // ---------------------------------------------------------------------
 
@@ -581,6 +899,67 @@ mod tests {
         assert_eq!(back, report);
         assert!(report.row_of("quick", "keep-forever").is_some());
         assert!(report.row_of("quick", "spes").is_none());
+    }
+
+    #[test]
+    fn journal_bench_verifies_round_trips_and_measures_both_codecs() {
+        let rows = bench_journal("quick", 40, 3, &["fixed-keep-alive"], true, 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert!(row.events > 0);
+        assert!(row.binary_bytes > 0 && row.json_bytes > row.binary_bytes);
+        // The size ratio is deterministic (no timing involved): the
+        // paper-facing >=10x claim must hold even in debug builds.
+        assert!(row.size_ratio >= 10.0, "{row:?}");
+        assert!(row.binary_encode_secs > 0.0 && row.json_encode_secs > 0.0);
+        assert!(row.encode_speedup > 0.0 && row.decode_speedup > 0.0);
+    }
+
+    #[test]
+    fn journal_bench_rejects_unknown_names_and_donors() {
+        assert!(bench_journal("no-such", 10, 1, &["keep-forever"], true, 1).is_err());
+        assert!(bench_journal("quick", 10, 1, &["no-such"], true, 1).is_err());
+        assert!(bench_journal("quick", 10, 1, &["keep-forever"], true, 0).is_err());
+        let err = bench_journal("quick", 10, 1, &["faascache"], true, 1).unwrap_err();
+        assert!(err.contains("capacity donor"), "{err}");
+    }
+
+    #[test]
+    fn json_event_lines_round_trip_every_event_kind() {
+        let events = [
+            SimEvent::ColdStart {
+                f: FunctionId(3),
+                count: 2,
+            },
+            SimEvent::WarmStart {
+                f: FunctionId(9),
+                count: 1,
+            },
+            SimEvent::Load {
+                f: FunctionId(4),
+                cause: LoadCause::Demand,
+            },
+            SimEvent::Load {
+                f: FunctionId(5),
+                cause: LoadCause::Policy,
+            },
+            SimEvent::Evict {
+                f: FunctionId(4),
+                cause: EvictCause::Capacity,
+            },
+            SimEvent::Evict {
+                f: FunctionId(5),
+                cause: EvictCause::Policy,
+            },
+            SimEvent::LoadRejected { f: FunctionId(7) },
+            SimEvent::SlotEnd { policy_secs: 0.25 },
+        ];
+        for (i, event) in events.iter().enumerate() {
+            let line = JsonEventLine::of(i as Slot, event);
+            let text = serde_json::to_string(&line).unwrap();
+            let back: JsonEventLine = serde_json::from_str(&text).unwrap();
+            assert_eq!(back.into_event().unwrap(), (i as Slot, *event));
+        }
     }
 
     #[test]

@@ -1,0 +1,890 @@
+//! Time-travel tooling over run journals: record, inspect, explain,
+//! and re-verify simulation runs from their binary event journals.
+//!
+//! A journal (see [`spes_sim::journal`]) carries everything needed to
+//! rebuild its run deterministically: the scenario name, seed, quick
+//! flag, policy name, simulation window, and a digest of the driving
+//! trace. This module turns that into tooling — the `spes-replay`
+//! binary is a thin CLI over it:
+//!
+//! - [`record`] runs a registered (scenario, policy) cell with a
+//!   journal write-through and an optional mid-run snapshot;
+//! - [`summarize`] and [`slot_events`] inspect a journal without
+//!   re-simulating anything;
+//! - [`why_evict`] walks the causal chain around one eviction — what
+//!   loaded the instance, when it was last used, what displaced it,
+//!   and whether the eviction proved premature;
+//! - [`check`] re-simulates the run from its metadata (optionally
+//!   resuming from a snapshot) and diffs the regenerated event stream
+//!   against the journal, reporting the first divergence.
+
+use crate::policies;
+use spes_core::SpesConfig;
+use spes_sim::suite::FitContext;
+use spes_sim::{
+    snapshot_info, DynObserver, EvictCause, JournalEvent, JournalMeta, JournalObserver,
+    JournalReader, LoadCause, Policy, RunResult, SimDriver, SimEvent,
+};
+use spes_trace::{synth, FunctionId, Slot, SynthConfig, SynthTrace};
+
+/// What [`record`] should run.
+#[derive(Debug, Clone)]
+pub struct RecordConfig {
+    /// Workload scenario registry name.
+    pub scenario: String,
+    /// Policy registry name (must be capacity-self-contained).
+    pub policy: String,
+    /// Population of the generated trace (capped at 200 under `quick`).
+    pub n_functions: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Apply the scenario's CI shrink (7-day horizon, capped population).
+    pub quick: bool,
+    /// Also snapshot the driver at this slot boundary (before the slot
+    /// is stepped; the trace horizon itself is a valid boundary).
+    pub snapshot_slot: Option<Slot>,
+}
+
+/// A recorded run: the journal bytes, the optional snapshot blob, and
+/// the run's metrics.
+#[derive(Debug)]
+pub struct Recording {
+    /// The complete binary journal of the run.
+    pub journal: Vec<u8>,
+    /// The snapshot taken at [`RecordConfig::snapshot_slot`].
+    pub snapshot: Option<Vec<u8>>,
+    /// The paper's metrics over the run's measured window.
+    pub run: RunResult,
+}
+
+/// The journal-meta keys [`record`] stamps so [`check`] can rebuild the
+/// workload.
+const EXTRA_SCENARIO: &str = "scenario";
+const EXTRA_QUICK: &str = "quick";
+
+fn synth_config(
+    scenario: &str,
+    n_functions: usize,
+    seed: u64,
+    quick: bool,
+) -> Result<SynthConfig, String> {
+    let mut cfg =
+        synth::scenario_config(scenario).ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+    if quick {
+        cfg = cfg.quick();
+    }
+    cfg.n_functions = if quick {
+        n_functions.min(200)
+    } else {
+        n_functions
+    };
+    cfg.seed = seed;
+    Ok(cfg)
+}
+
+fn build_policy(name: &str, data: &SynthTrace) -> Result<Box<dyn Policy>, String> {
+    let spec = policies::spec_of(name, &SpesConfig::default()).ok_or_else(|| {
+        format!(
+            "unknown policy {name:?}; registered: {}",
+            policies::policy_names().join(", ")
+        )
+    })?;
+    if !spec.capacity().is_self_contained() {
+        return Err(format!(
+            "policy {name:?} needs a capacity donor and cannot be journalled standalone"
+        ));
+    }
+    let ctx = FitContext {
+        trace: &data.trace,
+        train_start: 0,
+        train_end: data.train_end,
+        prior: &[],
+    };
+    Ok(spec.build(&ctx))
+}
+
+/// Runs one registered (scenario, policy) cell with a journal
+/// write-through, optionally snapshotting at a slot boundary. The
+/// journal header carries the scenario/seed/quick context [`check`]
+/// needs to rebuild the identical run.
+///
+/// # Errors
+/// Returns a message for unknown names, a capacity-coupled policy, an
+/// out-of-range snapshot slot, or a journal encoding failure.
+pub fn record(cfg: &RecordConfig) -> Result<Recording, String> {
+    let synth_cfg = synth_config(&cfg.scenario, cfg.n_functions, cfg.seed, cfg.quick)?;
+    let data = synth::generate(&synth_cfg);
+    let trace = &data.trace;
+    if let Some(slot) = cfg.snapshot_slot {
+        if slot > trace.n_slots {
+            return Err(format!(
+                "snapshot slot {slot} is beyond the trace horizon {}",
+                trace.n_slots
+            ));
+        }
+    }
+    let window = spes_sim::SimConfig::new(0, trace.n_slots).with_metrics_start(data.train_end);
+    let mut policy = build_policy(&cfg.policy, &data)?;
+    let meta = JournalMeta {
+        policy_name: policy.name().to_owned(),
+        n_functions: trace.n_functions(),
+        config: window,
+        trace_digest: trace.digest64(),
+        seed: cfg.seed,
+        extra: vec![
+            (EXTRA_SCENARIO.to_owned(), cfg.scenario.clone()),
+            (
+                EXTRA_QUICK.to_owned(),
+                if cfg.quick { "1" } else { "0" }.to_owned(),
+            ),
+        ],
+    };
+    let journal =
+        JournalObserver::new(Vec::new(), &meta).map_err(|e| format!("journal header: {e}"))?;
+    let observers: Vec<Box<dyn DynObserver>> = vec![Box::new(journal)];
+    let mut driver = SimDriver::new(trace.n_functions(), window, policy.as_mut(), observers)
+        .map_err(|e| e.to_string())?;
+    let mut snapshot = None;
+    for (i, bucket) in trace.bucket_by_slot(0, trace.n_slots).iter().enumerate() {
+        let slot = i as Slot;
+        if cfg.snapshot_slot == Some(slot) {
+            snapshot = Some(driver.snapshot());
+        }
+        driver.step(slot, bucket).map_err(|e| e.to_string())?;
+    }
+    if cfg.snapshot_slot == Some(trace.n_slots) {
+        snapshot = Some(driver.snapshot());
+    }
+    let (run, mut observers) = driver.finish_with_observers();
+    let journal = observers
+        .take::<JournalObserver<Vec<u8>>>()
+        .expect("the journal observer was attached above")
+        .into_inner()
+        .map_err(|e| format!("journal flush: {e}"))?;
+    Ok(Recording {
+        journal,
+        snapshot,
+        run,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Inspection: --summary and --slot
+// ---------------------------------------------------------------------
+
+/// Aggregate view of one journal, cheap enough for `--summary` on large
+/// files (a single streaming pass, no re-simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalSummary {
+    /// The journal's header metadata.
+    pub meta: JournalMeta,
+    /// Total events in the journal.
+    pub events: u64,
+    /// `SlotEnd` events (slots the run closed).
+    pub slots: u64,
+    /// Invocations served (cold + warm counts).
+    pub invocations: u64,
+    /// Cold-started (function, slot) pairs.
+    pub cold_starts: u64,
+    /// Warm-served (function, slot) pairs.
+    pub warm_starts: u64,
+    /// Demand loads (cold invocations forcing an instance in).
+    pub demand_loads: u64,
+    /// Policy pre-warm loads.
+    pub policy_loads: u64,
+    /// Evictions decided by the policy.
+    pub policy_evictions: u64,
+    /// Evictions forced by pool capacity.
+    pub capacity_evictions: u64,
+    /// Pre-warm loads refused by admission control.
+    pub rejected_loads: u64,
+    /// First event's slot, when the journal has events.
+    pub first_slot: Option<Slot>,
+    /// Last event's slot.
+    pub last_slot: Option<Slot>,
+}
+
+/// Streams a journal once and aggregates it.
+///
+/// # Errors
+/// Returns a message for corrupt or truncated journals.
+pub fn summarize(journal: &[u8]) -> Result<JournalSummary, String> {
+    let mut reader = JournalReader::new(journal).map_err(|e| e.to_string())?;
+    let mut summary = JournalSummary {
+        meta: reader.meta().clone(),
+        events: 0,
+        slots: 0,
+        invocations: 0,
+        cold_starts: 0,
+        warm_starts: 0,
+        demand_loads: 0,
+        policy_loads: 0,
+        policy_evictions: 0,
+        capacity_evictions: 0,
+        rejected_loads: 0,
+        first_slot: None,
+        last_slot: None,
+    };
+    while let Some(event) = reader.next_event().map_err(|e| e.to_string())? {
+        summary.events += 1;
+        summary.first_slot.get_or_insert(event.slot);
+        summary.last_slot = Some(event.slot);
+        match event.event {
+            SimEvent::ColdStart { count, .. } => {
+                summary.cold_starts += 1;
+                summary.invocations += u64::from(count);
+            }
+            SimEvent::WarmStart { count, .. } => {
+                summary.warm_starts += 1;
+                summary.invocations += u64::from(count);
+            }
+            SimEvent::Load { cause, .. } => match cause {
+                LoadCause::Demand => summary.demand_loads += 1,
+                LoadCause::Policy => summary.policy_loads += 1,
+            },
+            SimEvent::Evict { cause, .. } => match cause {
+                EvictCause::Policy => summary.policy_evictions += 1,
+                EvictCause::Capacity => summary.capacity_evictions += 1,
+            },
+            SimEvent::LoadRejected { .. } => summary.rejected_loads += 1,
+            SimEvent::SlotEnd { .. } => summary.slots += 1,
+        }
+    }
+    Ok(summary)
+}
+
+impl std::fmt::Display for JournalSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let meta = &self.meta;
+        writeln!(
+            f,
+            "policy {} over {} functions, window [{}, {}) (metrics from {})",
+            meta.policy_name,
+            meta.n_functions,
+            meta.config.start,
+            meta.config.end,
+            meta.config.metrics_start
+        )?;
+        if let Some(scenario) = meta.extra_value(EXTRA_SCENARIO) {
+            writeln!(
+                f,
+                "scenario {scenario} seed {}{}",
+                meta.seed,
+                if meta.extra_value(EXTRA_QUICK) == Some("1") {
+                    " (quick)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        writeln!(
+            f,
+            "{} events over {} slots{}",
+            self.events,
+            self.slots,
+            match (self.first_slot, self.last_slot) {
+                (Some(first), Some(last)) => format!(" (slots {first}..={last})"),
+                _ => String::new(),
+            }
+        )?;
+        writeln!(
+            f,
+            "invocations {} = {} cold + {} warm (function,slot) services",
+            self.invocations, self.cold_starts, self.warm_starts
+        )?;
+        writeln!(
+            f,
+            "loads: {} demand, {} pre-warm ({} rejected)",
+            self.demand_loads, self.policy_loads, self.rejected_loads
+        )?;
+        write!(
+            f,
+            "evictions: {} policy, {} capacity",
+            self.policy_evictions, self.capacity_evictions
+        )
+    }
+}
+
+/// The events of one slot, in engine emission order.
+///
+/// # Errors
+/// Returns a message for corrupt journals or a slot outside the
+/// journalled range.
+pub fn slot_events(journal: &[u8], slot: Slot) -> Result<Vec<JournalEvent>, String> {
+    let reader = JournalReader::new(journal).map_err(|e| e.to_string())?;
+    let meta = reader.meta().clone();
+    if slot < meta.config.start || slot >= meta.config.end {
+        return Err(format!(
+            "slot {slot} is outside the journalled window [{}, {})",
+            meta.config.start, meta.config.end
+        ));
+    }
+    let mut events = Vec::new();
+    let mut reader = reader;
+    while let Some(event) = reader.next_event().map_err(|e| e.to_string())? {
+        if event.slot > slot {
+            break;
+        }
+        if event.slot == slot {
+            events.push(event);
+        }
+    }
+    Ok(events)
+}
+
+/// Renders one event as a short human-readable line (for `--slot`).
+#[must_use]
+pub fn describe_event(event: &SimEvent) -> String {
+    match *event {
+        SimEvent::ColdStart { f, count } => format!("cold-start   f{} ×{count}", f.0),
+        SimEvent::WarmStart { f, count } => format!("warm-start   f{} ×{count}", f.0),
+        SimEvent::Load { f, cause } => format!(
+            "load         f{} ({})",
+            f.0,
+            match cause {
+                LoadCause::Demand => "demand",
+                LoadCause::Policy => "pre-warm",
+            }
+        ),
+        SimEvent::Evict { f, cause } => format!(
+            "evict        f{} ({})",
+            f.0,
+            match cause {
+                EvictCause::Policy => "policy",
+                EvictCause::Capacity => "capacity",
+            }
+        ),
+        SimEvent::LoadRejected { f } => format!("load-reject  f{} (admission)", f.0),
+        SimEvent::SlotEnd { policy_secs } => {
+            format!("slot-end     (policy {:.1}µs)", policy_secs * 1e6)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// --why-evict: the causal chain around one eviction
+// ---------------------------------------------------------------------
+
+/// The causal chain around one eviction, extracted from the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictExplanation {
+    /// The evicted function.
+    pub f: FunctionId,
+    /// The slot the eviction happened in.
+    pub evicted_at: Slot,
+    /// Who decided it.
+    pub cause: EvictCause,
+    /// For capacity evictions: the load that needed the room (the next
+    /// load event in the same slot — the engine emits the make-room
+    /// eviction immediately before the load that forced it).
+    pub displaced_by: Option<FunctionId>,
+    /// The load that created the evicted instance.
+    pub loaded_at: Option<(Slot, LoadCause)>,
+    /// The function's last service before the eviction (slot, and
+    /// whether it was warm).
+    pub last_invoked: Option<(Slot, bool)>,
+    /// Slots the instance sat idle between its last service and the
+    /// eviction (`None` when it was never invoked while resident).
+    pub idle_slots: Option<Slot>,
+    /// The function's next load after the eviction, if any.
+    pub reloaded_at: Option<(Slot, LoadCause)>,
+    /// Slots between eviction and reload (0 = same slot: the eviction
+    /// was immediately repaid with a cold start).
+    pub reload_gap: Option<Slot>,
+}
+
+impl std::fmt::Display for EvictExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let id = self.f.0;
+        writeln!(
+            f,
+            "f{id} evicted at slot {} by {}",
+            self.evicted_at,
+            match self.cause {
+                EvictCause::Policy => "the policy".to_owned(),
+                EvictCause::Capacity => match self.displaced_by {
+                    Some(g) => format!("capacity pressure (displaced by f{}'s load)", g.0),
+                    None => "capacity pressure".to_owned(),
+                },
+            }
+        )?;
+        match self.loaded_at {
+            Some((slot, cause)) => writeln!(
+                f,
+                "  instance created at slot {slot} by a {} load",
+                match cause {
+                    LoadCause::Demand => "demand",
+                    LoadCause::Policy => "pre-warm",
+                }
+            )?,
+            None => writeln!(f, "  instance was resident since before the journal began")?,
+        }
+        match self.last_invoked {
+            Some((slot, warm)) => writeln!(
+                f,
+                "  last served at slot {slot} ({}); idle {} slot(s) at eviction",
+                if warm { "warm" } else { "cold" },
+                self.idle_slots.unwrap_or(0)
+            )?,
+            None => writeln!(f, "  never served while resident")?,
+        }
+        match self.reloaded_at {
+            Some((slot, cause)) => write!(
+                f,
+                "  reloaded at slot {slot} by a {} load — gap {} slot(s){}",
+                match cause {
+                    LoadCause::Demand => "demand",
+                    LoadCause::Policy => "pre-warm",
+                },
+                self.reload_gap.unwrap_or(0),
+                if matches!(cause, LoadCause::Demand) {
+                    " (the eviction cost a cold start)"
+                } else {
+                    ""
+                }
+            ),
+            None => write!(f, "  never reloaded — the eviction was free"),
+        }
+    }
+}
+
+/// Explains the eviction of function `f` at `slot` by walking the
+/// journal's causal chain around it.
+///
+/// # Errors
+/// Returns a message for corrupt journals, an out-of-range function,
+/// or no eviction of `f` at `slot` (listing the slots where `f` *was*
+/// evicted, so the caller can re-aim).
+pub fn why_evict(journal: &[u8], f: FunctionId, slot: Slot) -> Result<EvictExplanation, String> {
+    let mut reader = JournalReader::new(journal).map_err(|e| e.to_string())?;
+    let meta = reader.meta().clone();
+    if f.index() >= meta.n_functions {
+        return Err(format!(
+            "function f{} is out of range (the journal covers {} functions)",
+            f.0, meta.n_functions
+        ));
+    }
+    let mut last_load: Option<(Slot, LoadCause)> = None;
+    let mut last_invoked: Option<(Slot, bool)> = None;
+    let mut evictions_of_f: Vec<Slot> = Vec::new();
+    let mut explanation: Option<EvictExplanation> = None;
+    while let Some(event) = reader.next_event().map_err(|e| e.to_string())? {
+        if let Some(exp) = explanation.as_mut() {
+            // Post-eviction scan: the displacing load (same slot, first
+            // load after the eviction) and f's eventual reload.
+            match event.event {
+                SimEvent::Load { f: g, .. }
+                    if exp.displaced_by.is_none()
+                        && exp.cause == EvictCause::Capacity
+                        && event.slot == exp.evicted_at
+                        && g != f =>
+                {
+                    exp.displaced_by = Some(g);
+                }
+                SimEvent::Load { f: g, cause } if g == f && exp.reloaded_at.is_none() => {
+                    exp.reloaded_at = Some((event.slot, cause));
+                    exp.reload_gap = Some(event.slot - exp.evicted_at);
+                    break;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match event.event {
+            SimEvent::Load { f: g, cause } if g == f => last_load = Some((event.slot, cause)),
+            SimEvent::ColdStart { f: g, .. } if g == f => {
+                last_invoked = Some((event.slot, false));
+            }
+            SimEvent::WarmStart { f: g, .. } if g == f => {
+                last_invoked = Some((event.slot, true));
+            }
+            SimEvent::Evict { f: g, cause } if g == f => {
+                if event.slot == slot {
+                    let idle_slots = last_invoked.map(|(at, _)| event.slot - at);
+                    explanation = Some(EvictExplanation {
+                        f,
+                        evicted_at: event.slot,
+                        cause,
+                        displaced_by: None,
+                        loaded_at: last_load,
+                        last_invoked,
+                        idle_slots,
+                        reloaded_at: None,
+                        reload_gap: None,
+                    });
+                } else {
+                    evictions_of_f.push(event.slot);
+                }
+            }
+            _ => {}
+        }
+    }
+    explanation.ok_or_else(|| {
+        if evictions_of_f.is_empty() {
+            format!("f{} is never evicted in this journal", f.0)
+        } else {
+            format!(
+                "f{} is not evicted at slot {slot}; its evictions are at slot(s) {}",
+                f.0,
+                evictions_of_f
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// --check: re-simulate and diff
+// ---------------------------------------------------------------------
+
+/// The first point where the re-simulated stream stopped matching the
+/// journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 0-based index into the compared stream.
+    pub index: u64,
+    /// Slot of the mismatching position (from whichever side has an
+    /// event there).
+    pub slot: Slot,
+    /// What the journal recorded (`None`: the journal ended early).
+    pub expected: Option<JournalEvent>,
+    /// What the re-simulation produced (`None`: it ended early).
+    pub got: Option<JournalEvent>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "first divergence at event {} (slot {}):",
+            self.index, self.slot
+        )?;
+        match &self.expected {
+            Some(event) => writeln!(f, "  journal : {}", describe_event(&event.event))?,
+            None => writeln!(f, "  journal : <stream ended>")?,
+        }
+        match &self.got {
+            Some(event) => write!(f, "  re-sim  : {}", describe_event(&event.event)),
+            None => write!(f, "  re-sim  : <stream ended>"),
+        }
+    }
+}
+
+/// Outcome of a [`check`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckReport {
+    /// Events compared (up to and including the divergence point).
+    pub events: u64,
+    /// Where the re-simulation resumed (`None`: full re-run from the
+    /// window start).
+    pub resumed_at: Option<Slot>,
+    /// The first mismatch, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl CheckReport {
+    /// Whether the re-simulation reproduced the journal exactly.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// The wall-clock stopwatch in `SlotEnd` is the one legitimately
+/// non-reproducible field; everything else must match bit for bit.
+fn normalised(event: &JournalEvent) -> (Slot, bool, SimEvent) {
+    let payload = match event.event {
+        SimEvent::SlotEnd { .. } => SimEvent::SlotEnd { policy_secs: 0.0 },
+        other => other,
+    };
+    (event.slot, event.measured, payload)
+}
+
+fn diff_streams(expected: &[JournalEvent], got: &[JournalEvent]) -> (u64, Option<Divergence>) {
+    let n = expected.len().max(got.len());
+    for i in 0..n {
+        let e = expected.get(i);
+        let g = got.get(i);
+        if e.map(normalised) != g.map(normalised) {
+            let slot = e.or(g).map_or(0, |event| event.slot);
+            return (
+                (i + 1) as u64,
+                Some(Divergence {
+                    index: i as u64,
+                    slot,
+                    expected: e.copied(),
+                    got: g.copied(),
+                }),
+            );
+        }
+    }
+    (n as u64, None)
+}
+
+/// Rebuilds the workload a journal was recorded on, verifying the trace
+/// digest so a drifted generator or edited header is caught before any
+/// event comparison.
+fn rebuild_workload(meta: &JournalMeta) -> Result<SynthTrace, String> {
+    let scenario = meta
+        .extra_value(EXTRA_SCENARIO)
+        .ok_or_else(|| "journal has no scenario metadata (recorded from a live stream?); --check needs a scenario-recorded journal".to_owned())?;
+    let quick = meta.extra_value(EXTRA_QUICK) == Some("1");
+    let cfg = synth_config(scenario, meta.n_functions, meta.seed, quick)?;
+    let data = synth::generate(&cfg);
+    if data.trace.n_functions() != meta.n_functions {
+        return Err(format!(
+            "regenerated trace has {} functions, the journal expects {}",
+            data.trace.n_functions(),
+            meta.n_functions
+        ));
+    }
+    let digest = data.trace.digest64();
+    if digest != meta.trace_digest {
+        return Err(format!(
+            "trace digest mismatch: journal {:#018x}, regenerated {digest:#018x} — the workload generator has drifted since this journal was recorded",
+            meta.trace_digest
+        ));
+    }
+    Ok(data)
+}
+
+/// Re-records a run over `buckets[from..]` and returns its journal
+/// events. When `resume` carries a snapshot blob, the policy is first
+/// warmed by driving the prefix `buckets[..from]` through a throwaway
+/// driver, then the run continues from the snapshot.
+fn resimulate(
+    meta: &JournalMeta,
+    data: &SynthTrace,
+    resume: Option<&[u8]>,
+    from: Slot,
+) -> Result<Vec<JournalEvent>, String> {
+    let trace = &data.trace;
+    let buckets = trace.bucket_by_slot(meta.config.start, meta.config.end);
+    let mut policy = build_policy(&meta.policy_name, data)?;
+    let journal = JournalObserver::new(Vec::new(), meta).map_err(|e| e.to_string())?;
+    let observers: Vec<Box<dyn DynObserver>> = vec![Box::new(journal)];
+    let cut = (from - meta.config.start) as usize;
+    let mut driver = match resume {
+        Some(snapshot) => {
+            // Warm the policy's in-memory state over the prefix: the
+            // snapshot restores the *driver*, while policies without
+            // `snapshot_state` rely on the caller handing over an
+            // equivalently-warmed instance. Any warm-up mistake shows
+            // up as a divergence below, never as silent drift.
+            {
+                let mut warmup = SimDriver::new(
+                    trace.n_functions(),
+                    meta.config,
+                    policy.as_mut(),
+                    Vec::new(),
+                )
+                .map_err(|e| e.to_string())?;
+                for (i, bucket) in buckets[..cut].iter().enumerate() {
+                    warmup
+                        .step(meta.config.start + i as Slot, bucket)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            SimDriver::resume_from(snapshot, policy.as_mut(), observers)
+                .map_err(|e| format!("resume: {e}"))?
+        }
+        None => SimDriver::new(trace.n_functions(), meta.config, policy.as_mut(), observers)
+            .map_err(|e| e.to_string())?,
+    };
+    for (i, bucket) in buckets[cut..].iter().enumerate() {
+        driver
+            .step(from + i as Slot, bucket)
+            .map_err(|e| e.to_string())?;
+    }
+    let (_, mut observers) = driver.finish_with_observers();
+    let bytes = observers
+        .take::<JournalObserver<Vec<u8>>>()
+        .expect("attached above")
+        .into_inner()
+        .map_err(|e| e.to_string())?;
+    JournalReader::new(bytes.as_slice())
+        .and_then(JournalReader::read_all)
+        .map_err(|e| format!("re-simulated journal: {e}"))
+}
+
+/// Re-simulates a journalled run from its own metadata and diffs the
+/// regenerated event stream against the journal, reporting the first
+/// divergence. With `snapshot`, the run resumes from the blob instead
+/// of replaying from the window start — verifying the snapshot/resume
+/// path end to end (the journal prefix before the snapshot's cut is
+/// skipped; the tail must match exactly).
+///
+/// # Errors
+/// Returns a message for corrupt inputs, a non-scenario journal, a
+/// trace-digest mismatch, or a snapshot that does not belong to the
+/// journalled run.
+pub fn check(journal: &[u8], snapshot: Option<&[u8]>) -> Result<CheckReport, String> {
+    let reader = JournalReader::new(journal).map_err(|e| e.to_string())?;
+    let meta = reader.meta().clone();
+    let data = rebuild_workload(&meta)?;
+    let recorded = reader.read_all().map_err(|e| e.to_string())?;
+
+    let (from, resumed_at) = match snapshot {
+        Some(blob) => {
+            let info = snapshot_info(blob).map_err(|e| e.to_string())?;
+            if info.policy_name != meta.policy_name {
+                return Err(format!(
+                    "snapshot policy {:?} does not match the journal's {:?}",
+                    info.policy_name, meta.policy_name
+                ));
+            }
+            if info.n_functions != meta.n_functions || info.config != meta.config {
+                return Err(
+                    "snapshot run shape does not match the journal (population or window differ)"
+                        .to_owned(),
+                );
+            }
+            (info.next_slot, Some(info.next_slot))
+        }
+        None => (meta.config.start, None),
+    };
+    let resimulated = resimulate(&meta, &data, snapshot, from)?;
+    let expected: Vec<JournalEvent> = recorded
+        .into_iter()
+        .filter(|event| event.slot >= from)
+        .collect();
+    let (events, divergence) = diff_streams(&expected, &resimulated);
+    Ok(CheckReport {
+        events,
+        resumed_at,
+        divergence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_recording(snapshot_slot: Option<Slot>) -> Recording {
+        record(&RecordConfig {
+            scenario: "quick".to_owned(),
+            policy: "fixed-keep-alive".to_owned(),
+            n_functions: 30,
+            seed: 11,
+            quick: true,
+            snapshot_slot,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn recorded_journals_summarize() {
+        let recording = quick_recording(None);
+        let summary = summarize(&recording.journal).unwrap();
+        assert_eq!(summary.meta.policy_name, "fixed-keep-alive");
+        assert_eq!(summary.meta.extra_value("scenario"), Some("quick"));
+        assert!(summary.slots > 0);
+        assert!(summary.invocations > 0);
+        assert_eq!(
+            summary.invocations,
+            recording.run.total_invocations()
+                + (summary.invocations - recording.run.total_invocations()),
+            "measured invocations are a subset of journalled ones"
+        );
+        let text = summary.to_string();
+        assert!(text.contains("fixed-keep-alive"), "{text}");
+        assert!(text.contains("scenario quick"), "{text}");
+    }
+
+    #[test]
+    fn slot_listing_matches_the_slot() {
+        let recording = quick_recording(None);
+        let summary = summarize(&recording.journal).unwrap();
+        let slot = summary.meta.config.metrics_start;
+        let events = slot_events(&recording.journal, slot).unwrap();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.slot == slot));
+        assert!(matches!(
+            events.last().unwrap().event,
+            SimEvent::SlotEnd { .. }
+        ));
+        assert!(slot_events(&recording.journal, summary.meta.config.end).is_err());
+    }
+
+    #[test]
+    fn why_evict_walks_the_chain() {
+        let recording = quick_recording(None);
+        // Find some eviction to explain.
+        let reader = JournalReader::new(recording.journal.as_slice()).unwrap();
+        let (f, slot) = reader
+            .read_all()
+            .unwrap()
+            .iter()
+            .find_map(|e| match e.event {
+                SimEvent::Evict { f, .. } => Some((f, e.slot)),
+                _ => None,
+            })
+            .expect("fixed-keep-alive evicts");
+        let explanation = why_evict(&recording.journal, f, slot).unwrap();
+        assert_eq!(explanation.f, f);
+        assert_eq!(explanation.evicted_at, slot);
+        assert!(explanation.loaded_at.is_some(), "{explanation}");
+        // Asking about the wrong slot lists the real ones.
+        let err = why_evict(&recording.journal, f, slot + 100_000).unwrap_err();
+        assert!(err.contains(&format!("{slot}")), "{err}");
+    }
+
+    #[test]
+    fn check_passes_on_an_untouched_journal() {
+        let recording = quick_recording(None);
+        let report = check(&recording.journal, None).unwrap();
+        assert!(report.passed(), "{:?}", report.divergence);
+        assert!(report.events > 0);
+        assert_eq!(report.resumed_at, None);
+    }
+
+    #[test]
+    fn check_resumes_from_a_snapshot() {
+        let summary = summarize(&quick_recording(None).journal).unwrap();
+        let cut = summary.meta.config.metrics_start + 10;
+        let recording = quick_recording(Some(cut));
+        let snapshot = recording.snapshot.as_deref().unwrap();
+        let report = check(&recording.journal, Some(snapshot)).unwrap();
+        assert!(report.passed(), "{:?}", report.divergence);
+        assert_eq!(report.resumed_at, Some(cut));
+    }
+
+    #[test]
+    fn check_reports_a_divergence_on_a_doctored_journal() {
+        let recording = quick_recording(None);
+        // Re-encode the journal with one event's slot intact but its
+        // payload swapped: append everything, flipping the first cold
+        // start into a warm start.
+        let reader = JournalReader::new(recording.journal.as_slice()).unwrap();
+        let meta = reader.meta().clone();
+        let events = reader.read_all().unwrap();
+        let mut writer = spes_sim::JournalWriter::new(Vec::new(), &meta).unwrap();
+        let mut flipped = false;
+        for event in &events {
+            let payload = match event.event {
+                SimEvent::ColdStart { f, count } if !flipped => {
+                    flipped = true;
+                    SimEvent::WarmStart { f, count }
+                }
+                other => other,
+            };
+            writer.append(event.slot, &payload).unwrap();
+        }
+        assert!(flipped, "the quick scenario has cold starts");
+        let doctored = writer.finish().unwrap();
+        let report = check(&doctored, None).unwrap();
+        let divergence = report.divergence.expect("must diverge");
+        assert!(matches!(
+            divergence.expected.unwrap().event,
+            SimEvent::WarmStart { .. }
+        ));
+        assert!(matches!(
+            divergence.got.unwrap().event,
+            SimEvent::ColdStart { .. }
+        ));
+        assert!(!divergence.to_string().is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::engine::{SimConfig, Simulation};
 use crate::events::{EventCtx, Observer, SimEvent};
+use crate::journal::wire;
 use crate::suite::{FitContext, PolicySpec};
 use spes_trace::{FunctionId, Slot, SynthTrace};
 
@@ -376,6 +377,86 @@ impl Observer for ClusterObserver {
             | SimEvent::WarmStart { .. }
             | SimEvent::LoadRejected { .. } => {}
         }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.push(match self.cluster.strategy {
+            PlacementStrategy::RoundRobin => 0,
+            PlacementStrategy::LeastLoaded => 1,
+            PlacementStrategy::HashAffinity => 2,
+        });
+        wire::put_varint(&mut buf, self.cluster.nodes.len() as u64);
+        for node in &self.cluster.nodes {
+            wire::put_varint(&mut buf, node.capacity as u64);
+            let loaded: Vec<u32> = node.loaded.iter().map(|f| f.0).collect();
+            wire::put_u32s(&mut buf, &loaded);
+        }
+        wire::put_u32s(&mut buf, &self.cluster.node_of);
+        wire::put_varint(&mut buf, self.cluster.next_rr as u64);
+        wire::put_varint(&mut buf, self.cluster.rejections);
+        wire::put_varint(&mut buf, self.last_node.len() as u64);
+        for &node in &self.last_node {
+            wire::put_opt_u64(&mut buf, node.map(|n| n as u64));
+        }
+        let pending: Vec<u32> = self.pending.iter().map(|f| f.0).collect();
+        wire::put_u32s(&mut buf, &pending);
+        wire::put_varint(&mut buf, self.is_pending.len() as u64);
+        for &p in &self.is_pending {
+            buf.push(u8::from(p));
+        }
+        wire::put_varint(&mut buf, self.placements);
+        wire::put_varint(&mut buf, self.affinity_hits);
+        wire::put_varint(&mut buf, self.affinity_misses);
+        wire::put_varint(&mut buf, self.loaded_sum);
+        wire::put_f64(&mut buf, self.imbalance_sum);
+        wire::put_varint(&mut buf, self.peak_loaded as u64);
+        wire::put_varint(&mut buf, self.slots);
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let as_usize =
+            |raw: u64| usize::try_from(raw).map_err(|_| "count does not fit usize".to_owned());
+        let mut cur = wire::Cursor::new(state);
+        self.cluster.strategy = match cur.take_u8()? {
+            0 => PlacementStrategy::RoundRobin,
+            1 => PlacementStrategy::LeastLoaded,
+            2 => PlacementStrategy::HashAffinity,
+            other => return Err(format!("unknown placement strategy {other}")),
+        };
+        let n_nodes = as_usize(cur.take_varint()?)?;
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 16));
+        for _ in 0..n_nodes {
+            let capacity = as_usize(cur.take_varint()?)?;
+            let loaded = cur.take_u32s()?.into_iter().map(FunctionId).collect();
+            nodes.push(Node { capacity, loaded });
+        }
+        self.cluster.nodes = nodes;
+        self.cluster.node_of = cur.take_u32s()?;
+        self.cluster.next_rr = as_usize(cur.take_varint()?)?;
+        self.cluster.rejections = cur.take_varint()?;
+        let n_last = as_usize(cur.take_varint()?)?;
+        let mut last_node = Vec::with_capacity(n_last.min(1 << 20));
+        for _ in 0..n_last {
+            last_node.push(cur.take_opt_u64()?.map(as_usize).transpose()?);
+        }
+        self.last_node = last_node;
+        self.pending = cur.take_u32s()?.into_iter().map(FunctionId).collect();
+        let n_pending = as_usize(cur.take_varint()?)?;
+        let mut is_pending = Vec::with_capacity(n_pending.min(1 << 20));
+        for _ in 0..n_pending {
+            is_pending.push(cur.take_u8()? != 0);
+        }
+        self.is_pending = is_pending;
+        self.placements = cur.take_varint()?;
+        self.affinity_hits = cur.take_varint()?;
+        self.affinity_misses = cur.take_varint()?;
+        self.loaded_sum = cur.take_varint()?;
+        self.imbalance_sum = cur.take_f64()?;
+        self.peak_loaded = as_usize(cur.take_varint()?)?;
+        self.slots = cur.take_varint()?;
+        Ok(())
     }
 }
 

@@ -33,6 +33,7 @@ use crate::events::{
     DynObserver, EventCtx, EvictCause, LoadCause, Observer, ObserverSet, RunCollector, RunMeta,
     SimEvent,
 };
+use crate::journal::wire;
 use crate::memory::{MemoryPool, PoolOp};
 use crate::metrics::RunResult;
 use crate::policy::Policy;
@@ -40,7 +41,7 @@ use spes_trace::{FunctionId, Slot, Trace};
 use std::time::Instant;
 
 /// Configuration of one simulation run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// First simulated slot (inclusive).
     pub start: Slot,
@@ -719,6 +720,432 @@ impl<'p, 'o> SimDriver<'p, 'o> {
             .expect("SimDriver::new always installs a collector")
             .into_result()
     }
+
+    /// Ends the run like [`SimDriver::finish`] but also hands back the
+    /// owned observers, for callers that must recover ownership — e.g.
+    /// taking a [`crate::JournalObserver`]'s buffer after the run-end
+    /// hook flushed its tail frame.
+    pub fn finish_with_observers(mut self) -> (RunResult, ObserverSet) {
+        self.close();
+        let result = self
+            .sinks
+            .collector
+            .take()
+            .expect("SimDriver::new always installs a collector")
+            .into_result();
+        (
+            result,
+            ObserverSet::new(std::mem::take(&mut self.sinks.owned)),
+        )
+    }
+
+    /// Serialises the run's full mutable state at the current slot
+    /// boundary into a versioned, checksummed binary blob: the config,
+    /// the pool's loaded set (in order — eviction tie-breaks depend on
+    /// it), the slot scratch, the internal collector, the policy's
+    /// state (when it implements [`Policy::snapshot_state`]), and every
+    /// owned observer's [`Observer::snapshot`] blob labelled with its
+    /// concrete type name.
+    ///
+    /// Call between [`SimDriver::step`]s (any slot boundary works,
+    /// including before the first step). Borrowed observers
+    /// ([`Simulation::observe`]) are not captured — snapshotting is a
+    /// step-driven-run feature, and those drivers own all their
+    /// observers. [`SimDriver::resume_from`] restores the blob;
+    /// property tests pin resume-at-every-boundary bit-identical to the
+    /// uninterrupted run.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        wire::put_str(&mut payload, self.policy.name());
+        wire::put_varint(&mut payload, self.pool.n_functions() as u64);
+        wire::put_varint(&mut payload, u64::from(self.config.start));
+        wire::put_varint(&mut payload, u64::from(self.config.end));
+        wire::put_varint(&mut payload, u64::from(self.config.metrics_start));
+        wire::put_opt_u64(&mut payload, self.config.capacity.map(|c| c as u64));
+        wire::put_opt_u64(&mut payload, self.config.pressure_budget.map(|b| b as u64));
+        wire::put_varint(&mut payload, u64::from(self.next_slot));
+        payload.push(u8::from(self.finished));
+        payload.push(u8::from(self.clear_scratch));
+        wire::put_varint(&mut payload, self.scratch.invocations);
+        wire::put_varint(&mut payload, u64::from(self.scratch.cold_starts));
+        wire::put_varint(&mut payload, u64::from(self.scratch.warm_starts));
+        for list in [
+            &self.scratch.demand_loads,
+            &self.scratch.policy_loads,
+            &self.scratch.policy_evictions,
+            &self.scratch.capacity_evictions,
+            &self.scratch.rejected_loads,
+        ] {
+            let ids: Vec<u32> = list.iter().map(|f| f.0).collect();
+            wire::put_u32s(&mut payload, &ids);
+        }
+        wire::put_varint(&mut payload, self.pool.loaded().len() as u64);
+        for &f in self.pool.loaded() {
+            wire::put_varint(&mut payload, u64::from(f.0));
+            wire::put_varint(&mut payload, u64::from(self.pool.loaded_since(f)));
+        }
+        match &self.sinks.collector {
+            Some(collector) => {
+                payload.push(1);
+                wire::put_bytes(&mut payload, &collector.snapshot());
+            }
+            None => payload.push(0),
+        }
+        match self.policy.snapshot_state() {
+            Some(state) => {
+                payload.push(1);
+                wire::put_bytes(&mut payload, &state);
+            }
+            None => payload.push(0),
+        }
+        wire::put_varint(&mut payload, self.sinks.owned.len() as u64);
+        for observer in &self.sinks.owned {
+            wire::put_str(&mut payload, observer.type_name());
+            wire::put_bytes(&mut payload, &observer.snapshot());
+        }
+
+        let mut out = Vec::with_capacity(payload.len() + 20);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire::crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Rebuilds a driver from a [`SimDriver::snapshot`] blob and
+    /// continues the run exactly where it stopped — no `on_run_start`,
+    /// no policy `on_start`; the next [`SimDriver::step`] expects the
+    /// slot the original driver would have stepped next.
+    ///
+    /// The caller supplies the policy and fresh observer instances:
+    ///
+    /// - `policy` must have the snapshotted run's name. If the snapshot
+    ///   carries policy state ([`Policy::snapshot_state`]), it is
+    ///   restored into the instance; otherwise the caller is
+    ///   responsible for handing over a policy already in the right
+    ///   state (e.g. warmed by re-driving the journal prefix — any
+    ///   mismatch is the replay-divergence checker's job to catch).
+    /// - `observers` are matched to the snapshot's state blobs by
+    ///   concrete type name, in order; matched observers are restored
+    ///   via [`Observer::restore`]. A stored non-empty blob with no
+    ///   matching observer is an error (state would be silently lost);
+    ///   extra fresh observers are attached as-is. Observer order — the
+    ///   event delivery order — follows `observers`, so pass them in
+    ///   the original attachment order to keep replays bit-identical.
+    ///
+    /// # Errors
+    /// Returns a [`SnapshotError`] on foreign/corrupt/truncated blobs,
+    /// a checksum mismatch, a policy name mismatch, or a failed
+    /// policy/observer state restore.
+    pub fn resume_from(
+        snapshot: &[u8],
+        policy: &'p mut dyn Policy,
+        observers: Vec<Box<dyn DynObserver>>,
+    ) -> Result<Self, SnapshotError> {
+        let payload = snapshot_payload(snapshot)?;
+        let corrupt = SnapshotError::Corrupt;
+        let mut cur = wire::Cursor::new(&payload);
+        let policy_name = cur.take_str().map_err(corrupt)?;
+        if policy_name != policy.name() {
+            return Err(SnapshotError::PolicyMismatch {
+                expected: policy_name,
+                got: policy.name().to_owned(),
+            });
+        }
+        let n_functions = usize::try_from(cur.take_varint().map_err(corrupt)?)
+            .map_err(|_| SnapshotError::Corrupt("n_functions does not fit usize".to_owned()))?;
+        let take_slot = |cur: &mut wire::Cursor<'_>| -> Result<Slot, SnapshotError> {
+            let raw = cur.take_varint().map_err(SnapshotError::Corrupt)?;
+            Slot::try_from(raw)
+                .map_err(|_| SnapshotError::Corrupt(format!("slot {raw} does not fit u32")))
+        };
+        let take_opt_usize = |cur: &mut wire::Cursor<'_>| -> Result<Option<usize>, SnapshotError> {
+            cur.take_opt_u64()
+                .map_err(SnapshotError::Corrupt)?
+                .map(|v| {
+                    usize::try_from(v)
+                        .map_err(|_| SnapshotError::Corrupt(format!("{v} does not fit usize")))
+                })
+                .transpose()
+        };
+        let config = SimConfig {
+            start: take_slot(&mut cur)?,
+            end: take_slot(&mut cur)?,
+            metrics_start: take_slot(&mut cur)?,
+            capacity: take_opt_usize(&mut cur)?,
+            pressure_budget: take_opt_usize(&mut cur)?,
+        };
+        let next_slot = take_slot(&mut cur)?;
+        let finished = cur.take_u8().map_err(corrupt)? != 0;
+        let clear_scratch = cur.take_u8().map_err(corrupt)? != 0;
+        let mut scratch = OutcomeScratch {
+            invocations: cur.take_varint().map_err(corrupt)?,
+            ..OutcomeScratch::default()
+        };
+        scratch.cold_starts = u32::try_from(cur.take_varint().map_err(corrupt)?)
+            .map_err(|_| SnapshotError::Corrupt("cold_starts does not fit u32".to_owned()))?;
+        scratch.warm_starts = u32::try_from(cur.take_varint().map_err(corrupt)?)
+            .map_err(|_| SnapshotError::Corrupt("warm_starts does not fit u32".to_owned()))?;
+        for list in [
+            &mut scratch.demand_loads,
+            &mut scratch.policy_loads,
+            &mut scratch.policy_evictions,
+            &mut scratch.capacity_evictions,
+            &mut scratch.rejected_loads,
+        ] {
+            *list = cur
+                .take_u32s()
+                .map_err(corrupt)?
+                .into_iter()
+                .map(FunctionId)
+                .collect();
+        }
+        let n_loaded = usize::try_from(cur.take_varint().map_err(corrupt)?)
+            .map_err(|_| SnapshotError::Corrupt("loaded count does not fit usize".to_owned()))?;
+        let mut entries = Vec::with_capacity(n_loaded.min(1 << 20));
+        for _ in 0..n_loaded {
+            let f = u32::try_from(cur.take_varint().map_err(corrupt)?)
+                .map_err(|_| SnapshotError::Corrupt("function id does not fit u32".to_owned()))?;
+            let at = take_slot(&mut cur)?;
+            entries.push((FunctionId(f), at));
+        }
+        let collector = match cur.take_u8().map_err(corrupt)? {
+            0 => None,
+            _ => {
+                let blob = cur.take_bytes().map_err(corrupt)?;
+                let mut collector = RunCollector::new();
+                collector
+                    .restore(&blob)
+                    .map_err(|message| SnapshotError::ObserverRestore {
+                        observer: "RunCollector".to_owned(),
+                        message,
+                    })?;
+                Some(collector)
+            }
+        };
+        let policy_state = match cur.take_u8().map_err(corrupt)? {
+            0 => None,
+            _ => Some(cur.take_bytes().map_err(corrupt)?),
+        };
+        if let Some(state) = policy_state {
+            policy
+                .restore_state(&state)
+                .map_err(SnapshotError::PolicyRestore)?;
+        }
+        let n_observers = usize::try_from(cur.take_varint().map_err(corrupt)?)
+            .map_err(|_| SnapshotError::Corrupt("observer count does not fit usize".to_owned()))?;
+        let mut owned = observers;
+        let mut matched = vec![false; owned.len()];
+        for _ in 0..n_observers {
+            let type_name = cur.take_str().map_err(corrupt)?;
+            let blob = cur.take_bytes().map_err(corrupt)?;
+            let slot = owned
+                .iter()
+                .enumerate()
+                .position(|(i, o)| !matched[i] && o.type_name() == type_name);
+            match slot {
+                Some(i) => {
+                    matched[i] = true;
+                    owned[i]
+                        .restore(&blob)
+                        .map_err(|message| SnapshotError::ObserverRestore {
+                            observer: type_name.clone(),
+                            message,
+                        })?;
+                }
+                None if blob.is_empty() => {} // stateless; nothing lost
+                None => return Err(SnapshotError::UnmatchedObserverState(type_name)),
+            }
+        }
+        if !cur.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes after the snapshot state".to_owned(),
+            ));
+        }
+
+        let mut pool = MemoryPool::with_capacity(n_functions, config.capacity);
+        pool.restore_loaded(&entries)
+            .map_err(SnapshotError::Corrupt)?;
+        pool.enable_journal();
+        pool.set_admission_budget(config.pressure_budget);
+        Ok(Self {
+            config,
+            policy,
+            sinks: Sinks {
+                borrowed: Vec::new(),
+                owned,
+                collector,
+            },
+            pool,
+            ops: Vec::new(),
+            scratch,
+            clear_scratch,
+            next_slot,
+            finished,
+        })
+    }
+}
+
+/// Leading magic of a [`SimDriver::snapshot`] blob.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"SPESSNAP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a [`SimDriver::resume_from`] rejected a snapshot blob.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The blob does not start with the snapshot magic.
+    BadMagic,
+    /// The blob's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The payload checksum did not match (torn or corrupted blob).
+    Checksum,
+    /// The byte stream is structurally malformed.
+    Corrupt(String),
+    /// The supplied policy is not the one the snapshot was taken under.
+    PolicyMismatch {
+        /// Policy name recorded in the snapshot.
+        expected: String,
+        /// Name of the policy handed to `resume_from`.
+        got: String,
+    },
+    /// The policy rejected its state blob.
+    PolicyRestore(String),
+    /// An observer rejected its state blob.
+    ObserverRestore {
+        /// Concrete type name of the failing observer.
+        observer: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The snapshot carries state for an observer type the caller did
+    /// not supply — resuming would silently drop accumulated state.
+    UnmatchedObserverState(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a snapshot blob (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})"
+                )
+            }
+            Self::Checksum => write!(f, "snapshot checksum mismatch"),
+            Self::Corrupt(message) => write!(f, "corrupt snapshot: {message}"),
+            Self::PolicyMismatch { expected, got } => {
+                write!(
+                    f,
+                    "snapshot was taken under policy {expected:?}, got {got:?}"
+                )
+            }
+            Self::PolicyRestore(message) => write!(f, "policy state restore failed: {message}"),
+            Self::ObserverRestore { observer, message } => {
+                write!(f, "observer {observer} state restore failed: {message}")
+            }
+            Self::UnmatchedObserverState(observer) => {
+                write!(
+                    f,
+                    "snapshot carries state for unprovided observer {observer}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Validates a snapshot blob's magic, version, and checksum, returning
+/// the payload.
+fn snapshot_payload(snapshot: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+    if snapshot.len() < 8 || &snapshot[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if snapshot.len() < 20 {
+        return Err(SnapshotError::Corrupt(
+            "truncated snapshot header".to_owned(),
+        ));
+    }
+    let version = u32::from_le_bytes(snapshot[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let len = u32::from_le_bytes(snapshot[12..16].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(snapshot[16..20].try_into().expect("4 bytes"));
+    let payload = snapshot
+        .get(20..20 + len)
+        .ok_or_else(|| SnapshotError::Corrupt("truncated snapshot payload".to_owned()))?;
+    if snapshot.len() != 20 + len {
+        return Err(SnapshotError::Corrupt(
+            "trailing bytes after the snapshot payload".to_owned(),
+        ));
+    }
+    if wire::crc32(payload) != crc {
+        return Err(SnapshotError::Checksum);
+    }
+    Ok(payload.to_vec())
+}
+
+/// The header of a [`SimDriver::snapshot`] blob — enough to know what
+/// run it belongs to and where it would resume, without restoring it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Name of the snapshotted run's policy.
+    pub policy_name: String,
+    /// Number of functions in the run's universe.
+    pub n_functions: usize,
+    /// The run's simulation window and pool limits.
+    pub config: SimConfig,
+    /// The slot the resumed driver will step next.
+    pub next_slot: Slot,
+}
+
+/// Reads a snapshot blob's header (validating magic, version, and
+/// checksum) without restoring the run — what tools like `spes-replay`
+/// use to warm a policy up to the resume point before calling
+/// [`SimDriver::resume_from`].
+///
+/// # Errors
+/// Returns a [`SnapshotError`] on foreign, corrupt, or truncated blobs.
+pub fn snapshot_info(snapshot: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
+    let payload = snapshot_payload(snapshot)?;
+    let corrupt = SnapshotError::Corrupt;
+    let mut cur = wire::Cursor::new(&payload);
+    let policy_name = cur.take_str().map_err(corrupt)?;
+    let n_functions = usize::try_from(cur.take_varint().map_err(corrupt)?)
+        .map_err(|_| SnapshotError::Corrupt("n_functions does not fit usize".to_owned()))?;
+    let take_slot = |cur: &mut wire::Cursor<'_>| -> Result<Slot, SnapshotError> {
+        let raw = cur.take_varint().map_err(SnapshotError::Corrupt)?;
+        Slot::try_from(raw)
+            .map_err(|_| SnapshotError::Corrupt(format!("slot {raw} does not fit u32")))
+    };
+    let take_opt_usize = |cur: &mut wire::Cursor<'_>| -> Result<Option<usize>, SnapshotError> {
+        cur.take_opt_u64()
+            .map_err(SnapshotError::Corrupt)?
+            .map(|v| {
+                usize::try_from(v)
+                    .map_err(|_| SnapshotError::Corrupt(format!("{v} does not fit usize")))
+            })
+            .transpose()
+    };
+    let config = SimConfig {
+        start: take_slot(&mut cur)?,
+        end: take_slot(&mut cur)?,
+        metrics_start: take_slot(&mut cur)?,
+        capacity: take_opt_usize(&mut cur)?,
+        pressure_budget: take_opt_usize(&mut cur)?,
+    };
+    let next_slot = take_slot(&mut cur)?;
+    Ok(SnapshotInfo {
+        policy_name,
+        n_functions,
+        config,
+        next_slot,
+    })
 }
 
 /// Runs `policy` over `trace` for the window in `config`, collecting the

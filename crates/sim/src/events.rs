@@ -28,9 +28,29 @@
 //! own `Load`s/`Evict`s in the order the policy performed them; then one
 //! `SlotEnd`. Observers never mutate the pool — only the policy does.
 
+use crate::journal::wire;
 use crate::memory::MemoryPool;
 use crate::metrics::RunResult;
 use spes_trace::{AppId, FunctionId, Slot, Trace};
+
+/// Decodes a varint-carried slot, rejecting values beyond `u32`.
+fn slot_of(raw: u64) -> Result<Slot, String> {
+    Slot::try_from(raw).map_err(|_| format!("slot {raw} does not fit u32"))
+}
+
+/// Decodes a varint-carried count, rejecting values beyond `usize`.
+fn usize_of(raw: u64) -> Result<usize, String> {
+    usize::try_from(raw).map_err(|_| format!("count {raw} does not fit usize"))
+}
+
+/// Rejects snapshot blobs with bytes past their last field.
+fn expect_consumed(cur: &wire::Cursor<'_>) -> Result<(), String> {
+    if cur.is_empty() {
+        Ok(())
+    } else {
+        Err("trailing bytes after the observer state".to_owned())
+    }
+}
 
 /// Why an instance was loaded into the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +172,36 @@ pub trait Observer {
     /// `end` is the first unsimulated slot — the configured window end for
     /// batch runs, or wherever a step-driven run actually stopped.
     fn on_run_end(&mut self, _end: Slot, _pool: &MemoryPool) {}
+
+    /// Serialises the observer's accumulated state for
+    /// [`crate::engine::SimDriver::snapshot`]. Must capture everything
+    /// [`Observer::restore`] needs to continue the run as if it had
+    /// never stopped — including mid-run scratch, since snapshots are
+    /// taken at slot boundaries, not run ends. The default returns an
+    /// empty blob, which marks the observer as carrying no state (fine
+    /// for write-through sinks like [`crate::journal::JournalObserver`];
+    /// wrong for accumulators, which should implement both hooks).
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Observer::snapshot`] on a freshly
+    /// constructed observer, as part of
+    /// [`crate::engine::SimDriver::resume_from`]. The default accepts
+    /// only the default `snapshot()`'s empty blob, so stateful
+    /// observers that forget to implement `restore` fail loudly at
+    /// resume instead of silently resetting.
+    ///
+    /// # Errors
+    /// Returns a description of the mismatch when `state` cannot be
+    /// decoded (wrong observer, corrupt blob, incompatible shape).
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err("observer does not implement state restore".to_owned())
+        }
+    }
 }
 
 /// An [`Observer`] that can be recovered by concrete type after the run.
@@ -168,6 +218,13 @@ pub trait DynObserver: Observer {
 
     /// Type-erased conversion, for downcasting by value.
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+
+    /// The observer's concrete type name
+    /// ([`std::any::type_name`]), used by
+    /// [`crate::engine::SimDriver::snapshot`] to label state blobs so
+    /// [`crate::engine::SimDriver::resume_from`] can match them back to
+    /// freshly constructed observers.
+    fn type_name(&self) -> &'static str;
 }
 
 impl<T: Observer + 'static> DynObserver for T {
@@ -177,6 +234,10 @@ impl<T: Observer + 'static> DynObserver for T {
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
+    }
+
+    fn type_name(&self) -> &'static str {
+        std::any::type_name::<T>()
     }
 }
 
@@ -388,6 +449,47 @@ impl Observer for RunCollector {
             self.loaded_slots[f.index()] += span;
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_str(&mut buf, &self.policy_name);
+        wire::put_varint(&mut buf, u64::from(self.start));
+        wire::put_varint(&mut buf, u64::from(self.metrics_start));
+        wire::put_varint(&mut buf, u64::from(self.end));
+        wire::put_u64s(&mut buf, &self.invocations);
+        wire::put_u64s(&mut buf, &self.cold_starts);
+        wire::put_u64s(&mut buf, &self.loaded_slots);
+        wire::put_u64s(&mut buf, &self.invoked_loaded_slots);
+        wire::put_u32s(&mut buf, &self.span_start);
+        let invoked: Vec<u32> = self.invoked_this_slot.iter().map(|f| f.0).collect();
+        wire::put_u32s(&mut buf, &invoked);
+        wire::put_varint(&mut buf, self.loaded_integral);
+        wire::put_f64(&mut buf, self.emcr_sum);
+        wire::put_varint(&mut buf, self.emcr_slots);
+        wire::put_f64(&mut buf, self.overhead_secs);
+        wire::put_varint(&mut buf, self.peak_loaded as u64);
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = wire::Cursor::new(state);
+        self.policy_name = cur.take_str()?;
+        self.start = slot_of(cur.take_varint()?)?;
+        self.metrics_start = slot_of(cur.take_varint()?)?;
+        self.end = slot_of(cur.take_varint()?)?;
+        self.invocations = cur.take_u64s()?;
+        self.cold_starts = cur.take_u64s()?;
+        self.loaded_slots = cur.take_u64s()?;
+        self.invoked_loaded_slots = cur.take_u64s()?;
+        self.span_start = cur.take_u32s()?;
+        self.invoked_this_slot = cur.take_u32s()?.into_iter().map(FunctionId).collect();
+        self.loaded_integral = cur.take_varint()?;
+        self.emcr_sum = cur.take_f64()?;
+        self.emcr_slots = cur.take_varint()?;
+        self.overhead_secs = cur.take_f64()?;
+        self.peak_loaded = usize_of(cur.take_varint()?)?;
+        expect_consumed(&cur)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -489,6 +591,37 @@ impl Observer for SlotSeries {
             }
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_varint(&mut buf, u64::from(self.start));
+        wire::put_u32s(&mut buf, &self.loaded);
+        wire::put_u32s(&mut buf, &self.cold);
+        wire::put_u32s(&mut buf, &self.warm);
+        wire::put_u32s(&mut buf, &self.evictions);
+        wire::put_f64s(&mut buf, &self.emcr);
+        wire::put_varint(&mut buf, u64::from(self.cold_now));
+        wire::put_varint(&mut buf, u64::from(self.warm_now));
+        wire::put_varint(&mut buf, u64::from(self.evict_now));
+        let invoked: Vec<u32> = self.invoked_now.iter().map(|f| f.0).collect();
+        wire::put_u32s(&mut buf, &invoked);
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = wire::Cursor::new(state);
+        self.start = slot_of(cur.take_varint()?)?;
+        self.loaded = cur.take_u32s()?;
+        self.cold = cur.take_u32s()?;
+        self.warm = cur.take_u32s()?;
+        self.evictions = cur.take_u32s()?;
+        self.emcr = cur.take_f64s()?;
+        self.cold_now = u32::try_from(cur.take_varint()?).map_err(|_| "cold_now".to_owned())?;
+        self.warm_now = u32::try_from(cur.take_varint()?).map_err(|_| "warm_now".to_owned())?;
+        self.evict_now = u32::try_from(cur.take_varint()?).map_err(|_| "evict_now".to_owned())?;
+        self.invoked_now = cur.take_u32s()?.into_iter().map(FunctionId).collect();
+        expect_consumed(&cur)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -501,7 +634,7 @@ impl Observer for SlotSeries {
 /// instances afterwards: how many were re-loaded at all, and how many
 /// were re-loaded within `premature_window` slots — evictions the policy
 /// would have been better off not making.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvictionAudit {
     /// Evictions decided by the policy.
     pub policy_evictions: u64,
@@ -574,6 +707,36 @@ impl Observer for EvictionAudit {
             _ => {}
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_varint(&mut buf, self.policy_evictions);
+        wire::put_varint(&mut buf, self.capacity_evictions);
+        wire::put_varint(&mut buf, self.reloads);
+        wire::put_varint(&mut buf, self.premature_reloads);
+        wire::put_varint(&mut buf, u64::from(self.premature_window));
+        wire::put_varint(&mut buf, self.evicted_at.len() as u64);
+        for &at in &self.evicted_at {
+            wire::put_opt_u64(&mut buf, at.map(u64::from));
+        }
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = wire::Cursor::new(state);
+        self.policy_evictions = cur.take_varint()?;
+        self.capacity_evictions = cur.take_varint()?;
+        self.reloads = cur.take_varint()?;
+        self.premature_reloads = cur.take_varint()?;
+        self.premature_window = slot_of(cur.take_varint()?)?;
+        let n = usize_of(cur.take_varint()?)?;
+        let mut evicted_at = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            evicted_at.push(cur.take_opt_u64()?.map(slot_of).transpose()?);
+        }
+        self.evicted_at = evicted_at;
+        expect_consumed(&cur)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -591,7 +754,7 @@ impl Observer for EvictionAudit {
 /// events themselves, so the mid-slot peak is exact even though pool
 /// snapshots are delivered per phase; end-of-slot statistics use the
 /// [`SimEvent::SlotEnd`] snapshot, which always is.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryPressure {
     budget: Option<usize>,
     budget_is_explicit: bool,
@@ -708,6 +871,36 @@ impl Observer for MemoryPressure {
             SimEvent::ColdStart { .. } | SimEvent::WarmStart { .. } => {}
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_opt_u64(&mut buf, self.budget.map(|b| b as u64));
+        buf.push(u8::from(self.budget_is_explicit));
+        wire::put_varint(&mut buf, self.occupancy as u64);
+        wire::put_varint(&mut buf, self.peak_occupancy as u64);
+        wire::put_varint(&mut buf, self.rejected_loads);
+        wire::put_varint(&mut buf, self.slots);
+        wire::put_varint(&mut buf, self.loaded_integral);
+        wire::put_varint(&mut buf, self.slots_at_budget);
+        wire::put_varint(&mut buf, self.over_budget_integral);
+        wire::put_opt_u64(&mut buf, self.min_headroom.map(|h| h as u64));
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = wire::Cursor::new(state);
+        self.budget = cur.take_opt_u64()?.map(usize_of).transpose()?;
+        self.budget_is_explicit = cur.take_u8()? != 0;
+        self.occupancy = usize_of(cur.take_varint()?)?;
+        self.peak_occupancy = usize_of(cur.take_varint()?)?;
+        self.rejected_loads = cur.take_varint()?;
+        self.slots = cur.take_varint()?;
+        self.loaded_integral = cur.take_varint()?;
+        self.slots_at_budget = cur.take_varint()?;
+        self.over_budget_integral = cur.take_varint()?;
+        self.min_headroom = cur.take_opt_u64()?.map(usize_of).transpose()?;
+        expect_consumed(&cur)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -757,7 +950,7 @@ impl AppShare {
 /// the trace metadata) and summarises the distribution with a Gini
 /// coefficient over app-level cold-start rates and the worst
 /// cold-share : invocation-share ratio.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fairness {
     /// Dense app index per function.
     app_index: Vec<u32>,
@@ -913,6 +1106,25 @@ impl Observer for Fairness {
             _ => {}
         }
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_u32s(&mut buf, &self.app_index);
+        let apps: Vec<u32> = self.apps.iter().map(|a| a.0).collect();
+        wire::put_u32s(&mut buf, &apps);
+        wire::put_u64s(&mut buf, &self.invocations);
+        wire::put_u64s(&mut buf, &self.cold_starts);
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = wire::Cursor::new(state);
+        self.app_index = cur.take_u32s()?;
+        self.apps = cur.take_u32s()?.into_iter().map(AppId).collect();
+        self.invocations = cur.take_u64s()?;
+        self.cold_starts = cur.take_u64s()?;
+        expect_consumed(&cur)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -975,6 +1187,52 @@ impl Observer for EventLog {
             measured: ctx.measured,
             event: *event,
         });
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        wire::put_str(&mut buf, &self.policy_name);
+        wire::put_varint(&mut buf, u64::from(self.start));
+        wire::put_varint(&mut buf, u64::from(self.metrics_start));
+        wire::put_varint(&mut buf, u64::from(self.end));
+        wire::put_varint(&mut buf, self.n_functions as u64);
+        wire::put_varint(&mut buf, self.events.len() as u64);
+        // The journal's own event codec; the `measured` flags are
+        // re-derived on restore (they are always `slot >= metrics_start`).
+        let (mut prev_slot, mut prev_f) = (0, 0);
+        for logged in &self.events {
+            crate::journal::encode_event(
+                &mut buf,
+                &mut prev_slot,
+                &mut prev_f,
+                logged.slot,
+                &logged.event,
+            );
+        }
+        buf
+    }
+
+    fn restore(&mut self, state: &[u8]) -> Result<(), String> {
+        let mut cur = wire::Cursor::new(state);
+        self.policy_name = cur.take_str()?;
+        self.start = slot_of(cur.take_varint()?)?;
+        self.metrics_start = slot_of(cur.take_varint()?)?;
+        self.end = slot_of(cur.take_varint()?)?;
+        self.n_functions = usize_of(cur.take_varint()?)?;
+        let n = usize_of(cur.take_varint()?)?;
+        let mut events = Vec::with_capacity(n.min(1 << 20));
+        let (mut prev_slot, mut prev_f) = (0, 0);
+        for _ in 0..n {
+            let (slot, event) =
+                crate::journal::decode_event(&mut cur, &mut prev_slot, &mut prev_f)?;
+            events.push(LoggedEvent {
+                slot,
+                measured: slot >= self.metrics_start,
+                event,
+            });
+        }
+        self.events = events;
+        expect_consumed(&cur)
     }
 }
 

@@ -19,6 +19,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod events;
+pub mod journal;
 pub mod memory;
 pub mod metrics;
 pub mod policy;
@@ -29,11 +30,16 @@ pub mod suite;
 pub use cluster::{run_on_cluster, Cluster, ClusterObserver, ClusterReport, PlacementStrategy};
 #[allow(deprecated)]
 pub use engine::simulate;
+pub use engine::{snapshot_info, SnapshotError, SnapshotInfo, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use engine::{try_simulate, SimConfig, SimDriver, SimError, Simulation, SlotOutcome};
 pub use events::{
     AppShare, DynObserver, EventCtx, EventLog, EvictCause, EvictionAudit, Fairness, LoadCause,
     LoggedEvent, MemoryPressure, Observer, ObserverSet, RunCollector, RunMeta, SimEvent,
     SlotSeries,
+};
+pub use journal::{
+    JournalError, JournalEvent, JournalMeta, JournalObserver, JournalReader, JournalWriter,
+    JOURNAL_MAGIC, JOURNAL_VERSION,
 };
 pub use memory::MemoryPool;
 pub use metrics::RunResult;

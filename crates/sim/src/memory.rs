@@ -228,6 +228,49 @@ impl MemoryPool {
             self.record(PoolOp::Evict(f));
         }
     }
+
+    /// Rebuilds the loaded set from snapshot `(function, loaded_at)`
+    /// entries, in exactly the given order (snapshot-restore internal).
+    ///
+    /// Preserving insertion order matters: [`MemoryPool::oldest_loaded`]
+    /// breaks load-slot ties by internal order, so a resumed run only
+    /// stays bit-identical to the uninterrupted one if the order
+    /// survives the round trip. Nothing is journalled — the instances
+    /// were loaded before the snapshot, not now.
+    ///
+    /// # Errors
+    /// Rejects out-of-range ids, duplicates, and entry counts beyond the
+    /// pool's capacity.
+    pub(crate) fn restore_loaded(&mut self, entries: &[(FunctionId, Slot)]) -> Result<(), String> {
+        if self.capacity.is_some_and(|c| entries.len() > c) {
+            return Err(format!(
+                "snapshot holds {} loaded instances but the pool capacity is {:?}",
+                entries.len(),
+                self.capacity
+            ));
+        }
+        for f in std::mem::take(&mut self.loaded) {
+            self.member[f.index()] = false;
+            self.position[f.index()] = NO_POSITION;
+        }
+        for &(f, at) in entries {
+            if f.index() >= self.member.len() {
+                return Err(format!(
+                    "snapshot loads function {} but the pool tracks {}",
+                    f.0,
+                    self.member.len()
+                ));
+            }
+            if self.member[f.index()] {
+                return Err(format!("snapshot loads function {} twice", f.0));
+            }
+            self.member[f.index()] = true;
+            self.position[f.index()] = self.loaded.len() as u32;
+            self.loaded.push(f);
+            self.loaded_at[f.index()] = at;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

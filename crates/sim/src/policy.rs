@@ -49,6 +49,35 @@ pub trait Policy {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Serialises the policy's *mutable run state* for
+    /// [`crate::engine::SimDriver::snapshot`]. `None` (the default)
+    /// declares the state non-snapshottable: a resumed run must then be
+    /// handed a policy instance the caller warmed up itself (e.g. by
+    /// re-driving the journal prefix through a throwaway driver — what
+    /// `spes-replay --check --snapshot` does), and any state the caller
+    /// gets wrong is caught by the replay-divergence checker rather
+    /// than silently altering the run. Stateless policies return
+    /// `Some(Vec::new())`.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`Policy::snapshot_state`]. Only
+    /// called when the snapshot actually carried a state blob. The
+    /// default accepts the stateless empty blob and rejects anything
+    /// else.
+    ///
+    /// # Errors
+    /// Returns a description of the mismatch when `state` cannot be
+    /// decoded.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err("policy does not implement state restore".to_owned())
+        }
+    }
 }
 
 /// The trivial always-evict policy: nothing is ever kept warm. Every
@@ -69,6 +98,10 @@ impl Policy for NoKeepAlive {
             pool.evict(f);
         }
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
 }
 
 /// The trivial keep-everything policy: once loaded, an instance is never
@@ -83,6 +116,10 @@ impl Policy for KeepForever {
     }
 
     fn on_slot(&mut self, _now: Slot, _invoked: &[(FunctionId, u32)], _pool: &mut MemoryPool) {}
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
 }
 
 #[cfg(test)]

@@ -30,15 +30,31 @@
 //! ([`MemoryPressure`], [`Fairness`], [`EvictionAudit`]), `error`
 //! records for rejected input, and a final `summary` when the stream
 //! ends.
+//!
+//! ## Crash-safe serving
+//!
+//! With [`ServeConfig::journal`] every engine event is written through
+//! to a binary journal (the [`crate::journal`] format) as it happens,
+//! so a crashed session leaves a replayable record for `spes-replay`.
+//! [`ServeConfig::snapshot_out`] persists a [`SimDriver::snapshot`]
+//! when the stream ends, and [`ServeConfig::resume`] starts the next
+//! session from such a blob — metrics, observers, and pool state
+//! continue where the previous session stopped.
 
-use crate::engine::{SimConfig, SimDriver, SimError, SlotOutcome};
+use crate::engine::{snapshot_info, SimConfig, SimDriver, SimError, SlotOutcome, SnapshotError};
 use crate::events::{DynObserver, EvictionAudit, Fairness, MemoryPressure};
+use crate::journal::{JournalMeta, JournalObserver};
 use crate::metrics::RunResult;
 use crate::policy::Policy;
 use crate::suite::PREMATURE_RELOAD_WINDOW;
 use serde::{Serialize, Value};
 use spes_trace::{AppId, FunctionId, Slot};
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+/// The concrete journal observer type serve attaches for `journal`
+/// write-through.
+type FileJournal = JournalObserver<std::io::BufWriter<std::fs::File>>;
 
 /// The declared function universe from the stream's init record.
 #[derive(Debug, Clone)]
@@ -63,6 +79,19 @@ pub struct ServeConfig {
     /// included (by default only slots with invocations or decisions
     /// produce a record, so long idle gaps stay cheap).
     pub emit_idle_slots: bool,
+    /// Write every engine event through to a binary journal at this
+    /// path (the [`crate::journal`] format) as the session runs —
+    /// crash forensics and `spes-replay` time-travel work off this
+    /// file. The file is created (truncated) per session.
+    pub journal: Option<PathBuf>,
+    /// Resume a previous session from a [`SimDriver::snapshot`] blob
+    /// instead of starting fresh. The snapshot's own window and pool
+    /// limits rule — `sim` is ignored on resume — and the init record
+    /// must declare the snapshotted population.
+    pub resume: Option<Vec<u8>>,
+    /// Write a final [`SimDriver::snapshot`] here when the stream
+    /// ends, so the next session can `resume` where this one stopped.
+    pub snapshot_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +100,9 @@ impl Default for ServeConfig {
             sim: SimConfig::new(0, Slot::MAX),
             snapshot_every: None,
             emit_idle_slots: false,
+            journal: None,
+            resume: None,
+            snapshot_out: None,
         }
     }
 }
@@ -88,6 +120,10 @@ pub enum ServeError {
     Policy(String),
     /// The configured simulation window is malformed.
     Window(SimError),
+    /// The `resume` snapshot could not be restored.
+    Resume(SnapshotError),
+    /// The write-through journal could not be opened or written.
+    Journal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -97,6 +133,8 @@ impl std::fmt::Display for ServeError {
             Self::Protocol(message) => write!(f, "protocol error: {message}"),
             Self::Policy(message) => write!(f, "policy construction failed: {message}"),
             Self::Window(e) => write!(f, "invalid serving window: {e}"),
+            Self::Resume(e) => write!(f, "resume failed: {e}"),
+            Self::Journal(message) => write!(f, "journal write-through failed: {message}"),
         }
     }
 }
@@ -179,13 +217,46 @@ pub fn serve<R: BufRead, W: Write>(
         break parse_init(line.trim()).map_err(ServeError::Protocol)?;
     };
     let mut policy = make_policy(&init).map_err(ServeError::Policy)?;
-    let observers: Vec<Box<dyn DynObserver>> = vec![
+    let mut observers: Vec<Box<dyn DynObserver>> = vec![
         Box::new(MemoryPressure::new()),
         Box::new(Fairness::new(&init.apps)),
         Box::new(EvictionAudit::new(PREMATURE_RELOAD_WINDOW)),
     ];
-    let mut driver = SimDriver::new(init.functions, config.sim, policy.as_mut(), observers)
-        .map_err(ServeError::Window)?;
+    if let Some(path) = &config.journal {
+        // On resume the snapshot's window rules; stamp the journal
+        // header with what the session will actually run under.
+        let sim = match &config.resume {
+            Some(snapshot) => snapshot_info(snapshot).map_err(ServeError::Resume)?.config,
+            None => config.sim,
+        };
+        let meta = JournalMeta {
+            policy_name: policy.name().to_owned(),
+            n_functions: init.functions,
+            config: sim,
+            trace_digest: 0,
+            seed: 0,
+            extra: vec![("source".to_owned(), "spes-serve".to_owned())],
+        };
+        let file = std::fs::File::create(path)?;
+        let journal = FileJournal::new(std::io::BufWriter::new(file), &meta)
+            .map_err(|e| ServeError::Journal(e.to_string()))?;
+        observers.push(Box::new(journal));
+    }
+    let mut driver = match &config.resume {
+        Some(snapshot) => {
+            let info = snapshot_info(snapshot).map_err(ServeError::Resume)?;
+            if info.n_functions != init.functions {
+                return Err(ServeError::Protocol(format!(
+                    "init declares {} functions but the resume snapshot has {}",
+                    init.functions, info.n_functions
+                )));
+            }
+            SimDriver::resume_from(snapshot, policy.as_mut(), observers)
+                .map_err(ServeError::Resume)?
+        }
+        None => SimDriver::new(init.functions, config.sim, policy.as_mut(), observers)
+            .map_err(ServeError::Window)?,
+    };
     writeln!(output, "{}", render_ready(&driver, &init))?;
 
     let mut stats = Stats::default();
@@ -271,6 +342,24 @@ pub fn serve<R: BufRead, W: Write>(
             &mut output,
             &mut stats,
         )?;
+    }
+
+    // Surface a mid-run journal write failure instead of finishing a
+    // session whose journal silently stopped short. (The run-end tail
+    // flush happens inside `finish` and cannot be checked here — a
+    // truncated tail frame is caught by the reader's typed error.)
+    if config.journal.is_some() {
+        if let Some(error) = driver
+            .observer::<FileJournal>()
+            .and_then(FileJournal::error)
+        {
+            return Err(ServeError::Journal(error.to_string()));
+        }
+    }
+    // Persist the end-of-stream snapshot before `finish` consumes the
+    // driver, so a follow-up session can resume at this exact boundary.
+    if let Some(path) = &config.snapshot_out {
+        std::fs::write(path, driver.snapshot())?;
     }
 
     // Snapshot the observers before the driver consumes itself (their
@@ -746,6 +835,132 @@ not json at all
         )
         .unwrap_err();
         assert!(matches!(err, ServeError::Policy(_)), "{err}");
+    }
+
+    /// A per-test scratch file that cleans up after itself.
+    struct ScratchPath(std::path::PathBuf);
+
+    impl ScratchPath {
+        fn new(name: &str) -> Self {
+            Self(std::env::temp_dir().join(format!("spes-serve-{}-{name}", std::process::id())))
+        }
+    }
+
+    impl Drop for ScratchPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn journal_write_through_records_the_session() {
+        let path = ScratchPath::new("wt.journal");
+        let input = r#"{"type":"init","functions":2}
+{"type":"inv","slot":0,"f":0,"count":3}
+{"type":"inv","slot":1,"f":1}
+{"type":"tick","slot":3}
+"#;
+        let config = ServeConfig {
+            journal: Some(path.0.clone()),
+            ..ServeConfig::default()
+        };
+        let mut output = Vec::new();
+        let summary = serve(input.as_bytes(), &mut output, &config, keep_forever).unwrap();
+
+        let reader =
+            crate::journal::JournalReader::new(std::fs::File::open(&path.0).unwrap()).unwrap();
+        assert_eq!(reader.meta().policy_name, "keep-forever");
+        assert_eq!(reader.meta().n_functions, 2);
+        assert_eq!(reader.meta().extra_value("source"), Some("spes-serve"));
+        let events = reader.read_all().unwrap();
+        let slot_ends = events
+            .iter()
+            .filter(|e| matches!(e.event, crate::SimEvent::SlotEnd { .. }))
+            .count() as u64;
+        assert_eq!(slot_ends, summary.slots);
+        // One cold start is charged per cold function per slot, so the
+        // metric equals the number of ColdStart events in the stream.
+        let cold = events
+            .iter()
+            .filter(|e| matches!(e.event, crate::SimEvent::ColdStart { .. }))
+            .count() as u64;
+        assert_eq!(cold, summary.run.total_cold_starts());
+    }
+
+    /// A session split in two — snapshot at the cut, resume in a fresh
+    /// session — produces the same books as serving the stream in one go.
+    #[test]
+    fn split_session_resumes_where_the_first_stopped() {
+        let full = r#"{"type":"init","functions":2}
+{"type":"inv","slot":0,"f":0,"count":2}
+{"type":"inv","slot":2,"f":1}
+{"type":"inv","slot":4,"f":0}
+{"type":"tick","slot":5}
+"#;
+        let (reference, _) = run_session(full, &ServeConfig::default());
+
+        let snap_path = ScratchPath::new("cut.snapshot");
+        let part_one = r#"{"type":"init","functions":2}
+{"type":"inv","slot":0,"f":0,"count":2}
+{"type":"inv","slot":2,"f":1}
+{"type":"tick","slot":2}
+"#;
+        let config = ServeConfig {
+            snapshot_out: Some(snap_path.0.clone()),
+            ..ServeConfig::default()
+        };
+        let mut output = Vec::new();
+        let first = serve(part_one.as_bytes(), &mut output, &config, keep_forever).unwrap();
+        assert_eq!(first.slots, 3);
+
+        let part_two = r#"{"type":"init","functions":2}
+{"type":"inv","slot":4,"f":0}
+{"type":"tick","slot":5}
+"#;
+        let config = ServeConfig {
+            resume: Some(std::fs::read(&snap_path.0).unwrap()),
+            ..ServeConfig::default()
+        };
+        let mut output = Vec::new();
+        let second = serve(part_two.as_bytes(), &mut output, &config, keep_forever).unwrap();
+
+        let mut resumed = second.run.clone();
+        let mut one_shot = reference.run.clone();
+        resumed.overhead_secs = 0.0;
+        one_shot.overhead_secs = 0.0;
+        assert_eq!(resumed, one_shot);
+        assert_eq!(second.slots, 3, "slots 3..=5 served after the cut");
+    }
+
+    #[test]
+    fn resume_rejects_a_population_mismatch() {
+        let snap_path = ScratchPath::new("pop.snapshot");
+        let config = ServeConfig {
+            snapshot_out: Some(snap_path.0.clone()),
+            ..ServeConfig::default()
+        };
+        let mut output = Vec::new();
+        serve(
+            "{\"type\":\"init\",\"functions\":2}\n{\"type\":\"tick\",\"slot\":0}\n".as_bytes(),
+            &mut output,
+            &config,
+            keep_forever,
+        )
+        .unwrap();
+
+        let config = ServeConfig {
+            resume: Some(std::fs::read(&snap_path.0).unwrap()),
+            ..ServeConfig::default()
+        };
+        let err = serve(
+            "{\"type\":\"init\",\"functions\":5}\n".as_bytes(),
+            &mut Vec::new(),
+            &config,
+            keep_forever,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        assert!(err.to_string().contains("resume snapshot"), "{err}");
     }
 
     /// The serving path and the batch path are the same engine: replaying

@@ -12,8 +12,8 @@
 
 use proptest::prelude::*;
 use spes_sim::{
-    try_simulate, DynObserver, EventLog, MemoryPool, Policy, SimConfig, SimDriver, SimEvent,
-    Simulation,
+    try_simulate, ClusterObserver, DynObserver, EventLog, MemoryPool, MemoryPressure,
+    PlacementStrategy, Policy, SimConfig, SimDriver, SimEvent, Simulation,
 };
 use spes_trace::{AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
 
@@ -172,6 +172,55 @@ fn assert_step_parity(trace: &Trace, config: SimConfig, kind: u8, keep: u32) {
     assert_eq!(stepped_log.n_functions, batch_log.n_functions);
 }
 
+/// Derived observers see the same stream on both paths: a batch run
+/// with *borrowed* `ClusterObserver` + `MemoryPressure` observers and a
+/// stepped driver carrying the same pair as *owned* observers agree on
+/// the fleet report and every pressure counter.
+fn assert_observer_combo_parity(trace: &Trace, config: SimConfig, kind: u8, keep: u32) {
+    let n = trace.n_functions();
+
+    let mut batch_policy = make_policy(kind, n, keep);
+    let mut batch_cluster = ClusterObserver::new(3, 2, n, PlacementStrategy::HashAffinity);
+    let mut batch_pressure = MemoryPressure::new();
+    Simulation::new(trace, config)
+        .observe(&mut batch_cluster)
+        .observe(&mut batch_pressure)
+        .run(batch_policy.as_mut())
+        .unwrap();
+
+    let mut stepped_policy = make_policy(kind, n, keep);
+    let observers: Vec<Box<dyn DynObserver>> = vec![
+        Box::new(ClusterObserver::new(
+            3,
+            2,
+            n,
+            PlacementStrategy::HashAffinity,
+        )),
+        Box::new(MemoryPressure::new()),
+    ];
+    let mut driver = SimDriver::new(n, config, stepped_policy.as_mut(), observers).unwrap();
+    for (i, bucket) in trace
+        .bucket_by_slot(config.start, config.end)
+        .iter()
+        .enumerate()
+    {
+        driver.step(config.start + i as Slot, bucket).unwrap();
+    }
+    let stepped_report = driver.observer::<ClusterObserver>().unwrap().report();
+    let stepped_pressure = driver.observer::<MemoryPressure>().cloned().unwrap();
+    let _ = driver.finish();
+
+    assert_eq!(
+        stepped_report,
+        batch_cluster.report(),
+        "cluster report diverged (kind {kind})"
+    );
+    assert_eq!(
+        stepped_pressure, batch_pressure,
+        "memory pressure diverged (kind {kind})"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -212,6 +261,26 @@ proptest! {
     ) {
         let config = SimConfig::new(0, 40).with_pressure_budget(budget);
         assert_step_parity(&trace, config, kind, keep);
+    }
+
+    /// Observer combinations: `ClusterObserver` + `MemoryPressure`
+    /// derive identical state whether borrowed into the batch loop or
+    /// owned by a hand-stepped driver, across unconstrained,
+    /// capacity-limited, and admission-limited configs.
+    #[test]
+    fn observer_combos_match_between_batch_and_stepped(
+        trace in trace_strategy(6, 40),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        mode in 0u8..3,
+        limit in 1usize..4,
+    ) {
+        let config = match mode {
+            0 => SimConfig::new(0, 40),
+            1 => SimConfig::new(0, 40).with_capacity(limit),
+            _ => SimConfig::new(0, 40).with_pressure_budget(limit),
+        };
+        assert_observer_combo_parity(&trace, config, kind, keep);
     }
 }
 

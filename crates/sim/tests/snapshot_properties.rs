@@ -1,0 +1,431 @@
+//! Snapshot/resume fidelity: cutting a run at *any* slot boundary,
+//! serialising the driver with [`SimDriver::snapshot`], and continuing
+//! via [`SimDriver::resume_from`] reproduces the uninterrupted run
+//! bit-identically — the `RunResult`, the full `EventLog`, and every
+//! attached observer's state.
+//!
+//! The cut is exhaustive, not sampled: each property case replays the
+//! run once per possible boundary (including slot 0, before any step,
+//! and the final boundary, after the last step). Policies with live
+//! in-memory state (`FixedKeepAlive`, `ChurningPrewarm`) are carried
+//! across the cut as the same instance — the crash-resume contract is
+//! that the *driver* state round-trips through bytes while the caller
+//! supplies an equivalently-warmed policy. Only the wall-clock
+//! stopwatches (`SlotEnd::policy_secs`, `RunResult::overhead_secs`) are
+//! normalised before comparison.
+
+use proptest::prelude::*;
+use spes_sim::{
+    ClusterObserver, ClusterReport, DynObserver, EventLog, EvictionAudit, Fairness, MemoryPool,
+    MemoryPressure, PlacementStrategy, Policy, SimConfig, SimDriver, SimEvent, SlotSeries,
+    SnapshotError,
+};
+use spes_trace::{AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
+
+fn trace_strategy(n_functions: usize, horizon: Slot) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        prop::collection::vec((0..horizon, 1u32..20), 0..24),
+        n_functions,
+    )
+    .prop_map(move |all| {
+        let metas = (0..n_functions)
+            .map(|i| FunctionMeta {
+                app: AppId(i as u32 % 2),
+                user: UserId(0),
+                trigger: TriggerType::Http,
+            })
+            .collect();
+        let series = all.into_iter().map(SparseSeries::from_pairs).collect();
+        Trace::new(horizon, metas, series)
+    })
+}
+
+/// Keep-alive for a fixed number of slots after the last invocation —
+/// deliberately *without* `snapshot_state`, so the property also covers
+/// the caller-warmed-policy path of the resume contract.
+struct FixedKeepAlive {
+    last_invoked: Vec<Option<Slot>>,
+    keep: u32,
+}
+
+impl FixedKeepAlive {
+    fn new(n: usize, keep: u32) -> Self {
+        Self {
+            last_invoked: vec![None; n],
+            keep,
+        }
+    }
+}
+
+impl Policy for FixedKeepAlive {
+    fn name(&self) -> &str {
+        "fixed-keep-alive"
+    }
+
+    fn on_slot(&mut self, now: Slot, invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+        for &(f, _) in invoked {
+            self.last_invoked[f.index()] = Some(now);
+        }
+        for f in pool.loaded().to_vec() {
+            match self.last_invoked[f.index()] {
+                Some(last) if now - last >= self.keep => {
+                    pool.evict(f);
+                }
+                None => {
+                    pool.evict(f);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Pre-warms a rotating window on top of fixed keep-alive eviction, so
+/// capacity fallbacks and admission rejections fire mid-slot.
+struct ChurningPrewarm {
+    keep: FixedKeepAlive,
+    width: u32,
+}
+
+impl Policy for ChurningPrewarm {
+    fn name(&self) -> &str {
+        "churning-prewarm"
+    }
+
+    fn on_slot(&mut self, now: Slot, invoked: &[(FunctionId, u32)], pool: &mut MemoryPool) {
+        let n = pool.n_functions() as u32;
+        for i in 0..self.width.min(n) {
+            if pool.is_full() {
+                break;
+            }
+            pool.load(FunctionId((now + i) % n), now);
+        }
+        self.keep.on_slot(now, invoked, pool);
+    }
+}
+
+fn make_policy(kind: u8, n: usize, keep: u32) -> Box<dyn Policy> {
+    match kind {
+        0 => Box::new(spes_sim::NoKeepAlive),
+        1 => Box::new(spes_sim::KeepForever),
+        2 => Box::new(FixedKeepAlive::new(n, keep)),
+        _ => Box::new(ChurningPrewarm {
+            keep: FixedKeepAlive::new(n, keep),
+            width: 3,
+        }),
+    }
+}
+
+fn normalised_events(log: &EventLog) -> Vec<(Slot, bool, SimEvent)> {
+    log.events
+        .iter()
+        .map(|logged| {
+            let event = match logged.event {
+                SimEvent::SlotEnd { .. } => SimEvent::SlotEnd { policy_secs: 0.0 },
+                other => other,
+            };
+            (logged.slot, logged.measured, event)
+        })
+        .collect()
+}
+
+/// The full snapshot-bearing observer suite, in a fixed attachment
+/// order (resume matches serialized observer state to the supplied
+/// observers positionally by type name).
+fn observer_suite(n: usize, apps: &[AppId]) -> Vec<Box<dyn DynObserver>> {
+    vec![
+        Box::new(EventLog::new()),
+        Box::new(SlotSeries::new()),
+        Box::new(MemoryPressure::new()),
+        Box::new(EvictionAudit::new(5)),
+        Box::new(Fairness::new(apps)),
+        Box::new(ClusterObserver::new(
+            3,
+            4,
+            n,
+            PlacementStrategy::HashAffinity,
+        )),
+    ]
+}
+
+/// Every observer's end-of-run state, cloned/reported out of a driver
+/// before `finish` consumes it.
+struct SuiteState {
+    log: EventLog,
+    series: SlotSeries,
+    pressure: MemoryPressure,
+    audit: EvictionAudit,
+    fairness: Fairness,
+    cluster: ClusterReport,
+}
+
+fn suite_state(driver: &SimDriver<'_, '_>) -> SuiteState {
+    SuiteState {
+        log: driver.observer::<EventLog>().cloned().unwrap(),
+        series: driver.observer::<SlotSeries>().cloned().unwrap(),
+        pressure: driver.observer::<MemoryPressure>().cloned().unwrap(),
+        audit: driver.observer::<EvictionAudit>().cloned().unwrap(),
+        fairness: driver.observer::<Fairness>().cloned().unwrap(),
+        cluster: driver.observer::<ClusterObserver>().unwrap().report(),
+    }
+}
+
+/// For every boundary `k`, runs slots `0..k` fresh, snapshots, resumes
+/// from the bytes with fresh observers, finishes slots `k..end`, and
+/// asserts the result is indistinguishable from the uninterrupted run.
+fn assert_snapshot_resume_identical(trace: &Trace, config: SimConfig, kind: u8, keep: u32) {
+    let n = trace.n_functions();
+    let apps: Vec<AppId> = trace.metas.iter().map(|m| m.app).collect();
+    let buckets = trace.bucket_by_slot(config.start, config.end);
+
+    // Uninterrupted reference run.
+    let mut ref_policy = make_policy(kind, n, keep);
+    let mut reference =
+        SimDriver::new(n, config, ref_policy.as_mut(), observer_suite(n, &apps)).unwrap();
+    for (i, bucket) in buckets.iter().enumerate() {
+        reference.step(config.start + i as Slot, bucket).unwrap();
+    }
+    let ref_state = suite_state(&reference);
+    let mut ref_result = reference.finish();
+    ref_result.overhead_secs = 0.0;
+
+    for k in 0..=buckets.len() {
+        // Fresh prefix run up to the cut; the prefix driver is dropped
+        // un-finished, exactly like a crash after the snapshot.
+        let mut policy = make_policy(kind, n, keep);
+        let snapshot = {
+            let mut prefix =
+                SimDriver::new(n, config, policy.as_mut(), observer_suite(n, &apps)).unwrap();
+            for (i, bucket) in buckets[..k].iter().enumerate() {
+                prefix.step(config.start + i as Slot, bucket).unwrap();
+            }
+            prefix.snapshot()
+        };
+
+        let mut resumed =
+            SimDriver::resume_from(&snapshot, policy.as_mut(), observer_suite(n, &apps)).unwrap();
+        assert_eq!(resumed.next_slot(), config.start + k as Slot);
+        for (i, bucket) in buckets[k..].iter().enumerate() {
+            resumed
+                .step(config.start + (k + i) as Slot, bucket)
+                .unwrap();
+        }
+        let state = suite_state(&resumed);
+        let mut result = resumed.finish();
+        result.overhead_secs = 0.0;
+
+        assert_eq!(
+            result, ref_result,
+            "RunResult diverged at cut {k} (kind {kind})"
+        );
+        assert_eq!(
+            normalised_events(&state.log),
+            normalised_events(&ref_state.log),
+            "event stream diverged at cut {k} (kind {kind})"
+        );
+        assert_eq!(state.log.policy_name, ref_state.log.policy_name);
+        assert_eq!(state.log.start, ref_state.log.start);
+        assert_eq!(state.log.metrics_start, ref_state.log.metrics_start);
+        assert_eq!(state.log.end, ref_state.log.end);
+        assert_eq!(state.log.n_functions, ref_state.log.n_functions);
+        assert_eq!(
+            state.series, ref_state.series,
+            "SlotSeries diverged at cut {k}"
+        );
+        assert_eq!(
+            state.pressure, ref_state.pressure,
+            "MemoryPressure diverged at cut {k}"
+        );
+        assert_eq!(
+            state.audit, ref_state.audit,
+            "EvictionAudit diverged at cut {k}"
+        );
+        assert_eq!(
+            state.fairness, ref_state.fairness,
+            "Fairness diverged at cut {k}"
+        );
+        assert_eq!(
+            state.cluster, ref_state.cluster,
+            "ClusterReport diverged at cut {k}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Unlimited-memory runs with a warm-up window: the snapshot carries
+    /// unmeasured prefix state (spans opened before `metrics_start`)
+    /// that the resumed run must keep attributing correctly.
+    #[test]
+    fn snapshot_resume_is_bit_identical_unlimited(
+        trace in trace_strategy(5, 24),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        warmup in 0u32..8,
+    ) {
+        let config = SimConfig::new(0, 24).with_metrics_start(warmup);
+        assert_snapshot_resume_identical(&trace, config, kind, keep);
+    }
+
+    /// Capacity-limited runs: the pool's loaded *order* (the make-room
+    /// fallback's oldest-loaded tie-break) must survive the round-trip.
+    #[test]
+    fn snapshot_resume_is_bit_identical_with_capacity(
+        trace in trace_strategy(5, 24),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        capacity in 1usize..4,
+    ) {
+        let config = SimConfig::new(0, 24).with_capacity(capacity);
+        assert_snapshot_resume_identical(&trace, config, kind, keep);
+    }
+
+    /// Admission-limited runs: the pressure budget and rejection
+    /// counters round-trip.
+    #[test]
+    fn snapshot_resume_is_bit_identical_with_admission_budget(
+        trace in trace_strategy(5, 24),
+        kind in 0u8..4,
+        keep in 1u32..6,
+        budget in 1usize..4,
+    ) {
+        let config = SimConfig::new(0, 24).with_pressure_budget(budget);
+        assert_snapshot_resume_identical(&trace, config, kind, keep);
+    }
+}
+
+fn tiny_trace() -> Trace {
+    let meta = FunctionMeta {
+        app: AppId(0),
+        user: UserId(0),
+        trigger: TriggerType::Http,
+    };
+    Trace::new(
+        6,
+        vec![meta; 2],
+        vec![
+            SparseSeries::from_pairs(vec![(0, 2), (3, 1)]),
+            SparseSeries::from_pairs(vec![(1, 1), (4, 2)]),
+        ],
+    )
+}
+
+fn mid_run_snapshot() -> Vec<u8> {
+    let trace = tiny_trace();
+    let config = SimConfig::new(0, 6);
+    let mut policy = spes_sim::KeepForever;
+    let mut driver = SimDriver::new(2, config, &mut policy, Vec::new()).unwrap();
+    for (i, bucket) in trace.bucket_by_slot(0, 3).iter().enumerate() {
+        driver.step(i as Slot, bucket).unwrap();
+    }
+    driver.snapshot()
+}
+
+#[test]
+fn snapshot_rejects_foreign_bytes_and_tampering() {
+    let snap = mid_run_snapshot();
+
+    let mut policy = spes_sim::KeepForever;
+    assert!(matches!(
+        SimDriver::resume_from(b"not a snapshot at all", &mut policy, Vec::new()),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Future version: magic intact, version bumped.
+    let mut future = snap.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(matches!(
+        SimDriver::resume_from(&future, &mut policy, Vec::new()),
+        Err(SnapshotError::UnsupportedVersion(2))
+    ));
+
+    // A flipped payload byte fails the checksum, not the decoder.
+    let mut corrupt = snap.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xff;
+    assert!(matches!(
+        SimDriver::resume_from(&corrupt, &mut policy, Vec::new()),
+        Err(SnapshotError::Checksum)
+    ));
+
+    // A truncated blob is corrupt (length prefix no longer matches).
+    assert!(matches!(
+        SimDriver::resume_from(&snap[..snap.len() - 4], &mut policy, Vec::new()),
+        Err(SnapshotError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn resume_rejects_a_mismatched_policy() {
+    let snap = mid_run_snapshot();
+    let mut wrong = spes_sim::NoKeepAlive;
+    match SimDriver::resume_from(&snap, &mut wrong, Vec::new()) {
+        Err(SnapshotError::PolicyMismatch { expected, got }) => {
+            assert_eq!(expected, "keep-forever");
+            assert_eq!(got, "no-keep-alive");
+        }
+        Err(other) => panic!("expected PolicyMismatch, got {other}"),
+        Ok(_) => panic!("expected PolicyMismatch, got a resumed driver"),
+    }
+}
+
+#[test]
+fn resume_rejects_dropped_observer_state() {
+    let trace = tiny_trace();
+    let config = SimConfig::new(0, 6);
+    let mut policy = spes_sim::KeepForever;
+    let observers: Vec<Box<dyn DynObserver>> = vec![Box::new(EventLog::new())];
+    let mut driver = SimDriver::new(2, config, &mut policy, observers).unwrap();
+    for (i, bucket) in trace.bucket_by_slot(0, 3).iter().enumerate() {
+        driver.step(i as Slot, bucket).unwrap();
+    }
+    let snap = driver.snapshot();
+
+    // Resuming without the EventLog would silently lose its recorded
+    // prefix — the driver refuses instead.
+    match SimDriver::resume_from(&snap, &mut policy, Vec::new()) {
+        Err(SnapshotError::UnmatchedObserverState(name)) => {
+            assert!(name.contains("EventLog"), "unexpected observer: {name}");
+        }
+        Err(other) => panic!("expected UnmatchedObserverState, got {other}"),
+        Ok(_) => panic!("expected UnmatchedObserverState, got a resumed driver"),
+    }
+}
+
+/// A snapshot taken before the first step (cut at slot 0) still carries
+/// the policy's pre-start loads in scratch, so slot one's outcome and
+/// stream are unchanged.
+#[test]
+fn snapshot_before_first_step_preserves_prestart_loads() {
+    let trace = tiny_trace();
+    let config = SimConfig::new(0, 6);
+    let buckets = trace.bucket_by_slot(0, 6);
+
+    let mut ref_policy = spes_sim::KeepForever;
+    let observers: Vec<Box<dyn DynObserver>> = vec![Box::new(EventLog::new())];
+    let mut reference = SimDriver::new(2, config, &mut ref_policy, observers).unwrap();
+    for (i, bucket) in buckets.iter().enumerate() {
+        reference.step(i as Slot, bucket).unwrap();
+    }
+    let ref_log = reference.observer::<EventLog>().cloned().unwrap();
+    let mut ref_result = reference.finish();
+    ref_result.overhead_secs = 0.0;
+
+    let mut policy = spes_sim::KeepForever;
+    let observers: Vec<Box<dyn DynObserver>> = vec![Box::new(EventLog::new())];
+    let snap = SimDriver::new(2, config, &mut policy, observers)
+        .unwrap()
+        .snapshot();
+    let fresh: Vec<Box<dyn DynObserver>> = vec![Box::new(EventLog::new())];
+    let mut resumed = SimDriver::resume_from(&snap, &mut policy, fresh).unwrap();
+    for (i, bucket) in buckets.iter().enumerate() {
+        resumed.step(i as Slot, bucket).unwrap();
+    }
+    let log = resumed.observer::<EventLog>().cloned().unwrap();
+    let mut result = resumed.finish();
+    result.overhead_secs = 0.0;
+
+    assert_eq!(result, ref_result);
+    assert_eq!(normalised_events(&log), normalised_events(&ref_log));
+}

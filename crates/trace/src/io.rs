@@ -13,6 +13,34 @@
 //!
 //! Function rows with no invocations at all are declared once with
 //! `slot = -` (a dash) so silent functions survive a round trip.
+//!
+//! # Converting the Azure Functions 2019 dataset
+//!
+//! The public dataset's `invocations_per_function_md.anon.d{01..14}.csv`
+//! files are wide: one row per function per day, with hashed owner/app/
+//! function ids, a `Trigger` column, and 1440 per-minute count columns
+//! named `1..1440`. To produce the long form this module reads:
+//!
+//! 1. Assign each distinct `HashOwner` / `HashApp` / `HashFunction` a
+//!    dense integer id (`user` / `app` / `func`), consistent across all
+//!    fourteen days.
+//! 2. Map the `Trigger` column onto this schema's names (`http`,
+//!    `timer`, `queue`, `event`, `orchestration`, `storage`, `others`);
+//!    anything unrecognised maps to `others`.
+//! 3. For day `d` (1-based) and minute column `m` (1-based), emit one
+//!    `user,app,func,trigger,slot,count` row per non-zero cell with
+//!    `slot = (d - 1) * 1440 + (m - 1)`. Zero cells are omitted — the
+//!    schema is sparse.
+//! 4. For functions whose rows are all zeros, emit a single
+//!    `user,app,func,trigger,-,0` row so the silent function still
+//!    exists in the population.
+//!
+//! Feed the result to `repro --trace <file>` (which infers the horizon
+//! from the data; pass all 14 days for the paper's 12-day-train /
+//! 2-day-measure split) or parse it with [`read_csv`] directly. Parsing
+//! reports malformed rows as typed [`TraceIoError`]s with line numbers;
+//! degenerate-but-parseable files are rejected by
+//! `SynthTrace::try_from_external` rather than panicking downstream.
 
 use crate::model::{AppId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId};
 use std::collections::HashMap;
@@ -246,5 +274,50 @@ mod tests {
         let t = read_csv(&b""[..], None).unwrap();
         assert_eq!(t.n_functions(), 0);
         assert_eq!(t.n_slots, 0);
+    }
+
+    #[test]
+    fn truncated_rows_are_errors_with_line_numbers() {
+        // A good row followed by one cut off mid-record (a partial
+        // download or an interrupted export).
+        let csv = "user,app,func,trigger,slot,count\n0,0,0,http,3,2\n0,0,1,timer,5\n";
+        let err = read_csv(csv.as_bytes(), None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("missing field `count`"), "{msg}");
+    }
+
+    #[test]
+    fn garbage_rows_are_errors_not_panics() {
+        for garbage in [
+            "!!!not,a,row,at,all,???\n",
+            "0,0,0,http,-17,1\n",                  // negative slot
+            "0,0,0,http,3,lots\n",                 // non-numeric count
+            "18446744073709551616,0,0,http,3,1\n", // u32 overflow
+        ] {
+            let err = read_csv(garbage.as_bytes(), None).unwrap_err();
+            assert!(err.to_string().contains("line 1"), "{garbage:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn degenerate_csv_is_rejected_by_the_external_wrapper() {
+        // Parses fine, but one slot cannot be split into training and
+        // measurement windows: the full --trace pipeline reports a typed
+        // error instead of panicking.
+        let csv = "user,app,func,trigger,slot,count\n0,0,0,http,0,1\n";
+        let t = read_csv(csv.as_bytes(), None).unwrap();
+        let err = synth::SynthTrace::try_from_external(t).unwrap_err();
+        assert!(matches!(
+            err,
+            synth::ExternalTraceError::HorizonTooShort { n_slots: 1 }
+        ));
+
+        let header_only = "user,app,func,trigger,slot,count\n";
+        let t = read_csv(header_only.as_bytes(), None).unwrap();
+        assert!(matches!(
+            synth::SynthTrace::try_from_external(t),
+            Err(synth::ExternalTraceError::EmptyPopulation)
+        ));
     }
 }

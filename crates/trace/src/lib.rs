@@ -17,6 +17,6 @@ pub use model::{
 };
 pub use series::Sequences;
 pub use synth::{
-    scenario_config, scenario_names, Archetype, FunctionSpec, Scenario, SynthConfig, SynthTrace,
-    SCENARIOS,
+    scenario_config, scenario_names, Archetype, ExternalTraceError, FunctionSpec, Scenario,
+    SynthConfig, SynthTrace, SCENARIOS,
 };

@@ -334,6 +334,39 @@ impl Trace {
             .filter(|&f| !self.series_of(f).events_in(start, end).is_empty())
             .collect()
     }
+
+    /// A stable 64-bit FNV-1a digest over the whole trace (horizon,
+    /// metadata, and every invocation event). Two traces digest equal
+    /// iff they drive identical simulations, which lets durable run
+    /// journals name the trace they were recorded against without
+    /// embedding it.
+    #[must_use]
+    pub fn digest64(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(u64::from(self.n_slots));
+        mix(self.metas.len() as u64);
+        for meta in &self.metas {
+            mix(u64::from(meta.app.0));
+            mix(u64::from(meta.user.0));
+            mix(meta.trigger as u64);
+        }
+        for series in &self.series {
+            mix(series.events().len() as u64);
+            for &(slot, count) in series.events() {
+                mix(u64::from(slot));
+                mix(u64::from(count));
+            }
+        }
+        hash
+    }
 }
 
 #[cfg(test)]

@@ -113,28 +113,123 @@ pub struct SynthTrace {
     pub train_end: Slot,
 }
 
+/// Why an externally loaded trace cannot back an experiment. A CSV that
+/// *parses* can still be unusable — empty, or too short to leave both a
+/// training and a measurement window — and a pipeline fed real traces
+/// wants those as errors, not panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExternalTraceError {
+    /// The trace declares no functions at all (e.g. an empty or
+    /// header-only CSV).
+    EmptyPopulation,
+    /// The horizon is too short for the scaled fallback boundary to
+    /// leave a non-empty training *and* measurement window; supply an
+    /// explicit boundary or a longer trace.
+    HorizonTooShort {
+        /// The trace's horizon in slots.
+        n_slots: Slot,
+    },
+    /// An explicit training boundary falls outside `(0, n_slots)`.
+    BoundaryOutOfRange {
+        /// The requested boundary.
+        train_end: Slot,
+        /// The trace's horizon in slots.
+        n_slots: Slot,
+    },
+}
+
+impl std::fmt::Display for ExternalTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyPopulation => {
+                write!(
+                    f,
+                    "external trace declares no functions (empty or header-only file?)"
+                )
+            }
+            Self::HorizonTooShort { n_slots } => write!(
+                f,
+                "external trace horizon of {n_slots} slot(s) is too short to split into \
+                 training and measurement windows; pass an explicit boundary or a longer trace"
+            ),
+            Self::BoundaryOutOfRange { train_end, n_slots } => write!(
+                f,
+                "training boundary {train_end} outside the trace horizon {n_slots} \
+                 (it must leave both windows non-empty)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExternalTraceError {}
+
 impl SynthTrace {
     /// Wraps a trace that carries no generator metadata (e.g. one loaded
     /// from a real-trace CSV) with placeholder specs and the scaled
     /// [`fallback_train_end`] boundary.
-    #[must_use]
-    pub fn from_external(trace: Trace) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`ExternalTraceError`] when the trace is empty or its
+    /// horizon cannot be split into non-empty training and measurement
+    /// windows.
+    pub fn try_from_external(trace: Trace) -> Result<Self, ExternalTraceError> {
         let train_end = fallback_train_end(trace.n_slots);
-        Self::from_external_with_boundary(trace, train_end)
+        if !(train_end > 0 && train_end < trace.n_slots) {
+            // Distinguish "nothing there" from "too short to split".
+            if trace.n_functions() == 0 {
+                return Err(ExternalTraceError::EmptyPopulation);
+            }
+            return Err(ExternalTraceError::HorizonTooShort {
+                n_slots: trace.n_slots,
+            });
+        }
+        Self::try_from_external_with_boundary(trace, train_end)
     }
 
-    /// As [`SynthTrace::from_external`], but with an explicit training
-    /// boundary (e.g. from a flag accompanying the trace file).
+    /// As [`SynthTrace::try_from_external`], but with an explicit
+    /// training boundary (e.g. from a flag accompanying the trace file).
+    ///
+    /// # Errors
+    /// Returns [`ExternalTraceError`] when the trace is empty or
+    /// `train_end` is outside `(0, trace.n_slots)`.
+    pub fn try_from_external_with_boundary(
+        trace: Trace,
+        train_end: Slot,
+    ) -> Result<Self, ExternalTraceError> {
+        if trace.n_functions() == 0 {
+            return Err(ExternalTraceError::EmptyPopulation);
+        }
+        if !(train_end > 0 && train_end < trace.n_slots) {
+            return Err(ExternalTraceError::BoundaryOutOfRange {
+                train_end,
+                n_slots: trace.n_slots,
+            });
+        }
+        Ok(Self::wrap_external(trace, train_end))
+    }
+
+    /// Panicking convenience over [`SynthTrace::try_from_external`], for
+    /// tests and tools that control their input.
     ///
     /// # Panics
-    /// Panics if `train_end` is outside `(0, trace.n_slots)`.
+    /// Panics on any [`ExternalTraceError`].
+    #[must_use]
+    pub fn from_external(trace: Trace) -> Self {
+        Self::try_from_external(trace).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking convenience over
+    /// [`SynthTrace::try_from_external_with_boundary`].
+    ///
+    /// # Panics
+    /// Panics if `train_end` is outside `(0, trace.n_slots)` or the
+    /// trace is empty.
     #[must_use]
     pub fn from_external_with_boundary(trace: Trace, train_end: Slot) -> Self {
-        assert!(
-            train_end > 0 && train_end < trace.n_slots,
-            "training boundary {train_end} outside the trace horizon {}",
-            trace.n_slots
-        );
+        Self::try_from_external_with_boundary(trace, train_end).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn wrap_external(trace: Trace, train_end: Slot) -> Self {
         let specs = trace
             .metas
             .iter()
@@ -501,6 +596,59 @@ mod tests {
         let data = small_test_trace(10, 2);
         let n_slots = data.trace.n_slots;
         let _ = SynthTrace::from_external_with_boundary(data.trace, n_slots);
+    }
+
+    #[test]
+    fn external_trace_errors_are_typed() {
+        use crate::model::{AppId, FunctionMeta, SparseSeries, Trace, TriggerType, UserId};
+
+        // Empty (header-only CSV): no functions to experiment on.
+        let empty = Trace::new(0, Vec::new(), Vec::new());
+        assert_eq!(
+            SynthTrace::try_from_external(empty).unwrap_err(),
+            ExternalTraceError::EmptyPopulation
+        );
+
+        // A trace so short the scaled fallback boundary cannot leave
+        // both windows non-empty (a truncated real-trace export).
+        let meta = FunctionMeta {
+            app: AppId(0),
+            user: UserId(0),
+            trigger: TriggerType::Http,
+        };
+        let tiny = Trace::new(
+            3,
+            vec![meta; 2],
+            vec![SparseSeries::from_pairs(vec![(0, 1)]); 2],
+        );
+        assert_eq!(
+            SynthTrace::try_from_external(tiny).unwrap_err(),
+            ExternalTraceError::HorizonTooShort { n_slots: 3 }
+        );
+
+        // Explicit boundaries at either edge of the horizon.
+        for bad in [0, 100] {
+            let data = Trace::new(
+                100,
+                vec![meta; 2],
+                vec![SparseSeries::from_pairs(vec![(0, 1)]); 2],
+            );
+            let err = SynthTrace::try_from_external_with_boundary(data, bad).unwrap_err();
+            assert_eq!(
+                err,
+                ExternalTraceError::BoundaryOutOfRange {
+                    train_end: bad,
+                    n_slots: 100
+                }
+            );
+            assert!(err.to_string().contains("boundary"), "{err}");
+        }
+
+        // The happy path agrees with the panicking wrapper.
+        let a = SynthTrace::try_from_external(small_test_trace(40, 2).trace).unwrap();
+        let b = SynthTrace::from_external(small_test_trace(40, 2).trace);
+        assert_eq!(a.train_end, b.train_end);
+        assert_eq!(a.trace.n_slots, b.trace.n_slots);
     }
 
     #[test]
