@@ -144,7 +144,7 @@ impl HybridHistogram {
             Granularity::Application => {
                 let mut unit_of = vec![0usize; n];
                 let mut members: Vec<Vec<FunctionId>> = Vec::new();
-                let mut app_to_unit = std::collections::HashMap::new();
+                let mut app_to_unit = BTreeMap::new();
                 for f in trace.function_ids() {
                     let app = trace.meta_of(f).app;
                     let unit = *app_to_unit.entry(app).or_insert_with(|| {

@@ -8,6 +8,8 @@
 //! implementations (plus the clairvoyant oracle's) for the policy
 //! registry in `spes_bench`.
 
+#![forbid(unsafe_code)]
+
 pub mod defuse;
 pub mod faascache;
 pub mod factory;

@@ -40,7 +40,6 @@ use spes_bench::scenario::{run_suite_comparison, ComparisonRun, Experiment};
 use spes_core::SpesConfig;
 use spes_sim::text_table;
 use spes_trace::{synth, SynthTrace};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -164,13 +163,14 @@ fn print_fig_registry() {
     }
 }
 
-fn save_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
-    std::fs::create_dir_all(out_dir).expect("create results dir");
+fn save_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) -> Result<(), String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("create results dir {}: {e}", out_dir.display()))?;
     let path = out_dir.join(format!("{name}.json"));
-    let mut file = std::fs::File::create(&path).expect("create results file");
-    let body = serde_json::to_string_pretty(value).expect("serialise result");
-    file.write_all(body.as_bytes()).expect("write results file");
+    let body = serde_json::to_string_pretty(value).map_err(|e| format!("serialise {name}: {e}"))?;
+    std::fs::write(&path, body).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!("  -> {}", path.display());
+    Ok(())
 }
 
 fn pct(x: f64) -> String {
@@ -301,7 +301,7 @@ fn run() -> Result<(), String> {
             .collect();
         println!("{}", text_table(&["invocations", "functions"], &rows));
         println!("silent functions: {}", fig.silent);
-        save_json(&args.out, "fig3", &fig);
+        save_json(&args.out, "fig3", &fig)?;
     }
 
     if wants("4") {
@@ -313,7 +313,7 @@ fn run() -> Result<(), String> {
                 row.function, row.before, row.after, row.shift_at, row.daily
             );
         }
-        save_json(&args.out, "fig4", &rows);
+        save_json(&args.out, "fig4", &rows)?;
     }
 
     if wants("5") {
@@ -325,7 +325,7 @@ fn run() -> Result<(), String> {
             .map(|(t, f)| vec![t.clone(), pct(*f)])
             .collect();
         println!("{}", text_table(&["trigger", "fraction"], &rows));
-        save_json(&args.out, "fig5", &fig);
+        save_json(&args.out, "fig5", &fig)?;
     }
 
     if wants("6") {
@@ -337,7 +337,7 @@ fn run() -> Result<(), String> {
                 row.function, row.total, row.active_periods
             );
         }
-        save_json(&args.out, "fig6", &rows);
+        save_json(&args.out, "fig6", &rows)?;
     }
 
     if wants("empirical") {
@@ -361,7 +361,7 @@ fn run() -> Result<(), String> {
             "same-trigger vs different-trigger candidate COR: {:.4} vs {:.4} (paper: 0.2710 vs 0.1307)",
             e.cor_same_trigger, e.cor_diff_trigger
         );
-        save_json(&args.out, "empirical", &e);
+        save_json(&args.out, "empirical", &e)?;
     }
 
     // ---- main evaluation (one shared suite run) ----
@@ -411,7 +411,7 @@ fn run() -> Result<(), String> {
                         "recovered by forgetting: {}; unseen in training: {}",
                         census.recovered_by_forgetting, census.unseen
                     );
-                    save_json(&args.out, "table1", &census);
+                    save_json(&args.out, "table1", &census)?;
                 }
             }
         }
@@ -441,7 +441,7 @@ fn run() -> Result<(), String> {
                 "SPES Q3-CSR improvement over best baseline: {:.2}% (paper: 49.77%)",
                 fig.q3_improvement_pct
             );
-            save_json(&args.out, "fig8", &fig);
+            save_json(&args.out, "fig8", &fig)?;
         }
 
         if wants("9") {
@@ -459,7 +459,7 @@ fn run() -> Result<(), String> {
                 "{}",
                 text_table(&["policy", "memory (ref=1)", "always-cold"], &rows)
             );
-            save_json(&args.out, "fig9", &fig);
+            save_json(&args.out, "fig9", &fig)?;
         }
 
         if wants("10") {
@@ -473,7 +473,7 @@ fn run() -> Result<(), String> {
                         .map(|(t, csr, n)| vec![t.clone(), format!("{csr:.3}"), n.to_string()])
                         .collect();
                     println!("{}", text_table(&["type", "mean CSR", "functions"], &rows));
-                    save_json(&args.out, "fig10", &fig);
+                    save_json(&args.out, "fig10", &fig)?;
                 }
             }
         }
@@ -488,7 +488,7 @@ fn run() -> Result<(), String> {
                 .map(|((name, wmt), (_, emcr))| vec![name.clone(), format!("{wmt:.3}"), pct(*emcr)])
                 .collect();
             println!("{}", text_table(&["policy", "WMT (ref=1)", "EMCR"], &rows));
-            save_json(&args.out, "fig11", &fig);
+            save_json(&args.out, "fig11", &fig)?;
         }
 
         if wants("12") {
@@ -502,7 +502,7 @@ fn run() -> Result<(), String> {
                         .map(|(t, r)| vec![t.clone(), format!("{r:.2}")])
                         .collect();
                     println!("{}", text_table(&["type", "WMT ratio"], &rows));
-                    save_json(&args.out, "fig12", &fig);
+                    save_json(&args.out, "fig12", &fig)?;
                 }
             }
         }
@@ -541,7 +541,7 @@ fn run() -> Result<(), String> {
                     &rows
                 )
             );
-            save_json(&args.out, "series", &t);
+            save_json(&args.out, "series", &t)?;
         }
 
         if wants("evictions") {
@@ -580,7 +580,7 @@ fn run() -> Result<(), String> {
                     &rows
                 )
             );
-            save_json(&args.out, "evictions", &fig);
+            save_json(&args.out, "evictions", &fig)?;
         }
 
         if wants("fairness") {
@@ -616,7 +616,7 @@ fn run() -> Result<(), String> {
                     &rows
                 )
             );
-            save_json(&args.out, "fairness", &fig);
+            save_json(&args.out, "fairness", &fig)?;
         }
 
         if wants("pressure") {
@@ -656,7 +656,7 @@ fn run() -> Result<(), String> {
                     &rows
                 )
             );
-            save_json(&args.out, "pressure", &fig);
+            save_json(&args.out, "pressure", &fig)?;
         }
 
         if wants("overhead") {
@@ -668,7 +668,7 @@ fn run() -> Result<(), String> {
                 .map(|(name, secs)| vec![name.clone(), format!("{:.3} ms", secs * 1e3)])
                 .collect();
             println!("{}", text_table(&["policy", "decision time / min"], &rows));
-            save_json(&args.out, "overhead", &table);
+            save_json(&args.out, "overhead", &table)?;
         }
     }
 
@@ -691,7 +691,7 @@ fn run() -> Result<(), String> {
             "{}",
             text_table(&["theta", "memory (theta=2)", "Q3-CSR"], &rows)
         );
-        save_json(&args.out, "fig13a", &prewarm);
+        save_json(&args.out, "fig13a", &prewarm)?;
 
         let givenup: Vec<SweepPoint> = figures_sweep::fig13_givenup(&data, &spes_cfg);
         let rows: Vec<Vec<String>> = givenup
@@ -709,7 +709,7 @@ fn run() -> Result<(), String> {
             "{}",
             text_table(&["scaler", "memory (x1)", "Q3-CSR"], &rows)
         );
-        save_json(&args.out, "fig13b", &givenup);
+        save_json(&args.out, "fig13b", &givenup)?;
     }
 
     let print_ablation = |title: &str, rows: &[AblationRow]| {
@@ -737,13 +737,13 @@ fn run() -> Result<(), String> {
     if wants("14") {
         let rows = figures_sweep::fig14(&data, &spes_cfg);
         print_ablation("Fig. 14: correlation-strategy ablation", &rows);
-        save_json(&args.out, "fig14", &rows);
+        save_json(&args.out, "fig14", &rows)?;
     }
 
     if wants("15") {
         let rows = figures_sweep::fig15(&data, &spes_cfg);
         print_ablation("Fig. 15: concept-shift-strategy ablation", &rows);
-        save_json(&args.out, "fig15", &rows);
+        save_json(&args.out, "fig15", &rows)?;
     }
 
     println!("\ndone.");

@@ -185,7 +185,7 @@ fn record(args: &Args) -> Result<(), String> {
         let snapshot = recording
             .snapshot
             .as_ref()
-            .expect("record() snapshots when snapshot_slot is set");
+            .ok_or("record() produced no snapshot despite --snapshot-slot")?;
         std::fs::write(path, snapshot).map_err(|e| format!("{}: {e}", path.display()))?;
         eprintln!(
             "snapshot at slot {}: {} bytes -> {}",

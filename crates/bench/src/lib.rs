@@ -6,6 +6,8 @@
 //! Azure-like workload (or a real trace loaded from CSV) and emits both
 //! text tables and JSON (`results/*.json`).
 
+#![forbid(unsafe_code)]
+
 pub mod figures_main;
 pub mod figures_sweep;
 pub mod figures_trace;

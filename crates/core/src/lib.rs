@@ -28,6 +28,8 @@
 //! println!("Q3-CSR = {:?}", result.csr_percentile(75.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod categorize;
 pub mod config;

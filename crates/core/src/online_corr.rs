@@ -9,7 +9,7 @@
 
 use crate::config::SpesConfig;
 use spes_trace::{FunctionId, Slot};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct CandidateState {
@@ -29,9 +29,9 @@ struct TargetState {
 /// Tracker of unseen-function correlations ("UCorr" in Algorithm 1).
 #[derive(Debug, Clone)]
 pub struct OnlineCorrelation {
-    targets: HashMap<FunctionId, TargetState>,
+    targets: BTreeMap<FunctionId, TargetState>,
     /// Reverse index: candidate -> targets it may pre-load.
-    by_candidate: HashMap<FunctionId, Vec<FunctionId>>,
+    by_candidate: BTreeMap<FunctionId, Vec<FunctionId>>,
     window: u32,
     drop_gap: f64,
 }
@@ -42,8 +42,8 @@ impl OnlineCorrelation {
     #[must_use]
     pub fn new(config: &SpesConfig) -> Self {
         Self {
-            targets: HashMap::new(),
-            by_candidate: HashMap::new(),
+            targets: BTreeMap::new(),
+            by_candidate: BTreeMap::new(),
             window: config.cor_max_lag,
             drop_gap: config.online_corr_drop_gap,
         }

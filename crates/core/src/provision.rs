@@ -368,8 +368,8 @@ impl SpesPolicy {
 fn discover_links(
     trace: &Trace,
     f: FunctionId,
-    by_app: &std::collections::HashMap<spes_trace::AppId, Vec<FunctionId>>,
-    by_user: &std::collections::HashMap<spes_trace::UserId, Vec<FunctionId>>,
+    by_app: &std::collections::BTreeMap<spes_trace::AppId, Vec<FunctionId>>,
+    by_user: &std::collections::BTreeMap<spes_trace::UserId, Vec<FunctionId>>,
     train_start: Slot,
     train_end: Slot,
     config: &SpesConfig,

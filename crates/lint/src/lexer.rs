@@ -1,0 +1,523 @@
+//! A small hand-rolled Rust lexer for the lint pass.
+//!
+//! The scanner only needs token-level fidelity: lint rules must never
+//! fire on text inside string literals, char literals, or comments, and
+//! must see identifiers and punctuation exactly as the compiler would
+//! group them. Full parsing (types, name resolution) is deliberately out
+//! of scope — rules work on token patterns plus a little context, and
+//! anything the heuristics get wrong is overridden with an inline
+//! `// lint: allow(CODE) reason` directive.
+//!
+//! Handled literal forms: `"…"` with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any guard depth), byte and C strings (`b"…"`, `br#"…"#`,
+//! `c"…"`, `cr#"…"#`), char and byte-char literals (`'x'`, `b'\n'`),
+//! lifetimes (`'a`, disambiguated from char literals), raw identifiers
+//! (`r#type`), line comments (`//`, `///`, `//!`), and nested block
+//! comments (`/* /* */ */`).
+
+/// What a token is; rules only ever match on [`TokenKind::Ident`] and
+/// [`TokenKind::Punct`], so literal interiors can never produce findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `!`, `(`, …).
+    Punct,
+    /// A string/char/number literal; the text is not retained.
+    Literal,
+    /// A lifetime (`'a`); the text is not retained.
+    Lifetime,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Identifier text, or the punctuation character; empty for
+    /// literals and lifetimes.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokenKind,
+}
+
+/// A well-formed `// lint: allow(CODE[, CODE…]) reason` directive.
+///
+/// A directive suppresses matching findings on its own line and on the
+/// line directly below it, so it can either trail the offending
+/// expression or sit on its own line above it.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Upper-cased lint codes the directive suppresses.
+    pub codes: Vec<String>,
+    /// The mandatory free-text justification.
+    pub reason: String,
+}
+
+/// The lexer's full output for one file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every well-formed allow directive.
+    pub allows: Vec<AllowDirective>,
+    /// Lines holding a `lint:` comment that does not parse as
+    /// `allow(CODE) reason` (reported as an L000 finding).
+    pub malformed_allow_lines: Vec<u32>,
+}
+
+impl LexOutput {
+    /// Whether a finding with `code` on `line` is suppressed by a
+    /// directive on the same line or the line above.
+    #[must_use]
+    pub fn is_allowed(&self, code: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|d| (d.line == line || d.line + 1 == line) && d.codes.iter().any(|c| c == code))
+    }
+}
+
+/// Lexes `source` into tokens plus the allow directives found in line
+/// comments. Never fails: unrecognised bytes become punctuation tokens,
+/// and an unterminated literal simply ends the file.
+#[must_use]
+pub fn lex(source: &str) -> LexOutput {
+    Lexer {
+        bytes: source.as_bytes(),
+        source,
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    source: &'a str,
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> LexOutput {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number_literal(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(TokenKind::Punct, (c as char).to_string());
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String) {
+        self.out.tokens.push(Token {
+            text,
+            line: self.line,
+            kind,
+        });
+    }
+
+    /// `//`-comment to end of line; the newline itself is left for the
+    /// main loop so line counting stays in one place.
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let body = self.source[start..self.pos]
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        if let Some(rest) = body.strip_prefix("lint:") {
+            match parse_allow(rest) {
+                Some((codes, reason)) => self.out.allows.push(AllowDirective {
+                    line: self.line,
+                    codes,
+                    reason,
+                }),
+                None => self.out.malformed_allow_lines.push(self.line),
+            }
+        }
+    }
+
+    /// Nested `/* … */` comment; directives are not recognised here.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => self.line += 1,
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `"…"` with `\`-escapes; may span lines.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 1,
+                b'\n' => self.line += 1,
+                b'"' => break,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.pos += 1; // closing quote (or EOF)
+        self.out.tokens.push(Token {
+            text: String::new(),
+            line,
+            kind: TokenKind::Literal,
+        });
+    }
+
+    /// `r"…"` / `r#"…"#` with `guards` leading `#`s already counted;
+    /// `self.pos` sits on the opening quote.
+    fn raw_string_literal(&mut self, guards: usize) {
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => self.line += 1,
+                b'"' => {
+                    let mut matched = 0;
+                    while matched < guards && self.peek(1 + matched) == Some(b'#') {
+                        matched += 1;
+                    }
+                    if matched == guards {
+                        self.pos += 1 + guards;
+                        self.out.tokens.push(Token {
+                            text: String::new(),
+                            line,
+                            kind: TokenKind::Literal,
+                        });
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token {
+            text: String::new(),
+            line,
+            kind: TokenKind::Literal,
+        });
+    }
+
+    /// `'a` lifetime vs `'x'` / `'\n'` char literal.
+    fn char_or_lifetime(&mut self) {
+        match self.peek(1) {
+            // Escaped char literal: consume through the closing quote.
+            Some(b'\\') => {
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+                self.push(TokenKind::Literal, String::new());
+            }
+            // 'x' (any single byte/char followed by a quote).
+            Some(c) if !is_ident_start(c) || self.peek(2) == Some(b'\'') => {
+                // Multibyte chars like 'é' advance past continuation bytes.
+                self.pos += 2;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+                self.push(TokenKind::Literal, String::new());
+            }
+            // 'ident — a lifetime.
+            Some(_) => {
+                self.pos += 1;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Lifetime, String::new());
+            }
+            None => {
+                self.pos += 1;
+                self.push(TokenKind::Punct, "'".to_owned());
+            }
+        }
+    }
+
+    /// Number literal: digits plus alphanumeric suffix chunks, and a
+    /// fraction only when `.` is followed by a digit (so `0..10` stays
+    /// two range dots).
+    fn number_literal(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        if self.pos + 1 < self.bytes.len()
+            && self.bytes[self.pos] == b'.'
+            && self.bytes[self.pos + 1].is_ascii_digit()
+        {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Literal, String::new());
+    }
+
+    /// An identifier, or one of the literal forms that start with an
+    /// identifier head: `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`,
+    /// `c"…"`, `cr"…"`, and raw identifiers `r#ident`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let c = self.bytes[self.pos];
+        // r"…" / r#…# — raw string or raw identifier.
+        if (c == b'r' || c == b'b' || c == b'c') && self.string_prefix() {
+            return;
+        }
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let text = self.source[start..self.pos].to_owned();
+        self.push(TokenKind::Ident, text);
+    }
+
+    /// Consumes a string-literal form starting at an `r`/`b`/`c` prefix,
+    /// returning false (consuming nothing) when the prefix is actually a
+    /// plain identifier.
+    fn string_prefix(&mut self) -> bool {
+        let c = self.bytes[self.pos];
+        let next = self.peek(1);
+        match (c, next) {
+            // b'…' byte char.
+            (b'b', Some(b'\'')) => {
+                self.pos += 1;
+                self.char_or_lifetime();
+                true
+            }
+            // b"…" / c"…" / r"…".
+            (_, Some(b'"')) => {
+                if c == b'r' {
+                    self.pos += 1;
+                    self.raw_string_literal(0);
+                } else {
+                    self.pos += 1;
+                    self.string_literal();
+                }
+                true
+            }
+            // br / cr two-byte prefixes.
+            (b'b' | b'c', Some(b'r')) => match self.peek(2) {
+                Some(b'"') => {
+                    self.pos += 2;
+                    self.raw_string_literal(0);
+                    true
+                }
+                Some(b'#') => {
+                    let guards = self.count_guards(2);
+                    if self.peek(2 + guards) == Some(b'"') {
+                        self.pos += 2 + guards;
+                        self.raw_string_literal(guards);
+                        return true;
+                    }
+                    false
+                }
+                _ => false,
+            },
+            // r#…: raw string r#"…"# or raw identifier r#type.
+            (b'r', Some(b'#')) => {
+                let guards = self.count_guards(1);
+                if self.peek(1 + guards) == Some(b'"') {
+                    self.pos += 1 + guards;
+                    self.raw_string_literal(guards);
+                    return true;
+                }
+                // Raw identifier: emit without the r# prefix so rules
+                // compare bare names.
+                self.pos += 2;
+                let start = self.pos;
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.pos += 1;
+                }
+                let text = self.source[start..self.pos].to_owned();
+                self.push(TokenKind::Ident, text);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn count_guards(&self, from: usize) -> usize {
+        let mut n = 0;
+        while self.peek(from + n) == Some(b'#') {
+            n += 1;
+        }
+        n
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Parses the tail of a `lint:` comment: `allow(CODE[, CODE…]) reason`.
+/// Returns `None` when the shape is wrong or the reason is missing —
+/// an opt-out without a justification is itself a finding.
+fn parse_allow(rest: &str) -> Option<(Vec<String>, String)> {
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix("allow(")?;
+    let close = inner.find(')')?;
+    let codes: Vec<String> = inner[..close]
+        .split(',')
+        .map(|c| c.trim().to_ascii_uppercase())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() || !codes.iter().all(|c| c.chars().all(char::is_alphanumeric)) {
+        return None;
+    }
+    let reason = inner[close + 1..].trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((codes, reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let a = "unwrap() inside a string";
+            // unwrap() inside a line comment
+            /* unwrap() inside /* a nested */ block comment */
+            let b = r#"unwrap() inside a raw string"#;
+            let c = 'u';
+            real_ident();
+        "##;
+        let names = idents(src);
+        assert!(!names.contains(&"unwrap".to_owned()), "{names:?}");
+        assert!(names.contains(&"real_ident".to_owned()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let names = idents(src);
+        assert!(names.contains(&"str".to_owned()));
+        // The lifetime's `a` must not appear as an identifier.
+        assert!(!names.contains(&"a".to_owned()), "{names:?}");
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert!(idents("let r#type = 1;").contains(&"type".to_owned()));
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_form() {
+        let src = "let a = \"two\nlines\";\nmarker();";
+        let out = lex(src);
+        let marker = out
+            .tokens
+            .iter()
+            .find(|t| t.text == "marker")
+            .expect("marker token");
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn allow_directive_parses_with_reason() {
+        let out = lex("x(); // lint: allow(D001) order is sorted below\n");
+        assert_eq!(out.allows.len(), 1);
+        assert_eq!(out.allows[0].codes, vec!["D001".to_owned()]);
+        assert!(out.allows[0].reason.contains("sorted"));
+        assert!(out.is_allowed("D001", 1));
+        assert!(out.is_allowed("D001", 2), "covers the next line too");
+        assert!(!out.is_allowed("D001", 3));
+        assert!(!out.is_allowed("P001", 1));
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let out = lex("// lint: allow(D001)\n// lint: allow() why\n// lint: nonsense\n");
+        assert!(out.allows.is_empty());
+        assert_eq!(out.malformed_allow_lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_inside_string_is_inert() {
+        let out = lex("let s = \"// lint: allow(D001) nope\";\n");
+        assert!(out.allows.is_empty());
+        assert!(out.malformed_allow_lines.is_empty());
+    }
+
+    #[test]
+    fn multi_code_allow() {
+        let out = lex("// lint: allow(D001, P001) both justified\n");
+        assert!(out.is_allowed("D001", 1) && out.is_allowed("P001", 1));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        let names = idents("let a = b\"unwrap()\"; let b = br#\"panic!\"#; let c = c\"x\";");
+        assert!(!names.contains(&"unwrap".to_owned()));
+        assert!(!names.contains(&"panic".to_owned()));
+    }
+
+    #[test]
+    fn float_range_dots_stay_punct() {
+        let out = lex("for i in 0..10 { let x = 1.5e-3; }");
+        let dots = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 2, "0..10 keeps its two range dots");
+    }
+}

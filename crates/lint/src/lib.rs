@@ -1,0 +1,133 @@
+//! `spes_lint`: workspace determinism & panic-path static analysis.
+//!
+//! PR 8 made bit-identical journal replay a load-bearing correctness
+//! invariant, enforced *dynamically* by the observer-determinism canary
+//! and the replay-divergence CI lane — after the fact, on one trace
+//! shape. This crate is the *static* layer: a token-level scan of every
+//! `.rs` file under `crates/` and `shims/` that catches the classic
+//! nondeterminism slips (unordered hash iteration, wall-clock reads,
+//! unseeded entropy) and shim-surface violations before any simulation
+//! runs, plus a ratcheted census of panic paths.
+//!
+//! The scanner is a small hand-rolled lexer ([`lexer`]) — string
+//! literals, char literals, and comments can never produce false
+//! positives — feeding pattern rules ([`rules`]). Findings are either
+//! gated at zero (determinism lints) or ratcheted against the committed
+//! `LINT_baseline.json` ([`baseline`]), the same
+//! ratchet-against-committed-baseline discipline the bench gates apply
+//! to `BENCH_engine.json`. Intentional violations are annotated in
+//! place: `// lint: allow(CODE) reason` (the reason is mandatory) on
+//! the offending line or the line above.
+//!
+//! The `spes-lint` binary drives it: plain run to list findings,
+//! `--gate` for CI, `--update-baseline` to move the ratchet.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{
+    gate, render_table, update_baseline, BaselineRow, LintBaseline, LintGateReport, RatchetRow,
+    RatchetStatus,
+};
+pub use rules::{scan_source, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// The directories scanned, relative to the workspace root.
+pub const SCAN_ROOTS: [&str; 2] = ["crates", "shims"];
+
+/// Every `.rs` file under the scan roots, workspace-relative with `/`
+/// separators, sorted for deterministic scan order.
+///
+/// # Errors
+/// Returns a description when a scan root cannot be read.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let path = root.join(dir);
+        if !path.is_dir() {
+            return Err(format!(
+                "{} is not a directory — run from the workspace root or pass --root",
+                path.display()
+            ));
+        }
+        collect_rs(&path, &mut files)?;
+    }
+    let mut rel: Vec<String> = files
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root).ok().map(|r| {
+                r.components().fold(String::new(), |mut acc, c| {
+                    if !acc.is_empty() {
+                        acc.push('/');
+                    }
+                    acc.push_str(&c.as_os_str().to_string_lossy());
+                    acc
+                })
+            })
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            // `target/` never appears under crates/ or shims/, but be
+            // defensive about editor/build droppings.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace under `root`: every finding of every file,
+/// sorted by (file, line, code).
+///
+/// # Errors
+/// Returns a description when a file cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for rel in workspace_files(root)? {
+        let source =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    Ok(findings)
+}
+
+/// Reads and parses a committed baseline file.
+///
+/// # Errors
+/// Returns a description when the file is missing or malformed.
+pub fn read_baseline(path: &Path) -> Result<LintBaseline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "read baseline {}: {e} (generate it with `spes-lint --update-baseline`)",
+            path.display()
+        )
+    })?;
+    serde_json::from_str(&text).map_err(|e| format!("parse baseline {}: {e:?}", path.display()))
+}
+
+/// Serialises and writes a baseline file.
+///
+/// # Errors
+/// Returns a description when serialisation or the write fails.
+pub fn write_baseline(path: &Path, baseline: &LintBaseline) -> Result<(), String> {
+    let body = serde_json::to_string_pretty(baseline).map_err(|e| e.to_string())?;
+    std::fs::write(path, body + "\n").map_err(|e| format!("write {}: {e}", path.display()))
+}

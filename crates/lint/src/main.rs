@@ -1,0 +1,168 @@
+//! `spes-lint`: the workspace determinism & panic-path lint driver.
+//!
+//! ```text
+//! spes-lint [--root DIR] [--baseline PATH] [--gate | --update-baseline]
+//!
+//!   (no mode)          list every unallowed finding plus per-lint totals
+//!   --gate             enforce: zero-tolerance lints (D001-D003, S001,
+//!                      L000) must have no unallowed findings, and the
+//!                      ratcheted lints (P001) must match the committed
+//!                      baseline exactly — any increase or stale row
+//!                      exits 1 (regenerate with --update-baseline)
+//!   --update-baseline  rewrite the baseline from a fresh scan
+//!   --root DIR         workspace root to scan (default .)
+//!   --baseline PATH    baseline file (default <root>/LINT_baseline.json)
+//!   --allows           also list the allowed (annotated) findings
+//! ```
+//!
+//! Lint codes: D001 hash iteration in deterministic crates, D002
+//! wall-clock reads, D003 unseeded entropy, P001 panic paths (ratcheted),
+//! S001 non-workspace imports, L000 malformed allow directives. Opt out
+//! in place with `// lint: allow(CODE) reason` on the offending line or
+//! the line above.
+
+#![forbid(unsafe_code)]
+
+use spes_lint::{gate, read_baseline, render_table, scan_workspace, update_baseline, Finding};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Mode {
+    Report,
+    Gate,
+    UpdateBaseline,
+}
+
+struct Args {
+    mode: Mode,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    show_allows: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Report,
+        root: PathBuf::from("."),
+        baseline: None,
+        show_allows: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |flag: &str, it: &mut dyn Iterator<Item = String>| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--gate" => args.mode = Mode::Gate,
+            "--update-baseline" => args.mode = Mode::UpdateBaseline,
+            "--root" => args.root = value("--root", &mut it)?.into(),
+            "--baseline" => args.baseline = Some(value("--baseline", &mut it)?.into()),
+            "--allows" => args.show_allows = true,
+            "--help" | "-h" => {
+                println!("see the module docs of spes-lint (crates/lint/src/main.rs) for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_findings(label: &str, findings: &[&Finding]) {
+    if findings.is_empty() {
+        return;
+    }
+    println!("{label}:");
+    for f in findings {
+        println!("  {}:{}: [{}] {}", f.file, f.line, f.code, f.message);
+    }
+}
+
+fn totals(findings: &[Finding]) -> String {
+    let mut by_code: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for f in findings {
+        let entry = by_code.entry(f.code).or_insert((0, 0));
+        if f.allowed {
+            entry.1 += 1;
+        } else {
+            entry.0 += 1;
+        }
+    }
+    by_code
+        .into_iter()
+        .map(|(code, (open, allowed))| format!("{code}: {open} ({allowed} allowed)"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("LINT_baseline.json"));
+    let findings = scan_workspace(&args.root)?;
+
+    match args.mode {
+        Mode::Report => {
+            let open: Vec<&Finding> = findings.iter().filter(|f| !f.allowed).collect();
+            print_findings("findings", &open);
+            if args.show_allows {
+                let allowed: Vec<&Finding> = findings.iter().filter(|f| f.allowed).collect();
+                print_findings("allowed (annotated)", &allowed);
+            }
+            println!("totals: {}", totals(&findings));
+            Ok(true)
+        }
+        Mode::UpdateBaseline => {
+            let baseline = update_baseline(&findings);
+            spes_lint::write_baseline(&baseline_path, &baseline)?;
+            println!(
+                "wrote {} ({} rows); totals: {}",
+                baseline_path.display(),
+                baseline.rows.len(),
+                totals(&findings)
+            );
+            Ok(true)
+        }
+        Mode::Gate => {
+            let baseline = read_baseline(&baseline_path)?;
+            let report = gate(&findings, &baseline);
+            print!("{}", render_table(&report));
+            let zero: Vec<&Finding> = report.zero_tolerance.iter().collect();
+            print_findings("zero-tolerance findings", &zero);
+            if report.passed() {
+                println!("lint gate: ok ({} ratchet rows)", report.rows.len());
+                Ok(true)
+            } else {
+                let failures = report.failures();
+                println!(
+                    "lint gate: FAILED — {} zero-tolerance finding(s), {} ratchet failure(s)",
+                    zero.len(),
+                    failures.len()
+                );
+                if !failures.is_empty() {
+                    println!(
+                        "ratchet: fix regressions; for genuine improvements run \
+                         `spes-lint --update-baseline` and commit the new baseline"
+                    );
+                }
+                Ok(false)
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

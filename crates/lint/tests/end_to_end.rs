@@ -1,0 +1,131 @@
+//! End-to-end: a fixture workspace on disk, scanned and gated exactly
+//! the way CI drives the `spes-lint` binary.
+
+#![forbid(unsafe_code)]
+
+use spes_lint::{gate, read_baseline, scan_workspace, update_baseline, write_baseline};
+use spes_lint::{RatchetStatus, SCAN_ROOTS};
+use std::path::{Path, PathBuf};
+
+/// A throwaway workspace root under the target dir, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let _ = std::fs::remove_dir_all(&root);
+        for dir in SCAN_ROOTS {
+            std::fs::create_dir_all(root.join(dir)).unwrap();
+        }
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, source: &str) {
+        let path = self.root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, source).unwrap();
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn clean_fixture_workspace_passes_the_gate() {
+    let fx = Fixture::new("lint_e2e_clean");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "//! Violations in strings and comments must not fire.\n\
+         // for v in m.values() { x.unwrap(); }\n\
+         pub fn f() -> &'static str {\n    \"Instant::now() thread_rng()\"\n}\n",
+    );
+    let findings = scan_workspace(&fx.root).unwrap();
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    assert!(gate(&findings, &update_baseline(&findings)).passed());
+}
+
+#[test]
+fn real_violations_fire_and_allows_suppress_them() {
+    let fx = Fixture::new("lint_e2e_violations");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         pub fn f(m: &HashMap<u32, u32>) -> usize {\n    m.keys().count()\n}\n\
+         pub fn g(m: &HashMap<u32, u32>) -> usize {\n    \
+         // lint: allow(D001) order-insensitive: counting only\n    m.values().count()\n}\n",
+    );
+    let findings = scan_workspace(&fx.root).unwrap();
+    let d001: Vec<_> = findings.iter().filter(|f| f.code == "D001").collect();
+    assert_eq!(d001.len(), 2);
+    assert!(!d001[0].allowed && d001[1].allowed);
+    let report = gate(&findings, &update_baseline(&findings));
+    assert_eq!(
+        report.zero_tolerance.len(),
+        1,
+        "only the unallowed one gates"
+    );
+    assert!(!report.passed());
+}
+
+#[test]
+fn ratchet_round_trips_through_the_baseline_file() {
+    let fx = Fixture::new("lint_e2e_ratchet");
+    // Findings dedup by (line, code), so the unwraps sit on distinct
+    // lines to count as two.
+    let two_unwraps = "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    \
+                       x.unwrap()\n        + y.unwrap()\n}\n";
+    fx.write("crates/core/src/lib.rs", two_unwraps);
+    let baseline_path = fx.root.join("LINT_baseline.json");
+
+    // --update-baseline, then --gate: clean.
+    let findings = scan_workspace(&fx.root).unwrap();
+    write_baseline(&baseline_path, &update_baseline(&findings)).unwrap();
+    let committed = read_baseline(&baseline_path).unwrap();
+    assert_eq!(committed.rows.len(), 1);
+    assert_eq!(committed.rows[0].count, 2);
+    assert!(gate(&findings, &committed).passed());
+
+    // A third unwrap regresses against the committed count.
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    \
+         x.unwrap()\n        + y.unwrap()\n        + y.unwrap()\n}\n",
+    );
+    let report = gate(&scan_workspace(&fx.root).unwrap(), &committed);
+    assert!(!report.passed());
+    assert_eq!(report.failures()[0].status, RatchetStatus::Regression);
+
+    // Fixing one makes the committed row stale — still a failure, so
+    // the improvement must be locked in with --update-baseline.
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let improved = scan_workspace(&fx.root).unwrap();
+    let report = gate(&improved, &committed);
+    assert!(!report.passed());
+    assert_eq!(report.failures()[0].status, RatchetStatus::Stale);
+    write_baseline(&baseline_path, &update_baseline(&improved)).unwrap();
+    assert!(gate(&improved, &read_baseline(&baseline_path).unwrap()).passed());
+}
+
+#[test]
+fn the_committed_workspace_baseline_is_fresh() {
+    // The real gate, run against the real tree: protects against a
+    // stale LINT_baseline.json landing in a commit.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = scan_workspace(&root).unwrap();
+    let committed = read_baseline(&root.join("LINT_baseline.json")).unwrap();
+    let report = gate(&findings, &committed);
+    assert!(
+        report.passed(),
+        "workspace lint gate failed:\n{}{:?}",
+        spes_lint::render_table(&report),
+        report.zero_tolerance
+    );
+}

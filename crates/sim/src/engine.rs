@@ -625,6 +625,7 @@ impl<'p, 'o> SimDriver<'p, 'o> {
 
         // 2. Policy decision hook (timed for the RQ2 overhead
         // comparison); its pool transitions become policy events.
+        // lint: allow(D002) RQ2 overhead timing only; replay's normalised() zeroes policy_secs before diffing
         let begin = Instant::now();
         self.policy.on_slot(slot, invoked, &mut self.pool);
         let policy_secs = begin.elapsed().as_secs_f64();

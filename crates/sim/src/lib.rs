@@ -16,6 +16,8 @@
 //! adds declarative policy construction: factories, capacity rules, and
 //! a two-phase suite runner over whole policy lists.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod engine;
 pub mod events;

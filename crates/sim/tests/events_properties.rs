@@ -168,6 +168,7 @@ fn reconstruct(log: &EventLog) -> Reconstructed {
                     r.peak_loaded = r.peak_loaded.max(loaded_now);
                     if loaded_now > 0 {
                         let mut invoked_loaded = 0usize;
+                        // lint: allow(D001) order-insensitive: per-function counters plus a count
                         for &f in &loaded {
                             if invoked_this_slot.contains(&f) {
                                 invoked_loaded += 1;

@@ -13,6 +13,8 @@
 //! This crate provides those primitives with no dependencies, so that the
 //! scheduler crates stay focused on policy logic.
 
+#![forbid(unsafe_code)]
+
 pub mod descriptive;
 pub mod histogram;
 pub mod kstest;

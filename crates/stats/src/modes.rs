@@ -25,6 +25,7 @@ pub fn mode_table(xs: &[u32]) -> Vec<ModeEntry> {
         *freq.entry(x).or_insert(0) += 1;
     }
     let mut table: Vec<ModeEntry> = freq
+        // lint: allow(D001) order-insensitive: the sort below imposes a total order (count desc, value asc)
         .into_iter()
         .map(|(value, count)| ModeEntry { value, count })
         .collect();

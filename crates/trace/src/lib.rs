@@ -7,6 +7,8 @@
 //! generator reproducing the dataset's published statistics, and CSV IO
 //! so the genuine dataset can be substituted in.
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod model;
 pub mod series;

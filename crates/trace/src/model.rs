@@ -8,7 +8,7 @@
 //! 14-day window.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A minute-granularity time slot index into the trace.
@@ -292,8 +292,8 @@ impl Trace {
 
     /// Functions grouped by application.
     #[must_use]
-    pub fn functions_by_app(&self) -> HashMap<AppId, Vec<FunctionId>> {
-        let mut map: HashMap<AppId, Vec<FunctionId>> = HashMap::new();
+    pub fn functions_by_app(&self) -> BTreeMap<AppId, Vec<FunctionId>> {
+        let mut map: BTreeMap<AppId, Vec<FunctionId>> = BTreeMap::new();
         for (i, meta) in self.metas.iter().enumerate() {
             map.entry(meta.app).or_default().push(FunctionId(i as u32));
         }
@@ -302,8 +302,8 @@ impl Trace {
 
     /// Functions grouped by user.
     #[must_use]
-    pub fn functions_by_user(&self) -> HashMap<UserId, Vec<FunctionId>> {
-        let mut map: HashMap<UserId, Vec<FunctionId>> = HashMap::new();
+    pub fn functions_by_user(&self) -> BTreeMap<UserId, Vec<FunctionId>> {
+        let mut map: BTreeMap<UserId, Vec<FunctionId>> = BTreeMap::new();
         for (i, meta) in self.metas.iter().enumerate() {
             map.entry(meta.user).or_default().push(FunctionId(i as u32));
         }

@@ -10,6 +10,8 @@
 //! Supports `--quick` (fewer iterations) and a substring filter argument,
 //! so `cargo bench -- <filter>` narrows what runs, like upstream.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -16,6 +16,8 @@
 //! unshrunk. As in upstream proptest, generated values must implement
 //! `Debug`, and (for the shrinking re-runs) `Clone`.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::{RngCore, SampleUniform, SeedableRng, StandardUniform};
 use std::ops::{Range, RangeInclusive};

@@ -11,6 +11,8 @@
 //! across platforms and releases of this shim; the synthetic-trace tests
 //! rely on that determinism, not on any particular stream.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Sources of randomness: the only required method is a 64-bit draw.

@@ -6,6 +6,8 @@
 //! statistical fidelity of the generated workload, not bit-compatibility
 //! with upstream rand_distr streams.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, StandardUniform};
 
 /// Types that can be sampled given a source of randomness.

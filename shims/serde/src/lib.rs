@@ -12,6 +12,8 @@
 //! [`Deserialize::from_value`] rebuilds typed data from it, so the
 //! figure/benchmark JSON artifacts round-trip offline.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// A JSON value tree produced by [`Serialize::to_value`].

@@ -11,6 +11,8 @@
 //! Anything fancier (generics, struct variants, serde attributes) is
 //! rejected with a compile error rather than silently mis-serialized.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (the shim's JSON-value flavour).

@@ -3,6 +3,8 @@
 //! and parses JSON text back ([`from_str`]) through the same value
 //! model, so the workspace's JSON artifacts round-trip offline.
 
+#![forbid(unsafe_code)]
+
 pub use serde::Value;
 use std::fmt::Write as _;
 
