@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! bench_engine [--functions N] [--seed S] [--iters K] [--out DIR]
-//!              [--quick] [--baseline FILE] [--gate PCT]
+//!              [--quick] [--scale] [--scale-full] [--baseline FILE]
+//!              [--gate PCT]
 //!
 //!   --functions  population size of each generated trace (default 800)
 //!   --seed       workload seed (default 7)
 //!   --iters      timed iterations per (scenario, policy) cell (default 5)
 //!   --out        directory for BENCH_engine.json (default: .)
 //!   --quick      CI mode: shrink scenarios to tiny 7-day traces
+//!   --scale      scale sweep instead of the scenario matrix: 1k/10k/100k
+//!                functions on the 7-day paper-default shape, streamed
+//!                through the step-driven engine (no materialised trace);
+//!                rows carry scale-1k/... scenario labels
+//!   --scale-full with --scale: add the million-function cell (local
+//!                runs; too heavy for shared CI runners)
 //!   --baseline   committed BENCH_engine.json to diff against; prints the
 //!                per-cell delta table
 //!   --gate       with --baseline: fail (exit 1) when any cell's
@@ -27,7 +34,9 @@
 //! fresh simulations and reported with mean/min/max/stddev, so a single
 //! noisy iteration is visible instead of silently skewing the number.
 
-use spes_bench::perf::{bench_engine, gate_against_baseline, EngineBenchReport};
+use spes_bench::perf::{
+    bench_engine, bench_engine_scale, gate_against_baseline, EngineBenchReport,
+};
 use spes_sim::text_table;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -42,6 +51,8 @@ struct Args {
     iters: u32,
     out: PathBuf,
     quick: bool,
+    scale: bool,
+    scale_full: bool,
     baseline: Option<PathBuf>,
     gate_pct: Option<f64>,
 }
@@ -53,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         iters: 5,
         out: PathBuf::from("."),
         quick: false,
+        scale: false,
+        scale_full: false,
         baseline: None,
         gate_pct: None,
     };
@@ -77,6 +90,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--quick" => args.quick = true,
+            "--scale" => args.scale = true,
+            "--scale-full" => args.scale_full = true,
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--gate" => {
                 args.gate_pct = Some(
@@ -94,6 +109,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.gate_pct.is_some() && args.baseline.is_none() {
         return Err("--gate requires --baseline".to_owned());
+    }
+    if args.scale_full && !args.scale {
+        return Err("--scale-full requires --scale".to_owned());
     }
     Ok(args)
 }
@@ -115,19 +133,33 @@ fn run() -> Result<ExitCode, String> {
     } else {
         args.functions
     };
-    let mut rows = Vec::new();
-    for scenario in SCENARIOS {
-        // Quick mode applies each scenario's CI shrink (7-day horizon),
-        // so both cells measure in seconds.
+    let rows = if args.scale {
+        let sizes: &[usize] = if args.scale_full {
+            &[1_000, 10_000, 100_000, 1_000_000]
+        } else {
+            &[1_000, 10_000, 100_000]
+        };
         println!(
-            "benchmarking engine on {scenario} ({functions} functions, {} iters{}) ...",
-            args.iters,
-            if args.quick { ", quick" } else { "" }
+            "benchmarking engine scale sweep ({} cells, streamed paper-default quick shape) ...",
+            sizes.len()
         );
-        rows.extend(bench_engine(
-            scenario, functions, args.seed, &POLICIES, args.quick, args.iters,
-        )?);
-    }
+        bench_engine_scale(sizes, args.seed)?
+    } else {
+        let mut rows = Vec::new();
+        for scenario in SCENARIOS {
+            // Quick mode applies each scenario's CI shrink (7-day horizon),
+            // so both cells measure in seconds.
+            println!(
+                "benchmarking engine on {scenario} ({functions} functions, {} iters{}) ...",
+                args.iters,
+                if args.quick { ", quick" } else { "" }
+            );
+            rows.extend(bench_engine(
+                scenario, functions, args.seed, &POLICIES, args.quick, args.iters,
+            )?);
+        }
+        rows
+    };
     let report = EngineBenchReport { rows };
 
     println!("\n== engine throughput (slots simulated per second) ==");

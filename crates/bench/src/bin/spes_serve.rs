@@ -1,5 +1,5 @@
 //! `spes-serve`: an online serving daemon over the line protocol of
-//! [`spes_sim::serve`].
+//! [`mod@spes_sim::serve`].
 //!
 //! ```text
 //! spes-serve [--policy NAME] [--fit-scenario NAME] [--functions N]

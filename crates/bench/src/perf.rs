@@ -19,14 +19,15 @@
 
 use crate::policies;
 use serde::{Deserialize, Serialize};
+use spes_baselines::FixedKeepAlive;
 use spes_core::SpesConfig;
 use spes_sim::suite::FitContext;
 use spes_sim::{
     try_simulate, EventLog, EvictCause, JournalMeta, JournalReader, JournalWriter, LoadCause,
-    SimConfig, SimEvent, Simulation,
+    SimConfig, SimDriver, SimEvent, Simulation,
 };
 use spes_stats::online::OnlineStats;
-use spes_trace::{synth, FunctionId, Slot};
+use spes_trace::{synth, FunctionId, Slot, SynthStream};
 use std::time::Instant;
 
 /// One measured (scenario, policy) cell.
@@ -147,6 +148,98 @@ pub fn bench_engine(
             scenario: scenario.to_owned(),
             policy: name.to_owned(),
             n_functions: trace.n_functions(),
+            slots,
+            iters,
+            secs: mean,
+            secs_min: min,
+            secs_max: max,
+            secs_std: std,
+            slots_per_sec: slots as f64 / mean.max(f64::MIN_POSITIVE),
+        });
+    }
+    Ok(rows)
+}
+
+/// Scale-sweep row label for a population size: `1_000` → `"scale-1k"`,
+/// `1_000_000` → `"scale-1m"`. Distinct from every registered scenario
+/// name, so sweep rows and quick rows coexist in one `BENCH_engine.json`
+/// without colliding in [`EngineBenchReport::row_of`].
+#[must_use]
+pub fn scale_label(n_functions: usize) -> String {
+    if n_functions >= 1_000_000 && n_functions.is_multiple_of(1_000_000) {
+        format!("scale-{}m", n_functions / 1_000_000)
+    } else if n_functions >= 1_000 && n_functions.is_multiple_of(1_000) {
+        format!("scale-{}k", n_functions / 1_000)
+    } else {
+        format!("scale-{n_functions}")
+    }
+}
+
+/// Timed iterations for one scale cell: enough repeats to expose noise at
+/// small sizes, a single pass at the million-function scale where one
+/// iteration already runs for tens of seconds.
+#[must_use]
+pub fn scale_iters(n_functions: usize) -> u32 {
+    match n_functions {
+        0..=1_000 => 5,
+        1_001..=10_000 => 3,
+        10_001..=100_000 => 2,
+        _ => 1,
+    }
+}
+
+/// Scale sweep: engine throughput at growing population sizes on the
+/// paper-default workload shrunk to the 7-day quick horizon, one cell per
+/// entry of `sizes` (the CLI sweeps 1k/10k/100k and, with `--scale-full`,
+/// 1M). Rows carry [`scale_label`] scenario names and extend the same
+/// blocking gate as the quick cells, so throughput-per-core at scale is a
+/// tracked trajectory rather than a one-off number.
+///
+/// The workload comes from the streaming producer ([`SynthStream`]) and
+/// is fed straight into a step-driven [`SimDriver`] — no materialised
+/// [`spes_trace::Trace`], no per-window bucket vectors — so the sweep
+/// exercises exactly the O(active)-per-slot path the million-function
+/// cell depends on. The policy is the paper-default 10-minute fixed
+/// keep-alive: per-slot work proportional to the loaded set, the
+/// realistic engine-dominated case.
+///
+/// # Errors
+/// Returns a message when generation fails or a driver step is rejected.
+pub fn bench_engine_scale(sizes: &[usize], seed: u64) -> Result<Vec<EngineBenchRow>, String> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut cfg = synth::scenario_config("paper-default")
+            .ok_or_else(|| "paper-default scenario missing from the registry".to_owned())?
+            .quick();
+        cfg.n_functions = size;
+        cfg.seed = seed;
+        let stream = SynthStream::build(&cfg).map_err(|e| e.to_string())?;
+        let n_slots = stream.n_slots();
+        let window = SimConfig::new(0, n_slots).with_metrics_start(stream.train_end());
+        let iters = scale_iters(size);
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            // A fresh policy per iteration; construction is O(n) and
+            // stays outside the timed section, like the fitting step in
+            // `bench_engine`.
+            let mut policy = FixedKeepAlive::paper_default(size);
+            let begin = Instant::now();
+            let mut driver =
+                SimDriver::new(size, window, &mut policy, Vec::new()).map_err(|e| e.to_string())?;
+            for t in 0..n_slots {
+                driver.step(t, stream.batch(t)).map_err(|e| e.to_string())?;
+            }
+            let run = driver.finish();
+            samples.push(begin.elapsed().as_secs_f64());
+            // Keep the optimiser honest about the run actually happening.
+            assert_eq!(run.n_slots(), u64::from(n_slots - stream.train_end()));
+        }
+        let (mean, min, max, std) = sample_stats(&samples);
+        let slots = u64::from(n_slots);
+        rows.push(EngineBenchRow {
+            scenario: scale_label(size),
+            policy: "fixed-keep-alive".to_owned(),
+            n_functions: size,
             slots,
             iters,
             secs: mean,

@@ -1,0 +1,124 @@
+//! Sharded-vs-unsharded parity on the quick shape: for every
+//! app-decomposable registry policy, running the comparison through
+//! `run_sharded` (app-partitioned sub-traces, one `SimDriver` per
+//! shard, deterministic merge) must reproduce the single-driver
+//! `try_simulate` result bit-for-bit. `overhead_secs` is the one field
+//! exempt from the comparison — it is wall-clock policy time and the
+//! only legitimately nondeterministic part of a `RunResult`.
+//!
+//! Per-function-fitted policies are decomposable because a shard's
+//! sub-trace carries each of its functions' full series: fitting on the
+//! sub-trace yields the same per-function parameters as fitting on the
+//! whole trace.
+
+use spes_bench::policies;
+use spes_bench::scenario::Experiment;
+use spes_core::SpesConfig;
+use spes_sim::suite::FitContext;
+use spes_sim::{run_sharded, try_simulate, RunResult, ShardPlan, SimConfig};
+use spes_trace::SynthTrace;
+
+/// The registry policies whose decisions depend only on per-function
+/// (or per-app) state and history — the sharding validity contract.
+/// FaaSCache is capacity-coupled and the oracle is clairvoyant over the
+/// whole trace, so both stay out of scope by design (`run_sharded`
+/// rejects capacity/pressure configs outright). SPES is also out:
+/// parts of its offline fit read population-level structure, so a
+/// per-shard fit is not guaranteed to reproduce the whole-trace fit
+/// (empirically it diverges at 8-way on the quick shape). Defuse's
+/// dependency mining is intra-app and shards cleanly.
+const DECOMPOSABLE: &[&str] = &[
+    "no-keep-alive",
+    "keep-forever",
+    "fixed-keep-alive",
+    "hybrid-function",
+    "hybrid-application",
+    "defuse",
+];
+
+fn quick_data() -> SynthTrace {
+    Experiment::scenario("quick", 120, 7)
+        .expect("quick is registered")
+        .generate()
+}
+
+fn zero_overhead(mut run: RunResult) -> RunResult {
+    run.overhead_secs = 0.0;
+    run
+}
+
+#[test]
+fn sharded_matches_unsharded_for_every_decomposable_policy() {
+    let data = quick_data();
+    let config = SimConfig::new(0, data.trace.n_slots).with_metrics_start(data.train_end);
+    let spes_cfg = SpesConfig::default();
+
+    for &name in DECOMPOSABLE {
+        let spec = policies::spec_of(name, &spes_cfg).expect("registered policy");
+
+        let mut whole = spec.build(&FitContext {
+            trace: &data.trace,
+            train_start: 0,
+            train_end: data.train_end,
+            prior: &[],
+        });
+        let unsharded = try_simulate(&data.trace, whole.as_mut(), config).unwrap();
+
+        for n_shards in [1usize, 3, 8] {
+            let plan = ShardPlan::by_app(&data.trace, n_shards).unwrap();
+            let sharded = run_sharded(&data.trace, config, &plan, &|_, sub| {
+                spec.build(&FitContext {
+                    trace: sub,
+                    train_start: 0,
+                    train_end: data.train_end,
+                    prior: &[],
+                })
+            })
+            .unwrap();
+            assert_eq!(
+                zero_overhead(sharded),
+                zero_overhead(unsharded.clone()),
+                "{name} diverged under {n_shards}-way sharding"
+            );
+        }
+    }
+}
+
+/// The merge must preserve the run window the shards simulated: a
+/// non-zero metrics start (the quick shape's 6-day training prefix)
+/// survives partitioning, and every shard count lands on the function
+/// id the plan assigned it.
+#[test]
+fn sharded_run_carries_the_unsharded_window_and_totals() {
+    let data = quick_data();
+    let config = SimConfig::new(0, data.trace.n_slots).with_metrics_start(data.train_end);
+    let plan = ShardPlan::by_app(&data.trace, 4).unwrap();
+    let spes_cfg = SpesConfig::default();
+    let spec = policies::spec_of("fixed-keep-alive", &spes_cfg).unwrap();
+
+    let run = run_sharded(&data.trace, config, &plan, &|_, sub| {
+        spec.build(&FitContext {
+            trace: sub,
+            train_start: 0,
+            train_end: data.train_end,
+            prior: &[],
+        })
+    })
+    .unwrap();
+
+    assert_eq!(run.start, data.train_end);
+    assert_eq!(run.end, data.trace.n_slots);
+    assert_eq!(run.invocations.len(), data.trace.n_functions());
+    let measured: u64 = data
+        .trace
+        .series
+        .iter()
+        .map(|s| {
+            s.events_in(data.train_end, data.trace.n_slots)
+                .iter()
+                .map(|&(_, c)| u64::from(c))
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(run.total_invocations(), measured);
+}

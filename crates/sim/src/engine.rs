@@ -28,6 +28,21 @@
 //! itself only drives the policy and narrates what happened. A run is
 //! assembled with the [`Simulation`] builder; [`try_simulate`] is the
 //! one-observer convenience that returns the paper's [`RunResult`].
+//!
+//! # Scaling
+//!
+//! The per-slot hot path is `O(active)`, not `O(n_functions)`: the batch
+//! loop reads invocations from [`spes_trace::SlotBatches`] — a slot-major
+//! CSR index built in one counting-sort pass over the trace — so a slot
+//! in which 300 of a million functions fire costs ~300 lookups, and the
+//! span-based collectors charge idle time per transition rather than per
+//! loaded instance. Above one driver, [`crate::shard`] partitions a run
+//! by application across `std::thread::scope` workers, one `SimDriver`
+//! per shard, and merges the per-shard results into a [`RunResult`]
+//! bit-identical to the unsharded run (for app-decomposable policies on
+//! uncapacitated configs). `bench_engine --scale` tracks throughput at
+//! 1k/10k/100k/1M functions on this path; see `docs/SCALING.md` for the
+//! model and its validity contract.
 
 use crate::events::{
     DynObserver, EventCtx, EvictCause, LoadCause, Observer, ObserverSet, RunCollector, RunMeta,
@@ -258,7 +273,12 @@ impl<'t, 'o> Simulation<'t, 'o> {
                 n_slots: self.trace.n_slots,
             });
         }
-        let buckets = self.trace.bucket_by_slot(start, end);
+        // One CSR active-set index for the whole window: each slot's batch
+        // is a contiguous slice of a single flat allocation, so the hot
+        // loop below touches only the functions invoked that slot —
+        // O(active) per slot, never O(total) — and batch order matches
+        // `bucket_by_slot` bit for bit.
+        let batches = self.trace.slot_batches(start, end);
         let mut driver = SimDriver::assemble(
             self.trace.n_functions(),
             self.config,
@@ -269,7 +289,7 @@ impl<'t, 'o> Simulation<'t, 'o> {
         )?;
         for t in start..end {
             driver
-                .step(t, &buckets[(t - start) as usize])
+                .step(t, batches.batch(t))
                 .expect("contiguous in-window steps cannot fail");
         }
         driver.close();

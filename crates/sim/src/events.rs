@@ -27,6 +27,34 @@
 //! capacity `Evict`s and the demand `Load` it forced; then the policy's
 //! own `Load`s/`Evict`s in the order the policy performed them; then one
 //! `SlotEnd`. Observers never mutate the pool — only the policy does.
+//!
+//! Observers attach to a run through the [`crate::Simulation`] builder
+//! (or a [`crate::SimDriver`] for step-driven runs); any number can ride
+//! one simulation:
+//!
+//! ```
+//! use spes_sim::{EventLog, NoKeepAlive, RunCollector, SimConfig, Simulation};
+//! use spes_trace::synth::small_test_trace;
+//!
+//! let trace = small_test_trace(40, 1).trace;
+//! let mut metrics = RunCollector::new();
+//! let mut log = EventLog::new();
+//! Simulation::new(&trace, SimConfig::new(0, trace.n_slots))
+//!     .observe(&mut metrics)
+//!     .observe(&mut log)
+//!     .run(&mut NoKeepAlive)
+//!     .unwrap();
+//! let run = metrics.into_result();
+//! // The paper metrics and the raw stream describe the same run: the
+//! // log carries the window, and exactly one SlotEnd tick per slot.
+//! assert_eq!(run.n_slots(), u64::from(trace.n_slots));
+//! let ticks = log
+//!     .events
+//!     .iter()
+//!     .filter(|e| matches!(e.event, spes_sim::SimEvent::SlotEnd { .. }))
+//!     .count();
+//! assert_eq!(ticks, trace.n_slots as usize);
+//! ```
 
 use crate::journal::wire;
 use crate::memory::MemoryPool;

@@ -27,6 +27,7 @@ pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod serve;
+pub mod shard;
 pub mod suite;
 
 pub use cluster::{run_on_cluster, Cluster, ClusterObserver, ClusterReport, PlacementStrategy};
@@ -48,6 +49,9 @@ pub use metrics::RunResult;
 pub use policy::{KeepForever, NoKeepAlive, Policy};
 pub use report::{per_category_stats, text_table, CategoryStats, NormalizedComparison};
 pub use serve::{serve, InitRecord, ServeConfig, ServeError, ServeSummary};
+pub use shard::{
+    merge_shard_runs, run_shard, run_sharded, ShardCounts, ShardError, ShardPlan, ShardRun,
+};
 pub use suite::{
     run_suite, validate_suite, CapacityRule, FitContext, KeepForeverFactory, NoKeepAliveFactory,
     PolicyFactory, PolicySpec, SuiteEntry, SuiteError, SuiteOutcome, PREMATURE_RELOAD_WINDOW,

@@ -26,7 +26,7 @@ pub(crate) enum PoolOp {
 /// functions is linear in the number of loaded instances.
 ///
 /// With journaling enabled (the engine turns it on), every effective
-/// load/evict is additionally recorded as a [`PoolOp`]; the engine drains
+/// load/evict is additionally recorded as a `PoolOp`; the engine drains
 /// the journal after each phase of a slot to emit the corresponding
 /// events, which is how policy-initiated transitions become visible to
 /// observers without diffing the pool.

@@ -15,10 +15,11 @@ pub mod series;
 pub mod synth;
 
 pub use model::{
-    AppId, FunctionId, FunctionMeta, Slot, SparseSeries, Trace, TriggerType, UserId, SLOTS_PER_DAY,
+    AppId, FunctionId, FunctionMeta, Slot, SlotBatches, SparseSeries, Trace, TriggerType, UserId,
+    SLOTS_PER_DAY,
 };
 pub use series::Sequences;
 pub use synth::{
     scenario_config, scenario_names, Archetype, ExternalTraceError, FunctionSpec, Scenario,
-    SynthConfig, SynthTrace, SCENARIOS,
+    StreamError, SynthConfig, SynthStream, SynthTrace, SCENARIOS,
 };

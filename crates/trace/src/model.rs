@@ -327,6 +327,63 @@ impl Trace {
         buckets
     }
 
+    /// Per-slot active-set index for `[start, end)`: like
+    /// [`Trace::bucket_by_slot`], but stored as one flat event array plus
+    /// a per-slot offset table (CSR layout) instead of a `Vec` per slot.
+    ///
+    /// The simulation engine iterates this once per run: each slot costs
+    /// `O(active functions)` — idle functions are never visited — and the
+    /// whole window costs a single allocation of `O(events)` instead of
+    /// one growable vector per slot. Batch contents and order are
+    /// identical to `bucket_by_slot` (function id ascending within a
+    /// slot), so the two representations drive bit-identical simulations.
+    ///
+    /// ```
+    /// use spes_trace::synth::small_test_trace;
+    ///
+    /// let trace = small_test_trace(50, 7).trace;
+    /// let batches = trace.slot_batches(0, trace.n_slots);
+    /// let buckets = trace.bucket_by_slot(0, trace.n_slots);
+    /// for (slot, batch) in batches.iter() {
+    ///     assert_eq!(batch, buckets[slot as usize].as_slice());
+    /// }
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn slot_batches(&self, start: Slot, end: Slot) -> SlotBatches {
+        assert!(start <= end, "invalid bucket range");
+        let window = (end - start) as usize;
+        let mut counts = vec![0usize; window];
+        for series in &self.series {
+            for &(slot, _) in series.events_in(start, end) {
+                counts[(slot - start) as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(window + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut events = vec![(FunctionId(0), 0u32); total];
+        let mut cursor: Vec<usize> = offsets[..window].to_vec();
+        for (i, series) in self.series.iter().enumerate() {
+            for &(slot, count) in series.events_in(start, end) {
+                let idx = (slot - start) as usize;
+                events[cursor[idx]] = (FunctionId(i as u32), count);
+                cursor[idx] += 1;
+            }
+        }
+        SlotBatches {
+            start,
+            offsets,
+            events,
+        }
+    }
+
     /// Functions with at least one invocation in `[start, end)`.
     #[must_use]
     pub fn invoked_in(&self, start: Slot, end: Slot) -> Vec<FunctionId> {
@@ -369,6 +426,115 @@ impl Trace {
     }
 }
 
+/// Compressed per-slot active-set index (CSR layout) over a slot window.
+///
+/// Built by [`Trace::slot_batches`] or streamed out of the synthetic
+/// generator ([`crate::synth::stream::SynthStream`]) without a
+/// materialised [`Trace`]. One flat `(function, count)` array holds every
+/// invocation event in the window, slot-major; a per-slot offset table
+/// maps slot `t` to its contiguous batch. Within a batch, events are
+/// ordered by function id ascending — the same order
+/// [`Trace::bucket_by_slot`] produces, which the engine's event-order
+/// determinism contract depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotBatches {
+    /// First slot of the window (inclusive).
+    start: Slot,
+    /// `offsets[i]..offsets[i + 1]` indexes `events` for slot `start + i`.
+    offsets: Vec<usize>,
+    /// All invocation events in the window, slot-major, function-ascending
+    /// within each slot.
+    events: Vec<(FunctionId, u32)>,
+}
+
+impl SlotBatches {
+    /// Assembles the index from function-major triples (every event of
+    /// function 0 first, then function 1, …). Events outside
+    /// `[start, end)` are ignored. The counting sort is stable, so
+    /// function-ascending input order yields function-ascending batches.
+    #[must_use]
+    pub fn from_function_major(
+        start: Slot,
+        end: Slot,
+        triples: &[(Slot, FunctionId, u32)],
+    ) -> Self {
+        let window = (end.max(start) - start) as usize;
+        let mut counts = vec![0usize; window];
+        for &(slot, _, _) in triples {
+            if slot >= start && slot < end {
+                counts[(slot - start) as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(window + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut events = vec![(FunctionId(0), 0u32); total];
+        let mut cursor: Vec<usize> = offsets[..window].to_vec();
+        for &(slot, f, count) in triples {
+            if slot >= start && slot < end {
+                let idx = (slot - start) as usize;
+                events[cursor[idx]] = (f, count);
+                cursor[idx] += 1;
+            }
+        }
+        Self {
+            start,
+            offsets,
+            events,
+        }
+    }
+
+    /// First slot of the window (inclusive).
+    #[must_use]
+    pub fn start(&self) -> Slot {
+        self.start
+    }
+
+    /// End of the window (exclusive).
+    #[must_use]
+    pub fn end(&self) -> Slot {
+        self.start + (self.offsets.len() - 1) as Slot
+    }
+
+    /// Number of slots in the window.
+    #[must_use]
+    pub fn n_slots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of invocation events in the window.
+    #[must_use]
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The `(function, count)` batch of one slot, function id ascending.
+    /// Slots outside the window yield an empty batch.
+    #[must_use]
+    pub fn batch(&self, slot: Slot) -> &[(FunctionId, u32)] {
+        if slot < self.start || slot >= self.end() {
+            return &[];
+        }
+        let i = (slot - self.start) as usize;
+        &self.events[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates `(slot, batch)` pairs over the whole window, including
+    /// slots with an empty batch.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &[(FunctionId, u32)])> + '_ {
+        (0..self.n_slots()).map(move |i| {
+            (
+                self.start + i as Slot,
+                &self.events[self.offsets[i]..self.offsets[i + 1]],
+            )
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +570,61 @@ mod tests {
         assert_eq!(s.count_at(1), 10);
         assert_eq!(s.count_at(2), 0);
         assert_eq!(s.active_slots(), 2);
+    }
+
+    #[test]
+    fn slot_batches_match_buckets() {
+        let metas = vec![meta(); 3];
+        let series = vec![
+            SparseSeries::from_pairs(vec![(0, 1), (2, 4)]),
+            SparseSeries::from_pairs(vec![(2, 2), (3, 1)]),
+            SparseSeries::from_pairs(vec![(0, 5)]),
+        ];
+        let trace = Trace::new(5, metas, series);
+        let batches = trace.slot_batches(0, 5);
+        let buckets = trace.bucket_by_slot(0, 5);
+        assert_eq!(batches.n_slots(), 5);
+        assert_eq!(batches.n_events(), 5);
+        for (slot, batch) in batches.iter() {
+            assert_eq!(batch, buckets[slot as usize].as_slice());
+        }
+        // Function order within a shared slot is ascending.
+        assert_eq!(batches.batch(2), &[(FunctionId(0), 4), (FunctionId(1), 2)]);
+    }
+
+    #[test]
+    fn slot_batches_subwindow_and_out_of_range() {
+        let metas = vec![meta(); 2];
+        let series = vec![
+            SparseSeries::from_pairs(vec![(1, 1), (4, 2)]),
+            SparseSeries::from_pairs(vec![(4, 3)]),
+        ];
+        let trace = Trace::new(6, metas, series);
+        let batches = trace.slot_batches(2, 5);
+        assert_eq!(batches.start(), 2);
+        assert_eq!(batches.end(), 5);
+        assert_eq!(batches.batch(1), &[]);
+        assert_eq!(batches.batch(5), &[]);
+        assert_eq!(batches.batch(4), &[(FunctionId(0), 2), (FunctionId(1), 3)]);
+    }
+
+    #[test]
+    fn slot_batches_from_function_major_matches_trace_index() {
+        let metas = vec![meta(); 3];
+        let series = vec![
+            SparseSeries::from_pairs(vec![(0, 1), (3, 2)]),
+            SparseSeries::from_pairs(vec![(3, 7)]),
+            SparseSeries::from_pairs(vec![(1, 1), (3, 1)]),
+        ];
+        let trace = Trace::new(4, metas, series.clone());
+        let mut triples = Vec::new();
+        for (i, s) in series.iter().enumerate() {
+            for &(slot, count) in s.events() {
+                triples.push((slot, FunctionId(i as u32), count));
+            }
+        }
+        let streamed = SlotBatches::from_function_major(0, 4, &triples);
+        assert_eq!(streamed, trace.slot_batches(0, 4));
     }
 
     #[test]

@@ -5,14 +5,37 @@
 //! DESIGN.md for the substitution argument): trigger mix, heavy-tailed
 //! invocation counts, trigger-conditioned behavioural patterns, intra-app
 //! chaining, temporal locality, concept shifts, and unseen functions.
+//!
+//! Two producers share one generation pipeline. [`generate`] materialises
+//! a full [`SynthTrace`] — per-function [`SparseSeries`] plus ground
+//! truth — and is what the figure runners and tests consume.
+//! [`SynthStream`] (the [`stream`] module) produces the *same workload*
+//! as per-slot invocation batches without ever holding per-function
+//! series for the whole population at once: functions are generated one
+//! app-contiguous chunk at a time and scattered into a slot-major CSR
+//! layout. The two are bit-identical by construction (per-function RNG
+//! streams are seeded independently of generation order) and pinned so by
+//! the `stream_parity` property tests; the streaming form is what lets
+//! `bench_engine --scale` drive a million functions through the engine:
+//!
+//! ```
+//! use spes_trace::synth::{generate, SynthConfig, SynthStream};
+//!
+//! let cfg = SynthConfig { n_functions: 50, days: 2, train_days: 1, ..SynthConfig::default() };
+//! let stream = SynthStream::build(&cfg).unwrap();
+//! let full = generate(&cfg);
+//! assert_eq!(stream.batches(), &full.trace.slot_batches(0, full.trace.n_slots));
+//! ```
 
 pub mod archetype;
 pub mod population;
 pub mod scenarios;
+pub mod stream;
 
 pub use archetype::Archetype;
 pub use population::{FunctionSpec, Segment};
 pub use scenarios::{scenario_config, scenario_names, Scenario, SCENARIOS};
+pub use stream::{StreamError, SynthStream};
 
 use crate::model::{Slot, SparseSeries, Trace, SLOTS_PER_DAY};
 use rand::rngs::SmallRng;
@@ -295,23 +318,9 @@ pub fn generate(config: &SynthConfig) -> SynthTrace {
         if !spec.is_chained() {
             continue;
         }
-        let mut frng = SmallRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-        let mut pairs: Vec<(Slot, u32)> = Vec::new();
-        for seg in &spec.segments {
-            let seg_series = match &seg.archetype {
-                Archetype::Chained { parent, lag, prob } => archetype::generate_chained(
-                    &series[parent.index()],
-                    *lag,
-                    *prob,
-                    seg.start,
-                    seg.end,
-                    &mut frng,
-                ),
-                other => archetype::generate(other, seg.start, seg.end, &mut frng),
-            };
-            pairs.extend_from_slice(seg_series.events());
-        }
-        series[i] = SparseSeries::from_pairs(pairs);
+        let chained =
+            generate_chained_segments(spec, config.seed, i as u64, &|p| &series[p.index()]);
+        series[i] = chained;
     }
 
     let metas = specs.iter().map(|s| s.meta).collect();
@@ -322,11 +331,45 @@ pub fn generate(config: &SynthConfig) -> SynthTrace {
     }
 }
 
+/// Series of one non-chained function from its order-independent
+/// per-function RNG. Shared by [`generate`] and the streaming producer
+/// ([`stream::SynthStream`]) — both must consume RNG draws identically
+/// for the bit-equality contract to hold.
 fn generate_segments(spec: &FunctionSpec, seed: u64, index: u64) -> SparseSeries {
     let mut frng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9));
     let mut pairs: Vec<(Slot, u32)> = Vec::new();
     for seg in &spec.segments {
         let seg_series = archetype::generate(&seg.archetype, seg.start, seg.end, &mut frng);
+        pairs.extend_from_slice(seg_series.events());
+    }
+    SparseSeries::from_pairs(pairs)
+}
+
+/// Series of one chained function. `parent_of` resolves a parent's
+/// finished series; parents are always non-chained members of the same
+/// app with a smaller function index, so both the materialised
+/// ([`generate`]) and the app-chunked streaming producer can satisfy the
+/// lookup from what they have already generated.
+fn generate_chained_segments<'a>(
+    spec: &FunctionSpec,
+    seed: u64,
+    index: u64,
+    parent_of: &dyn Fn(crate::model::FunctionId) -> &'a SparseSeries,
+) -> SparseSeries {
+    let mut frng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9));
+    let mut pairs: Vec<(Slot, u32)> = Vec::new();
+    for seg in &spec.segments {
+        let seg_series = match &seg.archetype {
+            Archetype::Chained { parent, lag, prob } => archetype::generate_chained(
+                parent_of(*parent),
+                *lag,
+                *prob,
+                seg.start,
+                seg.end,
+                &mut frng,
+            ),
+            other => archetype::generate(other, seg.start, seg.end, &mut frng),
+        };
         pairs.extend_from_slice(seg_series.events());
     }
     SparseSeries::from_pairs(pairs)
